@@ -1,0 +1,44 @@
+//! Criterion benches for the paper's tables.
+//!
+//! * `table2_model_zoo` — building all five benchmark models layer-by-layer
+//!   and deriving their Table II characteristics.
+//! * `table4_p2p_*` — the GPU-pair microbenchmarks of Table IV, run as
+//!   full flow simulations on the composed topology.
+
+use bench::experiments::table4_measured;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table2_model_zoo(c: &mut Criterion) {
+    c.bench_function("table2_model_zoo", |b| {
+        b.iter(|| {
+            let models = dlmodels::paper_benchmarks();
+            let total: u64 = models.iter().map(|m| m.param_count()).sum();
+            black_box(total)
+        })
+    });
+}
+
+fn table4_p2p(c: &mut Criterion) {
+    c.bench_function("table4_p2p_probes", |b| {
+        b.iter(|| black_box(table4_measured()))
+    });
+}
+
+fn config(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+criterion_group! {
+    name = tables;
+    config = {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(std::time::Duration::from_secs(4))
+            .warm_up_time(std::time::Duration::from_millis(500));
+        let _ = config(&mut c);
+        c
+    };
+    targets = table2_model_zoo, table4_p2p
+}
+criterion_main!(tables);

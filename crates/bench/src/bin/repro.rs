@@ -1,0 +1,337 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro            # everything
+//! cargo run --release -p bench --bin repro -- fig11   # one experiment
+//! cargo run --release -p bench --bin repro -- --quick # fast smoke pass
+//! ```
+//!
+//! Output pairs each measured quantity with the paper's published value
+//! where one exists. Absolute times differ (the substrate is a simulator);
+//! the shapes — who wins, by what factor, where the crossovers are — are
+//! the reproduction targets.
+
+use bench::experiments::{self, Scale};
+use bench::paper;
+use composable_core::report::{gbps, pct, sparkline, table};
+use composable_core::HostConfig;
+use dlmodels::Benchmark;
+use fabric::link::comms_requirements;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::standard() };
+    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2();
+    }
+    if want("table3") {
+        table3();
+    }
+    if want("table4") {
+        table4();
+    }
+    if want("fig5") {
+        fig5();
+    }
+    if want("fig9") {
+        fig9(scale);
+    }
+
+    let grid_needed = ["fig10", "fig11", "fig12", "fig13", "fig14"]
+        .iter()
+        .any(|f| want(f));
+    if grid_needed {
+        eprintln!("[grid] running 5 benchmarks x 3 GPU configurations ...");
+        let grid = experiments::grid(scale);
+        if want("fig10") {
+            fig10(&grid);
+        }
+        if want("fig11") {
+            fig11(&grid);
+        }
+        if want("fig12") {
+            fig12(&grid);
+        }
+        if want("fig13") {
+            fig13(&grid);
+        }
+        if want("fig14") {
+            fig14(&grid);
+        }
+    }
+
+    if want("fig15") {
+        fig15(scale);
+    }
+    if want("fig16") {
+        fig16(scale);
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1() {
+    heading("TABLE I — Software stack details (environment record)");
+    let rows: Vec<Vec<String>> = composable_core::config::software_stack()
+        .into_iter()
+        .map(|(k, v)| vec![k.to_string(), v.to_string()])
+        .collect();
+    println!("{}", table(&["component", "version"], &rows));
+}
+
+fn table2() {
+    heading("TABLE II — Characteristics of the evaluated DL benchmarks");
+    let rows: Vec<Vec<String>> = experiments::table2_measured()
+        .into_iter()
+        .zip(Benchmark::all())
+        .map(|((label, params, derived, depth), b)| {
+            let reference = paper::table2_params(b);
+            vec![
+                label,
+                format!("{:.1}M", params as f64 / 1e6),
+                format!("{:.1}M", reference.value),
+                depth.to_string(),
+                derived.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["benchmark", "params (measured)", "params (paper)", "depth (paper)", "weighted layers (derived)"],
+            &rows
+        )
+    );
+}
+
+fn table3() {
+    heading("TABLE III — Composable host configurations");
+    let rows: Vec<Vec<String>> = HostConfig::all()
+        .into_iter()
+        .map(|c| vec![c.label().to_string(), c.description().to_string()])
+        .collect();
+    println!("{}", table(&["label", "host configuration"], &rows));
+}
+
+fn table4() {
+    heading("TABLE IV — GPU-GPU bandwidth, latency, and protocol");
+    let measured = experiments::table4_measured();
+    let rows: Vec<Vec<String>> = measured
+        .into_iter()
+        .zip(paper::table4())
+        .map(|((label, m), (_, bw, lat, proto))| {
+            vec![
+                label.to_string(),
+                format!("{:.2}", m.bidir_bandwidth / 1e9),
+                format!("{bw:.2}"),
+                format!("{:.2}", m.latency.as_micros_f64()),
+                format!("{lat:.2}"),
+                proto.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["pair", "bidir GB/s (sim)", "bidir GB/s (paper)", "latency us (sim)", "latency us (paper)", "protocol"],
+            &rows
+        )
+    );
+}
+
+fn fig5() {
+    heading("FIG 5 — Communications requirements (survey table)");
+    let rows: Vec<Vec<String>> = comms_requirements()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.path.to_string(),
+                format!("{} - {}", r.latency_low, r.latency_high),
+                format!("{} - {} Gbps", r.bandwidth_low_gbps, r.bandwidth_high_gbps),
+                r.link_length.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["communication", "latency", "bandwidth", "link length"], &rows)
+    );
+}
+
+fn fig9(scale: Scale) {
+    heading("FIG 9 — GPU utilization patterns over training (localGPUs)");
+    println!("(dips = epoch-boundary checkpointing / pipeline restart)\n");
+    for (b, r) in experiments::fig9(scale) {
+        println!(
+            "{:12} {}  mean={:.0}%",
+            b.label(),
+            sparkline(&r.gpu_util_trace),
+            r.gpu_util * 100.0
+        );
+    }
+}
+
+fn fig10(grid: &[experiments::GridCell]) {
+    heading("FIG 10 — GPU performance across composable configurations");
+    let rows: Vec<Vec<String>> = experiments::fig10(grid)
+        .into_iter()
+        .map(|(b, c, util, mem, access)| {
+            vec![
+                b.label().to_string(),
+                c.label().to_string(),
+                format!("{:.0}%", util * 100.0),
+                format!("{:.0}%", mem * 100.0),
+                format!("{:.0}%", access * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["benchmark", "config", "GPU util", "GPU mem occupancy", "mem-access time share"],
+            &rows
+        )
+    );
+    println!("paper: utilization slightly higher on Falcon configs; all > 80% in full runs;");
+    println!("       memory-access share lower on Falcon configs (exposed NCCL kernel time).");
+}
+
+fn fig11(grid: &[experiments::GridCell]) {
+    heading("FIG 11 — % change of training time vs localGPUs");
+    let rows: Vec<Vec<String>> = experiments::fig11(grid)
+        .into_iter()
+        .map(|(b, c, p)| {
+            let (claim, _, _) = paper::fig11_bound(b);
+            vec![
+                b.label().to_string(),
+                c.label().to_string(),
+                pct(p),
+                claim.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["benchmark", "config", "Δ time (sim)", "paper claim"], &rows)
+    );
+}
+
+fn fig12(grid: &[experiments::GridCell]) {
+    heading("FIG 12 — PCIe transfer rate of falcon-attached GPUs");
+    let rows: Vec<Vec<String>> = experiments::fig12(grid)
+        .into_iter()
+        .map(|(b, c, rate)| {
+            let reference = paper::fig12_traffic(b)
+                .map_or("-".to_string(), |v| format!("{v:.2} GB/s (falconGPUs)"));
+            vec![
+                b.label().to_string(),
+                c.label().to_string(),
+                gbps(rate),
+                reference,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["benchmark", "config", "traffic (sim)", "paper"], &rows)
+    );
+}
+
+fn fig13(grid: &[experiments::GridCell]) {
+    heading("FIG 13 — CPU utilization");
+    let rows: Vec<Vec<String>> = experiments::fig13(grid)
+        .into_iter()
+        .map(|(b, c, u)| {
+            vec![
+                b.label().to_string(),
+                c.label().to_string(),
+                format!("{:.0}%", u * 100.0),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["benchmark", "config", "CPU util"], &rows));
+    println!("paper: vision > NLP (CPU-side preprocessing); no benchmark is CPU-bound.");
+}
+
+fn fig14(grid: &[experiments::GridCell]) {
+    heading("FIG 14 — System memory utilization");
+    let rows: Vec<Vec<String>> = experiments::fig14(grid)
+        .into_iter()
+        .map(|(b, c, u)| {
+            vec![
+                b.label().to_string(),
+                c.label().to_string(),
+                format!("{:.1}%", u * 100.0),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["benchmark", "config", "host mem util"], &rows));
+    println!("paper: system memory is not stressed by any benchmark.");
+}
+
+fn fig15(scale: Scale) {
+    heading("FIG 15 — % change of training time vs localGPUs (storage study)");
+    let rows: Vec<Vec<String>> = experiments::fig15(scale)
+        .into_iter()
+        .map(|(b, c, p)| {
+            vec![b.label().to_string(), c.label().to_string(), pct(p)]
+        })
+        .collect();
+    println!("{}", table(&["benchmark", "config", "Δ time (sim)"], &rows));
+    println!("paper: NVMe accelerates the data-heavy benchmarks (Yolo, BERT);");
+    println!("       falcon-attached NVMe ≈ local NVMe (small switching overhead).");
+}
+
+fn fig16(scale: Scale) {
+    heading("FIG 16 — Software-level optimizations, BERT-large fine-tuning");
+    let rows = experiments::fig16(scale);
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.label().to_string(),
+                r.variant.to_string(),
+                r.per_gpu_batch.to_string(),
+                format!("{:.1}", r.throughput),
+                format!("{:.1} ms", r.mean_iter_secs * 1e3),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["config", "variant", "batch/GPU", "samples/s", "iter"],
+            &printable
+        )
+    );
+    // Paper claims, restated with measured numbers.
+    let thr = |cfg: HostConfig, v: &str| {
+        rows.iter()
+            .find(|r| r.config == cfg && r.variant == v)
+            .unwrap()
+            .throughput
+    };
+    for cfg in HostConfig::gpu_configs() {
+        let amp = 1.0 - thr(cfg, "DDP fp32") / thr(cfg, "DDP fp16");
+        let ddp = (thr(cfg, "DDP fp32") / thr(cfg, "DP fp32") - 1.0) * 100.0;
+        let shard = (thr(cfg, "DDP fp16 sharded") / thr(cfg, "DDP fp16") - 1.0) * 100.0;
+        println!(
+            "{:10}  fp16 time reduction {:.0}% (paper: >50%, >70% falcon) | DDP over DP {:+.0}% (paper: >80% local) | sharded {:+.0}%",
+            cfg.label(),
+            amp * 100.0,
+            ddp,
+            shard
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! `bench` — the reproduction harness.
+//!
+//! One module per table/figure of the paper's evaluation section. Each
+//! returns structured rows carrying *paper value* and *measured value*
+//! side by side, so the `repro` binary, the Criterion benches, and
+//! EXPERIMENTS.md all consume the same code.
+//!
+//! Scale note: experiments run with capped iterations per epoch
+//! ([`Scale`]); the paper's relative quantities (ratios, percent changes,
+//! traffic rates, utilizations) are steady-state properties that the cap
+//! does not disturb.
+
+pub mod experiments;
+pub mod paper;
+
+pub use experiments::{Scale, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig9, grid};
+pub use paper::PaperRef;

@@ -1,0 +1,89 @@
+//! The paper's published numbers, as machine-readable references.
+
+use dlmodels::Benchmark;
+
+/// A reference value from the paper with its location.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRef {
+    pub what: &'static str,
+    pub value: f64,
+    pub source: &'static str,
+}
+
+/// Table II parameter counts (millions).
+pub fn table2_params(b: Benchmark) -> PaperRef {
+    let (value, what) = match b {
+        Benchmark::MobileNetV2 => (3.4, "MobileNetV2 params (M)"),
+        Benchmark::ResNet50 => (25.6, "ResNet-50 params (M)"),
+        Benchmark::YoloV5L => (47.0, "YOLOv5-L params (M)"),
+        Benchmark::BertBase => (110.0, "BERT params (M)"),
+        Benchmark::BertLarge => (340.0, "BERT-L params (M)"),
+    };
+    PaperRef {
+        what,
+        value,
+        source: "Table II",
+    }
+}
+
+/// Table II depths.
+pub fn table2_depth(b: Benchmark) -> u32 {
+    match b {
+        Benchmark::MobileNetV2 => 53,
+        Benchmark::ResNet50 => 50,
+        Benchmark::YoloV5L => 392,
+        Benchmark::BertBase => 12,
+        Benchmark::BertLarge => 24,
+    }
+}
+
+/// Table IV: (bidirectional bandwidth GB/s, p2p write latency µs, protocol).
+pub fn table4() -> [(&'static str, f64, f64, &'static str); 3] {
+    [
+        ("L-L", 72.37, 1.85, "NVLink"),
+        ("F-L", 19.64, 2.66, "PCI-e 4.0"),
+        ("F-F", 24.47, 2.08, "PCI-e 4.0"),
+    ]
+}
+
+/// Fig 12: falconGPUs PCIe traffic in GB/s for the benchmarks the paper
+/// quotes numerically.
+pub fn fig12_traffic(b: Benchmark) -> Option<f64> {
+    match b {
+        Benchmark::MobileNetV2 => Some(4.0),
+        Benchmark::ResNet50 => Some(11.31),
+        Benchmark::BertLarge => Some(76.43),
+        _ => None,
+    }
+}
+
+/// Fig 11 claims as bounds on percent slowdown vs localGPUs.
+pub fn fig11_bound(b: Benchmark) -> (&'static str, f64, f64) {
+    match b {
+        Benchmark::MobileNetV2 | Benchmark::ResNet50 => ("< 5% (small vision)", -1.0, 7.0),
+        Benchmark::YoloV5L => ("< 7% (vision overall)", -1.0, 9.0),
+        Benchmark::BertBase => ("moderate NLP overhead", 5.0, 80.0),
+        Benchmark::BertLarge => ("~2x on falconGPUs", 70.0, 130.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_refs_cover_all_benchmarks() {
+        for b in Benchmark::all() {
+            assert!(table2_params(b).value > 0.0);
+            assert!(table2_depth(b) > 0);
+        }
+    }
+
+    #[test]
+    fn table4_rows() {
+        let t = table4();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].0, "L-L");
+        assert!(t[0].1 > t[2].1, "NVLink beats PCIe");
+    }
+}

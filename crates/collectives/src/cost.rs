@@ -1,0 +1,82 @@
+//! Closed-form α-β cost model for ring collectives.
+//!
+//! Used as an analytic cross-check of the flow simulation (tests assert
+//! the two agree on uncontended topologies) and by the topology
+//! recommender for fast screening before full simulation.
+
+use desim::Dur;
+
+/// Cost breakdown of a ring collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingCost {
+    /// Latency term: 2(n−1) hops of edge latency (α).
+    pub latency: Dur,
+    /// Bandwidth term: per-edge volume over bottleneck edge rate (β).
+    pub transfer: Dur,
+}
+
+impl RingCost {
+    pub fn total(&self) -> Dur {
+        self.latency + self.transfer
+    }
+}
+
+/// α-β estimate of a ring allreduce of `bytes` over `n` members whose
+/// slowest edge sustains `bottleneck_rate` (bytes/s per flow) with
+/// `edge_latency` per step.
+pub fn alpha_beta_allreduce(
+    n: usize,
+    bytes: f64,
+    bottleneck_rate: f64,
+    edge_latency: Dur,
+) -> RingCost {
+    assert!(bottleneck_rate > 0.0);
+    if n <= 1 {
+        return RingCost {
+            latency: Dur::ZERO,
+            transfer: Dur::ZERO,
+        };
+    }
+    let steps = 2 * (n - 1);
+    let per_edge = 2.0 * (n as f64 - 1.0) / n as f64 * bytes;
+    RingCost {
+        latency: edge_latency * steps as u64,
+        transfer: Dur::for_bytes(per_edge, bottleneck_rate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_ring_is_free() {
+        let c = alpha_beta_allreduce(1, 1e9, 1e9, Dur::from_micros(2));
+        assert_eq!(c.total(), Dur::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_term_dominates_large_messages() {
+        let c = alpha_beta_allreduce(8, 1e9, 10e9, Dur::from_micros(2));
+        assert!(c.transfer > c.latency * 100u64);
+        // 2*7/8 GB at 10 GB/s = 175 ms.
+        assert!((c.transfer.as_secs_f64() - 0.175).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_term_dominates_small_messages() {
+        let c = alpha_beta_allreduce(8, 1024.0, 10e9, Dur::from_micros(2));
+        assert!(c.latency > c.transfer);
+        assert_eq!(c.latency, Dur::from_micros(28));
+    }
+
+    #[test]
+    fn more_members_amortize_volume() {
+        // Per-edge volume 2(n-1)/n * M approaches 2M; the *time* per byte of
+        // payload therefore saturates rather than growing with n.
+        let c4 = alpha_beta_allreduce(4, 1e9, 10e9, Dur::ZERO);
+        let c16 = alpha_beta_allreduce(16, 1e9, 10e9, Dur::ZERO);
+        let ratio = c16.transfer.as_secs_f64() / c4.transfer.as_secs_f64();
+        assert!(ratio < 1.3, "ratio {ratio}");
+    }
+}

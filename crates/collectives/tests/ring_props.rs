@@ -1,0 +1,123 @@
+//! Property tests for ring planning: the planner must return a
+//! permutation whose bottleneck is optimal (verified against brute force
+//! for small member counts) on arbitrary random fabrics.
+
+use collectives::{pair_capacity, plan_ring, ring_bottleneck};
+use desim::Dur;
+use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology, GB};
+use proptest::prelude::*;
+
+/// Random connected topology: `n` GPUs, a base switch connecting everyone
+/// (so routes always exist), plus random direct links with random
+/// capacities.
+fn random_fabric(n: usize, extra: &[(usize, usize, f64)]) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let sw = t.add_node("sw", NodeKind::PcieSwitch);
+    let gpus: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let g = t.add_node(format!("g{i}"), NodeKind::Gpu);
+            t.add_link(
+                g,
+                sw,
+                LinkSpec::of(LinkClass::PcieGen4x16)
+                    .with_capacity(8.0 * GB)
+                    .with_latency(Dur::from_nanos(200)),
+            );
+            g
+        })
+        .collect();
+    for &(a, b, cap) in extra {
+        if a != b {
+            t.add_link(
+                gpus[a],
+                gpus[b],
+                LinkSpec::of(LinkClass::NvLink2 { lanes: 1 }).with_capacity(cap * GB),
+            );
+        }
+    }
+    (t, gpus)
+}
+
+/// Brute-force optimal bottleneck over all cyclic orders.
+fn brute_force_best(topo: &mut Topology, members: &[NodeId]) -> f64 {
+    fn permute(rest: &mut Vec<NodeId>, acc: &mut Vec<NodeId>, best: &mut f64, topo: &mut Topology) {
+        if rest.is_empty() {
+            let b = ring_bottleneck(topo, acc);
+            if b > *best {
+                *best = b;
+            }
+            return;
+        }
+        for i in 0..rest.len() {
+            let x = rest.remove(i);
+            acc.push(x);
+            permute(rest, acc, best, topo);
+            acc.pop();
+            rest.insert(i, x);
+        }
+    }
+    let mut best = 0.0;
+    let mut acc = vec![members[0]];
+    let mut rest = members[1..].to_vec();
+    permute(&mut rest, &mut acc, &mut best, topo);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Planned rings are permutations of the members.
+    #[test]
+    fn ring_is_a_permutation(
+        n in 3usize..9,
+        extra in proptest::collection::vec((0usize..9, 0usize..9, 5.0f64..60.0), 0..10)
+    ) {
+        let extra: Vec<_> = extra.into_iter().filter(|&(a, b, _)| a < n && b < n).collect();
+        let (topo, gpus) = random_fabric(n, &extra);
+        let mut t = topo;
+        let ring = plan_ring(&mut t, &gpus);
+        let mut sorted = ring.clone();
+        sorted.sort();
+        let mut expect = gpus.clone();
+        expect.sort();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// For small n the planner's bottleneck equals the brute-force optimum.
+    #[test]
+    fn bottleneck_is_optimal(
+        n in 3usize..7,
+        extra in proptest::collection::vec((0usize..7, 0usize..7, 5.0f64..60.0), 0..8)
+    ) {
+        let extra: Vec<_> = extra.into_iter().filter(|&(a, b, _)| a < n && b < n).collect();
+        let (topo, gpus) = random_fabric(n, &extra);
+        let mut t = topo;
+        let ring = plan_ring(&mut t, &gpus);
+        let planned = ring_bottleneck(&mut t, &ring);
+        let best = brute_force_best(&mut t, &gpus);
+        prop_assert!(
+            planned >= best * (1.0 - 1e-9),
+            "planned {planned} < optimal {best}"
+        );
+    }
+
+    /// Pair capacity is symmetric on these undirected fabrics and positive
+    /// between all connected pairs.
+    #[test]
+    fn pair_capacity_symmetric(
+        n in 3usize..8,
+        extra in proptest::collection::vec((0usize..8, 0usize..8, 5.0f64..60.0), 0..8)
+    ) {
+        let extra: Vec<_> = extra.into_iter().filter(|&(a, b, _)| a < n && b < n).collect();
+        let (topo, gpus) = random_fabric(n, &extra);
+        let mut t = topo;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ab = pair_capacity(&mut t, gpus[i], gpus[j]);
+                let ba = pair_capacity(&mut t, gpus[j], gpus[i]);
+                prop_assert!(ab > 0.0);
+                prop_assert!((ab - ba).abs() < 1e-6 * ab, "{ab} vs {ba}");
+            }
+        }
+    }
+}

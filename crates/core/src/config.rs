@@ -1,0 +1,135 @@
+//! The composed-host configurations of the paper's Table III.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Table I — the software stack of the paper's test bed, kept as data so
+/// the reproduction records exactly which stack's behavior it models.
+pub fn software_stack() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Operating system", "Ubuntu 18.04"),
+        ("DL Framework", "PyTorch 1.7.1"),
+        ("CUDA", "10.2.89"),
+        ("CUDA Driver", "450.102.04"),
+        ("CUDNN", "cudnn7.6.5"),
+        ("NCCL", "NCCL 2.8.4"),
+        ("Profilers", "wandb 0.10.14; Nsight Systems 2020.4.3.7; Nsight Compute 2020.3.0.0"),
+        ("(this repo)", "composable-sim flow-level DES, calibrated to Table IV"),
+    ]
+}
+
+/// One row of Table III: how the host's GPUs and storage are composed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostConfig {
+    /// 8 local GPUs and local storage.
+    LocalGpus,
+    /// 4 local GPUs, 4 falcon GPUs, and local storage.
+    HybridGpus,
+    /// 8 falcon-attached GPUs (and local storage).
+    FalconGpus,
+    /// 8 local GPUs and local NVMe.
+    LocalNvme,
+    /// 8 local GPUs and falcon-attached NVMe.
+    FalconNvme,
+}
+
+impl HostConfig {
+    /// All five configurations, in Table III order.
+    pub fn all() -> [HostConfig; 5] {
+        [
+            HostConfig::LocalGpus,
+            HostConfig::HybridGpus,
+            HostConfig::FalconGpus,
+            HostConfig::LocalNvme,
+            HostConfig::FalconNvme,
+        ]
+    }
+
+    /// The three GPU-placement configurations of Figs 10–14.
+    pub fn gpu_configs() -> [HostConfig; 3] {
+        [
+            HostConfig::LocalGpus,
+            HostConfig::HybridGpus,
+            HostConfig::FalconGpus,
+        ]
+    }
+
+    /// The storage-study configurations of Fig 15 (baseline first).
+    pub fn storage_configs() -> [HostConfig; 3] {
+        [
+            HostConfig::LocalGpus,
+            HostConfig::LocalNvme,
+            HostConfig::FalconNvme,
+        ]
+    }
+
+    /// The paper's label for the configuration.
+    pub fn label(self) -> &'static str {
+        match self {
+            HostConfig::LocalGpus => "localGPUs",
+            HostConfig::HybridGpus => "hybridGPUs",
+            HostConfig::FalconGpus => "falconGPUs",
+            HostConfig::LocalNvme => "localNVMe",
+            HostConfig::FalconNvme => "falconNVMe",
+        }
+    }
+
+    /// Table III's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            HostConfig::LocalGpus => "8 local GPUs and local storage",
+            HostConfig::HybridGpus => "4 local GPUs, 4 falcon GPUs, and local storage",
+            HostConfig::FalconGpus => "8 falcon-attached GPUs",
+            HostConfig::LocalNvme => "8 local GPUs and local NVMe",
+            HostConfig::FalconNvme => "8 local GPUs and falcon-attached NVMe",
+        }
+    }
+
+    /// Does any GPU sit behind the Falcon switch?
+    pub fn has_falcon_gpus(self) -> bool {
+        matches!(self, HostConfig::HybridGpus | HostConfig::FalconGpus)
+    }
+}
+
+impl fmt::Display for HostConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_configs_in_order() {
+        let all = HostConfig::all();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].label(), "localGPUs");
+        assert_eq!(all[4].label(), "falconNVMe");
+    }
+
+    #[test]
+    fn falcon_gpu_detection() {
+        assert!(!HostConfig::LocalGpus.has_falcon_gpus());
+        assert!(HostConfig::HybridGpus.has_falcon_gpus());
+        assert!(HostConfig::FalconGpus.has_falcon_gpus());
+        assert!(!HostConfig::FalconNvme.has_falcon_gpus());
+    }
+
+    #[test]
+    fn software_stack_has_the_paper_rows() {
+        let t = software_stack();
+        assert!(t.iter().any(|(k, v)| *k == "DL Framework" && v.contains("PyTorch 1.7.1")));
+        assert!(t.iter().any(|(k, v)| *k == "NCCL" && v.contains("2.8.4")));
+        assert!(t.len() >= 7);
+    }
+
+    #[test]
+    fn labels_round_trip_table_iii() {
+        for c in HostConfig::all() {
+            assert!(!c.description().is_empty());
+            assert_eq!(format!("{c}"), c.label());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Text rendering of the paper's tables and figure series.
+
+use desim::stats::Summary;
+use training::RunReport;
+
+/// Render a simple aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {c:w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&render_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// A unicode sparkline of a series (the figure traces, one char per point).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let s = Summary::of(values);
+    let span = (s.max - s.min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - s.min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// One labeled series line, e.g. for the Fig 9 utilization traces.
+pub fn series_line(label: &str, values: &[f64], unit: &str) -> String {
+    let s = Summary::of(values);
+    format!(
+        "{label:12} {} min={:.2}{unit} mean={:.2}{unit} max={:.2}{unit}",
+        sparkline(values),
+        s.min,
+        s.mean,
+        s.max
+    )
+}
+
+/// Percent with sign, e.g. `+12.3%`.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Gigabytes per second.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2} GB/s", bytes_per_sec / 1e9)
+}
+
+/// One row summarizing a run.
+pub fn run_row(r: &RunReport) -> Vec<String> {
+    vec![
+        r.benchmark.clone(),
+        r.label.clone(),
+        format!("{}", r.total_time),
+        format!("{}", r.mean_iter),
+        format!("{:.1}/s", r.throughput),
+        format!("{:.0}%", r.gpu_util * 100.0),
+        format!("{:.0}%", r.cpu_util * 100.0),
+    ]
+}
+
+/// Render a set of run reports as CSV (header + one row per run) for
+/// downstream plotting.
+pub fn runs_to_csv(reports: &[&RunReport]) -> String {
+    let mut out = String::from(
+        "benchmark,config,total_secs,mean_iter_secs,throughput,gpu_util,cpu_util,\
+host_mem_util,gpu_mem_util,gpu_mem_access_share,falcon_pcie_gbps,exposed_comm_share,input_stall_share\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.3},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            r.benchmark,
+            r.label,
+            r.total_time.as_secs_f64(),
+            r.mean_iter.as_secs_f64(),
+            r.throughput,
+            r.gpu_util,
+            r.cpu_util,
+            r.host_mem_util,
+            r.gpu_mem_util,
+            r.gpu_mem_access_share,
+            r.falcon_pcie_rate / 1e9,
+            r.exposed_comm_share,
+            r.input_stall_share,
+        ));
+    }
+    out
+}
+
+pub const RUN_HEADERS: [&str; 7] = [
+    "benchmark",
+    "config",
+    "total",
+    "iter",
+    "throughput",
+    "GPU",
+    "CPU",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[vec!["xxxx".into(), "y".into()], vec!["z".into(), "w".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{t}");
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn pct_and_gbps_format() {
+        assert_eq!(pct(12.34), "+12.3%");
+        assert_eq!(pct(-3.0), "-3.0%");
+        assert_eq!(gbps(76.43e9), "76.43 GB/s");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let r = crate::runner::run(
+            dlmodels::Benchmark::MobileNetV2,
+            crate::HostConfig::LocalGpus,
+            &crate::runner::ExperimentOpts::scaled(2),
+        )
+        .unwrap();
+        let csv = runs_to_csv(&[&r, &r]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("benchmark,config,"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        assert!(lines[1].contains("MobileNetV2"));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+    }
+}

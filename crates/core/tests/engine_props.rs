@@ -1,0 +1,67 @@
+//! Property tests driving full training runs through the public runner.
+
+use composable_core::runner::{run, ExperimentOpts};
+use composable_core::HostConfig;
+use dlmodels::Benchmark;
+use proptest::prelude::*;
+
+proptest! {
+    // Full simulations are comparatively expensive; keep cases low but
+    // the space covered wide.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (benchmark, config, small batch) cell that fits produces a
+    /// physically coherent report.
+    #[test]
+    fn reports_are_coherent(
+        b in proptest::sample::select(Benchmark::all().to_vec()),
+        cfg_idx in 0usize..3,
+        iters in 2u64..6,
+        seed in 0u64..1000,
+    ) {
+        let config = HostConfig::gpu_configs()[cfg_idx];
+        let mut opts = ExperimentOpts::scaled(iters).without_checkpoints();
+        opts.seed = seed;
+        let r = run(b, config, &opts).unwrap();
+        prop_assert_eq!(r.iterations, 2 * iters);
+        prop_assert!(r.total_time.as_secs_f64() > 0.0);
+        prop_assert!(r.mean_iter.as_secs_f64() > 0.0);
+        // Utilizations are fractions.
+        for v in [r.gpu_util, r.cpu_util, r.host_mem_util, r.gpu_mem_util,
+                  r.gpu_mem_access_share, r.input_stall_share, r.exposed_comm_share] {
+            prop_assert!((0.0..=1.0).contains(&v), "fraction out of range: {}", v);
+        }
+        // Throughput is exactly consistent with iteration accounting:
+        // throughput x wall-clock = iterations x n_gpus x per-GPU batch.
+        let (batch, _) = training::config::paper_batch(b, 8);
+        let implied = r.throughput * r.total_time.as_secs_f64();
+        let expected = (r.iterations * 8 * batch) as f64;
+        prop_assert!(
+            (implied - expected).abs() / expected < 1e-6,
+            "samples accounted: {} vs {}", implied, expected
+        );
+        // Falcon traffic appears exactly when falcon GPUs exist.
+        if config.has_falcon_gpus() {
+            prop_assert!(r.falcon_pcie_rate > 0.0);
+        } else {
+            prop_assert!(r.falcon_pcie_rate == 0.0);
+        }
+    }
+
+    /// The same seed replays identically; different seeds may differ
+    /// (jitter) but stay within a tight band.
+    #[test]
+    fn seeds_jitter_within_band(seed_a in 0u64..500, seed_b in 500u64..1000) {
+        let mk = |seed| {
+            let mut o = ExperimentOpts::scaled(4).without_checkpoints();
+            o.seed = seed;
+            run(Benchmark::ResNet50, HostConfig::LocalGpus, &o).unwrap()
+        };
+        let a1 = mk(seed_a);
+        let a2 = mk(seed_a);
+        prop_assert_eq!(a1.total_time, a2.total_time);
+        let b = mk(seed_b);
+        let ratio = b.total_time.as_secs_f64() / a1.total_time.as_secs_f64();
+        prop_assert!((0.9..1.1).contains(&ratio), "jitter band: {}", ratio);
+    }
+}

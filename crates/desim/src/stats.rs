@@ -1,0 +1,494 @@
+//! Telemetry primitives: the simulated equivalents of the paper's
+//! Weights & Biases / Nsight / Falcon-GUI instrumentation.
+//!
+//! * [`Counter`] — monotonically increasing totals (bytes moved, iterations).
+//! * [`TimeWeightedGauge`] — a value sampled over time with exact
+//!   time-weighted averaging (memory in use, queue depth).
+//! * [`BusyTracker`] — records busy intervals of a device and reports a
+//!   utilization trace in fixed buckets (the paper's Fig 9/10/13 series).
+//! * [`RateSeries`] — attributes transferred bytes to time buckets and
+//!   reports per-bucket rates (the paper's Fig 12 PCIe-traffic series).
+//! * [`Histogram`] — latency distributions with percentile queries.
+//! * [`Summary`] — scalar min/mean/max aggregation of a finished series.
+
+use crate::time::{Dur, SimTime};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Counter {
+    total: f64,
+    events: u64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn add(&mut self, amount: f64) {
+        debug_assert!(amount >= 0.0, "counters only increase");
+        self.total += amount;
+        self.events += 1;
+    }
+    pub fn incr(&mut self) {
+        self.add(1.0);
+    }
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+/// A gauge whose time-weighted average is computed exactly from its update
+/// history (no sampling error).
+#[derive(Debug, Clone)]
+pub struct TimeWeightedGauge {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+    max: f64,
+}
+
+impl TimeWeightedGauge {
+    pub fn new(at: SimTime, initial: f64) -> Self {
+        TimeWeightedGauge {
+            value: initial,
+            last_change: at,
+            weighted_sum: 0.0,
+            start: at,
+            max: initial,
+        }
+    }
+
+    /// Set the gauge at instant `at` (must be nondecreasing in time).
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        debug_assert!(at >= self.last_change, "gauge updates must move forward");
+        self.weighted_sum += self.value * at.since(self.last_change).as_secs_f64();
+        self.value = value;
+        self.last_change = at;
+        self.max = self.max.max(value);
+    }
+
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(at, v);
+    }
+
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Exact time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.start).as_secs_f64();
+        if elapsed == 0.0 {
+            return self.value;
+        }
+        let tail = self.value * now.since(self.last_change).as_secs_f64();
+        (self.weighted_sum + tail) / elapsed
+    }
+}
+
+/// Records the busy intervals of a serially-used resource and renders them
+/// as a fixed-bucket utilization trace in `[0, 1]`.
+///
+/// Overlapping busy intervals are merged, so a device driven by several
+/// overlapping activities never reports more than 100 % utilization.
+#[derive(Debug, Clone)]
+pub struct BusyTracker {
+    /// Disjoint, sorted busy intervals (half-open).
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl Default for BusyTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BusyTracker {
+    pub fn new() -> Self {
+        BusyTracker {
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Record that the resource was busy on `[start, end)`.
+    pub fn record(&mut self, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        // Fast path: appending at/after the tail (the common case since
+        // simulations emit roughly in time order).
+        if let Some(last) = self.intervals.last_mut() {
+            if start >= last.1 {
+                self.intervals.push((start, end));
+                return;
+            }
+            if start >= last.0 {
+                last.1 = last.1.max(end);
+                return;
+            }
+        } else {
+            self.intervals.push((start, end));
+            return;
+        }
+        // Slow path: out-of-order insert with merging.
+        let idx = self
+            .intervals
+            .partition_point(|&(s, _)| s < start);
+        self.intervals.insert(idx, (start, end));
+        self.normalize();
+    }
+
+    fn normalize(&mut self) {
+        self.intervals.sort_by_key(|&(s, _)| s);
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(self.intervals.len());
+        for &(s, e) in &self.intervals {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.intervals = merged;
+    }
+
+    /// Total busy time on `[from, to)`.
+    pub fn busy_within(&self, from: SimTime, to: SimTime) -> Dur {
+        let mut acc = Dur::ZERO;
+        for &(s, e) in &self.intervals {
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if hi > lo {
+                acc += hi - lo;
+            }
+            if s >= to {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Overall utilization on `[from, to)`.
+    pub fn utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.since(from).as_secs_f64();
+        if span == 0.0 {
+            return 0.0;
+        }
+        self.busy_within(from, to).as_secs_f64() / span
+    }
+
+    /// Utilization per fixed-width bucket over `[from, to)` — the shape of
+    /// the paper's GPU-utilization traces (Fig 9).
+    pub fn trace(&self, from: SimTime, to: SimTime, bucket: Dur) -> Vec<f64> {
+        assert!(!bucket.is_zero(), "bucket width must be positive");
+        let mut out = Vec::new();
+        let mut cursor = from;
+        while cursor < to {
+            let end = (cursor + bucket).min(to);
+            out.push(self.utilization(cursor, end));
+            cursor = end;
+        }
+        out
+    }
+}
+
+/// Attributes byte deliveries to time buckets and reports per-bucket rates.
+///
+/// Deliveries are *spread* over the interval they occupied, so a 1 GB
+/// transfer lasting 100 ms contributes uniformly to every bucket it spans —
+/// matching how the Falcon GUI's per-second ingress/egress counters behave.
+#[derive(Debug, Clone, Default)]
+pub struct RateSeries {
+    /// (start, end, bytes) of each recorded transfer segment.
+    segments: Vec<(SimTime, SimTime, f64)>,
+    total_bytes: f64,
+}
+
+impl RateSeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` moved uniformly across `[start, end)`. A zero-length
+    /// interval attributes everything to the instant `start`.
+    pub fn record(&mut self, start: SimTime, end: SimTime, bytes: f64) {
+        debug_assert!(bytes >= 0.0);
+        self.segments.push((start, end.max(start), bytes));
+        self.total_bytes += bytes;
+    }
+
+    pub fn total_bytes(&self) -> f64 {
+        self.total_bytes
+    }
+
+    /// Bytes attributed to `[from, to)`.
+    pub fn bytes_within(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut acc = 0.0;
+        for &(s, e, b) in &self.segments {
+            if s == e {
+                if s >= from && s < to {
+                    acc += b;
+                }
+                continue;
+            }
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if hi > lo {
+                acc += b * (hi.since(lo).as_secs_f64() / e.since(s).as_secs_f64());
+            }
+        }
+        acc
+    }
+
+    /// Average rate (bytes/s) over `[from, to)`.
+    pub fn mean_rate(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.since(from).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.bytes_within(from, to) / span
+        }
+    }
+
+    /// Per-bucket rates (bytes/s) over `[from, to)` — the Fig 12 series.
+    pub fn trace(&self, from: SimTime, to: SimTime, bucket: Dur) -> Vec<f64> {
+        assert!(!bucket.is_zero());
+        let mut out = Vec::new();
+        let mut cursor = from;
+        while cursor < to {
+            let end = (cursor + bucket).min(to);
+            out.push(self.mean_rate(cursor, end));
+            cursor = end;
+        }
+        out
+    }
+}
+
+/// A simple collecting histogram with percentile queries.
+///
+/// Values are stored exactly; queries sort lazily. Suitable for the tens of
+/// thousands of latency samples a run produces, not for unbounded streams.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite());
+        self.values.push(v);
+        self.sorted = false;
+    }
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite histogram value"));
+            self.sorted = true;
+        }
+    }
+    /// Percentile in `[0, 100]` via nearest-rank; 0 on an empty histogram.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p));
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * (self.values.len() as f64 - 1.0)).round() as usize;
+        self.values[rank]
+    }
+    pub fn min(&mut self) -> f64 {
+        self.percentile(0.0)
+    }
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+}
+
+/// Scalar summary of a finished series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub min: f64,
+    pub mean: f64,
+    pub max: f64,
+    pub count: usize,
+}
+
+impl Summary {
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Summary {
+            min,
+            mean: sum / values.len() as f64,
+            max,
+            count: values.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.add(3.0);
+        c.add(4.5);
+        c.incr();
+        assert_eq!(c.total(), 8.5);
+        assert_eq!(c.events(), 3);
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean_is_exact() {
+        let mut g = TimeWeightedGauge::new(t(0), 0.0);
+        g.set(t(10), 10.0); // 0 for 10us
+        g.set(t(30), 0.0); // 10 for 20us
+        // mean over 40us = (0*10 + 10*20 + 0*10)/40 = 5
+        assert!((g.mean(t(40)) - 5.0).abs() < 1e-9);
+        assert_eq!(g.max(), 10.0);
+        assert_eq!(g.value(), 0.0);
+    }
+
+    #[test]
+    fn gauge_mean_with_no_elapsed_time() {
+        let g = TimeWeightedGauge::new(t(5), 7.0);
+        assert_eq!(g.mean(t(5)), 7.0);
+    }
+
+    #[test]
+    fn busy_tracker_merges_overlaps() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(10));
+        b.record(t(5), t(15)); // overlaps
+        b.record(t(20), t(30));
+        assert_eq!(b.busy_within(t(0), t(30)), Dur::from_micros(25));
+        assert!((b.utilization(t(0), t(30)) - 25.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_tracker_out_of_order_inserts() {
+        let mut b = BusyTracker::new();
+        b.record(t(20), t(30));
+        b.record(t(0), t(10));
+        b.record(t(8), t(22)); // bridges both
+        assert_eq!(b.busy_within(t(0), t(30)), Dur::from_micros(30));
+        assert_eq!(b.utilization(t(0), t(30)), 1.0);
+    }
+
+    #[test]
+    fn busy_tracker_trace_buckets() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(5));
+        b.record(t(10), t(20));
+        let trace = b.trace(t(0), t(20), Dur::from_micros(10));
+        assert_eq!(trace.len(), 2);
+        assert!((trace[0] - 0.5).abs() < 1e-9);
+        assert!((trace[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_tracker_ignores_empty_intervals() {
+        let mut b = BusyTracker::new();
+        b.record(t(5), t(5));
+        assert_eq!(b.busy_within(t(0), t(10)), Dur::ZERO);
+    }
+
+    #[test]
+    fn rate_series_spreads_bytes_over_interval() {
+        let mut r = RateSeries::new();
+        // 100 bytes over [0, 10us): 10 bytes/us.
+        r.record(t(0), t(10), 100.0);
+        assert!((r.bytes_within(t(0), t(5)) - 50.0).abs() < 1e-9);
+        assert!((r.bytes_within(t(5), t(10)) - 50.0).abs() < 1e-9);
+        assert!((r.mean_rate(t(0), t(10)) - 100.0 / 10e-6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_series_instantaneous_delivery() {
+        let mut r = RateSeries::new();
+        r.record(t(5), t(5), 42.0);
+        assert_eq!(r.bytes_within(t(0), t(10)), 42.0);
+        assert_eq!(r.bytes_within(t(6), t(10)), 0.0);
+        assert_eq!(r.total_bytes(), 42.0);
+    }
+
+    #[test]
+    fn rate_series_trace() {
+        let mut r = RateSeries::new();
+        r.record(t(0), t(20), 200.0);
+        let trace = r.trace(t(0), t(20), Dur::from_micros(10));
+        assert_eq!(trace.len(), 2);
+        assert!((trace[0] - trace[1]).abs() < 1e-6, "uniform spread");
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.percentile(50.0), 3.0);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.count, 3);
+        assert_eq!(Summary::of(&[]).count, 0);
+    }
+}

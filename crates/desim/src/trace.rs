@@ -1,0 +1,154 @@
+//! Span tracing: a lightweight timeline recorder for simulated runs.
+//!
+//! Entities record labeled `[start, end)` spans on numbered tracks; the
+//! recorder can aggregate total time per label (phase breakdowns) and
+//! render a text Gantt chart — the tooling equivalent of skimming an
+//! Nsight Systems timeline, which is how the paper's authors diagnosed
+//! where iterations spend their time.
+
+use crate::time::{Dur, SimTime};
+use std::collections::BTreeMap;
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub track: u32,
+    pub label: String,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Span {
+    pub fn duration(&self) -> Dur {
+        self.end.since(self.start)
+    }
+}
+
+/// Collects spans over a run.
+#[derive(Debug, Clone, Default)]
+pub struct SpanRecorder {
+    spans: Vec<Span>,
+}
+
+impl SpanRecorder {
+    pub fn new() -> SpanRecorder {
+        SpanRecorder::default()
+    }
+
+    /// Record a span; zero- or negative-length spans are dropped.
+    pub fn record(&mut self, track: u32, label: impl Into<String>, start: SimTime, end: SimTime) {
+        if end > start {
+            self.spans.push(Span {
+                track,
+                label: label.into(),
+                start,
+                end,
+            });
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total recorded time per label, sorted by label (deterministic).
+    pub fn totals_by_label(&self) -> Vec<(String, Dur)> {
+        let mut map: BTreeMap<&str, Dur> = BTreeMap::new();
+        for s in &self.spans {
+            *map.entry(&s.label).or_insert(Dur::ZERO) += s.duration();
+        }
+        map.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// Spans on one track, in recording order.
+    pub fn track(&self, track: u32) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.track == track)
+    }
+
+    /// Render a text Gantt chart of `[from, to)` in `width` columns, one
+    /// row per label (first character of the label marks occupancy).
+    pub fn render(&self, from: SimTime, to: SimTime, width: usize) -> String {
+        assert!(width > 0 && to > from);
+        let span_ns = (to - from).as_nanos() as f64;
+        let mut labels: Vec<&str> = self.spans.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let mut out = String::new();
+        for label in labels {
+            let mut row = vec!['·'; width];
+            let mark = label.chars().next().unwrap_or('#');
+            for s in self.spans.iter().filter(|s| s.label == label) {
+                let a = ((s.start.since(from).as_nanos() as f64 / span_ns) * width as f64)
+                    .floor()
+                    .max(0.0) as usize;
+                let b = ((s.end.since(from).as_nanos() as f64 / span_ns) * width as f64).ceil()
+                    as usize;
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = mark;
+                }
+            }
+            out.push_str(&format!("{label:>10} {}\n", row.iter().collect::<String>()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn records_and_totals() {
+        let mut r = SpanRecorder::new();
+        r.record(0, "fwd", t(0), t(10));
+        r.record(0, "bwd", t(10), t(30));
+        r.record(0, "fwd", t(40), t(50));
+        let totals = r.totals_by_label();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0], ("bwd".to_string(), Dur::from_micros(20)));
+        assert_eq!(totals[1], ("fwd".to_string(), Dur::from_micros(20)));
+    }
+
+    #[test]
+    fn drops_empty_spans() {
+        let mut r = SpanRecorder::new();
+        r.record(0, "x", t(5), t(5));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn track_filtering() {
+        let mut r = SpanRecorder::new();
+        r.record(0, "a", t(0), t(1));
+        r.record(1, "b", t(0), t(1));
+        assert_eq!(r.track(0).count(), 1);
+        assert_eq!(r.track(1).count(), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn render_shows_occupancy() {
+        let mut r = SpanRecorder::new();
+        r.record(0, "fwd", t(0), t(50));
+        r.record(0, "bwd", t(50), t(100));
+        let g = r.render(t(0), t(100), 10);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // bwd occupies the right half, fwd the left half.
+        assert!(lines[0].trim_start().starts_with("bwd"));
+        assert!(lines[0].contains("·····bbbbb") || lines[0].contains("····bbbbb"));
+        assert!(lines[1].contains("fffff"));
+    }
+}

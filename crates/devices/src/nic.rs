@@ -1,0 +1,67 @@
+//! Network interface card model.
+//!
+//! Each host carries two Intel X540-AT2 10 GbE controllers (paper §II-A).
+//! The DL benchmarks are single-host, so NICs do not shape the paper's
+//! measurements — but the composable system inventories and attaches them
+//! like any other PCIe device, so the model exists for completeness and
+//! for the management plane's resource lists.
+
+use crate::GB;
+use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a NIC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    pub name: String,
+    /// Line rate per port (bytes/s).
+    pub line_rate: f64,
+    pub ports: u8,
+}
+
+impl NicSpec {
+    /// Intel X540-AT2 dual-port 10 GbE.
+    pub fn intel_x540() -> NicSpec {
+        NicSpec {
+            name: "Intel X540-AT2 10GbE".to_string(),
+            line_rate: 1.25 * GB,
+            ports: 2,
+        }
+    }
+
+    pub fn aggregate_rate(&self) -> f64 {
+        self.line_rate * f64::from(self.ports)
+    }
+}
+
+/// Insert a NIC into the topology; returns its port-side node.
+pub fn add_nic(topo: &mut Topology, name: &str, spec: &NicSpec) -> NodeId {
+    let dev = topo.add_node(format!("{name}.mac"), NodeKind::Nic);
+    let port = topo.add_node(format!("{name}.port"), NodeKind::DevicePort);
+    topo.add_link(
+        dev,
+        port,
+        LinkSpec::of(LinkClass::TenGbE).with_capacity(spec.aggregate_rate()),
+    );
+    port
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x540_rates() {
+        let n = NicSpec::intel_x540();
+        assert_eq!(n.ports, 2);
+        assert!((n.aggregate_rate() - 2.5 * GB).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_nic_wires_device() {
+        let mut t = Topology::new();
+        let port = add_nic(&mut t, "nic0", &NicSpec::intel_x540());
+        assert_eq!(t.node(port).kind, NodeKind::DevicePort);
+        assert_eq!(t.node_count(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Storage device models.
+//!
+//! Three storage classes appear in the paper's configurations (Table III):
+//! a locally attached NVMe drive, a Falcon-attached NVMe drive, and the
+//! baseline "local storage" (SATA-class). The model captures sequential
+//! bandwidth (what a prefetching dataloader sees), random-access IOPS
+//! (small-file reads), and device latency.
+
+use crate::GB;
+use desim::Dur;
+use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a storage device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageSpec {
+    pub name: String,
+    pub capacity_bytes: f64,
+    /// Sustained sequential read bandwidth (bytes/s).
+    pub seq_read: f64,
+    /// Sustained sequential write bandwidth (bytes/s).
+    pub seq_write: f64,
+    /// 4 KiB random read operations per second.
+    pub rand_read_iops: f64,
+    /// Device access latency.
+    pub latency: Dur,
+    /// Which link class the device port uses.
+    pub link_class: LinkClass,
+}
+
+impl StorageSpec {
+    /// Intel SSDPEDKX040T7 (DC P4500) 4 TB NVMe — the paper's NVMe drives.
+    pub fn intel_p4500_4tb() -> StorageSpec {
+        StorageSpec {
+            name: "Intel SSDPEDKX040T7 4TB NVMe".to_string(),
+            capacity_bytes: 4000.0 * GB,
+            seq_read: 3.2 * GB,
+            seq_write: 1.9 * GB,
+            rand_read_iops: 710_000.0,
+            latency: Dur::from_micros(85),
+            link_class: LinkClass::PcieGen3x4,
+        }
+    }
+
+    /// SATA-class SSD — the "local storage" baseline of Table III.
+    pub fn sata_ssd() -> StorageSpec {
+        StorageSpec {
+            name: "SATA SSD (local storage)".to_string(),
+            capacity_bytes: 1920.0 * GB,
+            seq_read: 0.53 * GB,
+            seq_write: 0.49 * GB,
+            rand_read_iops: 95_000.0,
+            latency: Dur::from_micros(250),
+            link_class: LinkClass::Sata3,
+        }
+    }
+
+    /// Effective read bandwidth for a stream of `file_bytes`-sized objects:
+    /// small objects are IOPS-bound, large ones bandwidth-bound.
+    pub fn effective_read(&self, file_bytes: f64) -> f64 {
+        assert!(file_bytes > 0.0);
+        let iops_bound = self.rand_read_iops * file_bytes.min(4096.0);
+        // Reads above 4 KiB amortize seeks: interpolate toward sequential.
+        let per_op_seek = 1.0 / self.rand_read_iops;
+        let per_op_xfer = file_bytes / self.seq_read;
+        let streaming = file_bytes / (per_op_seek + per_op_xfer);
+        streaming.max(iops_bound.min(self.seq_read))
+    }
+
+    /// Time to read `bytes` as a stream of `file_bytes` objects.
+    pub fn read_time(&self, bytes: f64, file_bytes: f64) -> Dur {
+        self.latency + Dur::for_bytes(bytes, self.effective_read(file_bytes))
+    }
+
+    /// Time to write `bytes` sequentially (checkpointing).
+    pub fn write_time(&self, bytes: f64) -> Dur {
+        self.latency + Dur::for_bytes(bytes, self.seq_write)
+    }
+}
+
+/// The fabric nodes of an instantiated storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageNodes {
+    pub device: NodeId,
+    pub port: NodeId,
+}
+
+/// Insert a storage device into the topology as a `device —media→ port`
+/// pair; the internal link capacity is the device's sequential read rate
+/// (the media itself is the bottleneck, not its PCIe/SATA port).
+pub fn add_storage(topo: &mut Topology, name: &str, spec: &StorageSpec) -> StorageNodes {
+    let device = topo.add_node(format!("{name}.media"), NodeKind::Storage);
+    let port = topo.add_node(format!("{name}.port"), NodeKind::DevicePort);
+    topo.add_link(
+        device,
+        port,
+        LinkSpec::of(spec.link_class)
+            .with_capacity(spec.seq_read)
+            .with_latency(spec.latency),
+    );
+    StorageNodes { device, port }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvme_is_much_faster_than_sata() {
+        let nvme = StorageSpec::intel_p4500_4tb();
+        let sata = StorageSpec::sata_ssd();
+        assert!(nvme.seq_read / sata.seq_read > 5.0);
+        assert!(nvme.rand_read_iops / sata.rand_read_iops > 5.0);
+        assert!(nvme.latency < sata.latency);
+    }
+
+    #[test]
+    fn large_files_reach_sequential_bandwidth() {
+        let nvme = StorageSpec::intel_p4500_4tb();
+        let eff = nvme.effective_read(100e6); // 100 MB objects
+        assert!(eff > 0.95 * nvme.seq_read, "{eff}");
+    }
+
+    #[test]
+    fn tiny_files_are_iops_bound() {
+        let sata = StorageSpec::sata_ssd();
+        let eff = sata.effective_read(1024.0); // 1 KiB objects
+        assert!(eff < 0.3 * sata.seq_read, "{eff}");
+        // Bounded by iops * size.
+        assert!(eff <= sata.rand_read_iops * 1024.0 * 1.01);
+    }
+
+    #[test]
+    fn imagenet_sized_files_near_bandwidth() {
+        // ~110 KB JPEGs: NVMe should sustain most of sequential rate.
+        let nvme = StorageSpec::intel_p4500_4tb();
+        let eff = nvme.effective_read(110e3);
+        assert!(eff > 0.7 * nvme.seq_read, "{eff}");
+    }
+
+    #[test]
+    fn checkpoint_write_time() {
+        let nvme = StorageSpec::intel_p4500_4tb();
+        // 1.9 GB at 1.9 GB/s = 1 s (+latency).
+        let t = nvme.write_time(1.9 * GB);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn add_storage_builds_pair() {
+        let mut t = Topology::new();
+        let s = add_storage(&mut t, "nvme0", &StorageSpec::intel_p4500_4tb());
+        assert_eq!(t.node(s.device).kind, NodeKind::Storage);
+        assert_eq!(t.node(s.port).kind, NodeKind::DevicePort);
+        assert!(t.route(s.device, s.port).is_some());
+    }
+}

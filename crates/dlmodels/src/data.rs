@@ -1,0 +1,99 @@
+//! Dataset and preprocessing models.
+//!
+//! A dataset is characterized by what the *training pipeline* sees: number
+//! of samples per epoch, bytes read from storage per sample, CPU
+//! preprocessing cost per sample (JPEG decode + augmentation for vision,
+//! tokenization for NLP), and the tensor volume shipped to the GPU. These
+//! drive the storage study (Fig 15) and the CPU-utilization contrast
+//! between vision and NLP workloads (Fig 13).
+
+use desim::Dur;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic stand-in for one of the paper's datasets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    pub name: String,
+    /// Training samples per epoch.
+    pub samples: u64,
+    /// Average on-disk bytes per sample (compressed).
+    pub disk_bytes_per_sample: f64,
+    /// CPU core-time to decode + augment one sample.
+    pub cpu_per_sample: Dur,
+    /// Decoded in-host-memory bytes per sample (page-cache footprint).
+    pub decoded_bytes_per_sample: f64,
+}
+
+impl DatasetSpec {
+    /// Total on-disk footprint.
+    pub fn disk_bytes(&self) -> f64 {
+        self.samples as f64 * self.disk_bytes_per_sample
+    }
+}
+
+/// ImageNet-1k (ILSVRC-2012) train split: 1.28 M JPEGs averaging ~110 KB;
+/// decode + random-resized-crop + flip + normalize costs a few core-ms.
+pub fn imagenet() -> DatasetSpec {
+    DatasetSpec {
+        name: "ImageNet".to_string(),
+        samples: 1_281_167,
+        disk_bytes_per_sample: 110e3,
+        cpu_per_sample: Dur::from_micros(1500),
+        decoded_bytes_per_sample: 3.0 * 224.0 * 224.0 * 4.0,
+    }
+}
+
+/// COCO 2017 train: 118 k images averaging ~160 KB; YOLO's mosaic
+/// augmentation is notably heavier per image than classification crops.
+pub fn coco() -> DatasetSpec {
+    DatasetSpec {
+        name: "Coco".to_string(),
+        samples: 118_287,
+        disk_bytes_per_sample: 160e3,
+        cpu_per_sample: Dur::from_micros(4000),
+        decoded_bytes_per_sample: 3.0 * 640.0 * 640.0 * 4.0,
+    }
+}
+
+/// SQuAD v1.1 train: ~88 k question/paragraph pairs; tokenization to a
+/// fixed 384-token window is cheap and the on-disk form is tiny text.
+pub fn squad(seq_len: u64) -> DatasetSpec {
+    DatasetSpec {
+        name: "SQuAD v1.1".to_string(),
+        samples: 88_524,
+        disk_bytes_per_sample: 2.2e3,
+        cpu_per_sample: Dur::from_micros(120),
+        decoded_bytes_per_sample: seq_len as f64 * 8.0, // ids + mask, i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imagenet_fits_page_cache_but_not_small_ram() {
+        let d = imagenet();
+        let total = d.disk_bytes();
+        assert!(total > 100e9 && total < 200e9, "ImageNet ~141 GB: {total}");
+    }
+
+    #[test]
+    fn vision_costs_more_cpu_than_nlp() {
+        assert!(imagenet().cpu_per_sample > squad(384).cpu_per_sample * 10);
+        assert!(coco().cpu_per_sample > imagenet().cpu_per_sample);
+    }
+
+    #[test]
+    fn squad_is_tiny_on_disk() {
+        let d = squad(384);
+        assert!(d.disk_bytes() < 1e9, "SQuAD is megabytes, not gigabytes");
+    }
+
+    #[test]
+    fn sample_counts_match_published() {
+        assert_eq!(imagenet().samples, 1_281_167);
+        assert_eq!(coco().samples, 118_287);
+        assert!(squad(384).samples > 87_000);
+    }
+}

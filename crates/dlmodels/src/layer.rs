@@ -1,0 +1,321 @@
+//! The layer intermediate representation.
+//!
+//! Every benchmark is a sequence of [`Layer`]s. A layer knows its
+//! parameter count, its per-sample forward FLOPs, the per-sample
+//! activation elements it produces (kept for backward), and a *kernel
+//! class* that maps to an achievable-efficiency on tensor-core hardware.
+//! Constructors compute these from the layer's shape, so model definitions
+//! read like network configuration files and the totals are derivable —
+//! and testable — quantities.
+
+use crate::precision::Precision;
+use serde::{Deserialize, Serialize};
+
+/// What kind of kernel a layer runs — determines achievable compute
+/// efficiency on a V100 and whether the layer is typically memory-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Dense convolution (im2col/implicit GEMM on tensor cores).
+    Conv,
+    /// Depthwise convolution — very low arithmetic intensity.
+    DepthwiseConv,
+    /// Fully connected / GEMM.
+    Linear,
+    /// Attention score/context batched GEMMs.
+    Attention,
+    /// Embedding table lookup.
+    Embedding,
+    /// Batch/layer normalization.
+    Norm,
+    /// Elementwise op (activation, residual add, dropout).
+    Elementwise,
+    /// Pooling.
+    Pool,
+    /// Softmax.
+    Softmax,
+}
+
+impl LayerKind {
+    /// Achievable fraction of peak FLOPs for this kernel class on a V100
+    /// (tensor cores for GEMM-like kernels, CUDA cores otherwise).
+    pub fn compute_efficiency(self) -> f64 {
+        match self {
+            LayerKind::Conv => 0.42,
+            LayerKind::DepthwiseConv => 0.05,
+            LayerKind::Linear => 0.55,
+            LayerKind::Attention => 0.35,
+            LayerKind::Embedding => 0.10,
+            LayerKind::Norm => 0.08,
+            LayerKind::Elementwise => 0.10,
+            LayerKind::Pool => 0.10,
+            LayerKind::Softmax => 0.08,
+        }
+    }
+
+    /// Whether this layer counts toward the network "depth" as reported in
+    /// the paper's Table II (weighted layers: conv/linear/attention blocks;
+    /// normalization and elementwise glue do not count).
+    pub fn counts_as_depth(self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv | LayerKind::DepthwiseConv | LayerKind::Linear | LayerKind::Attention
+        )
+    }
+}
+
+/// One layer of a benchmark model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    pub name: String,
+    pub kind: LayerKind,
+    /// Learnable parameters.
+    pub params: u64,
+    /// Forward FLOPs per sample (MAC = 2 FLOPs).
+    pub flops_fwd: f64,
+    /// Activation elements produced per sample (stored for backward).
+    pub out_elems: u64,
+    /// Input activation elements per sample (read by this layer).
+    pub in_elems: u64,
+}
+
+impl Layer {
+    /// HBM traffic per sample for the forward pass: read inputs + weights,
+    /// write outputs.
+    pub fn mem_bytes_fwd(&self, batch: u64, precision: Precision) -> f64 {
+        let e = precision.bytes_per_element();
+        (self.in_elems + self.out_elems) as f64 * batch as f64 * e + self.params as f64 * e
+    }
+
+    /// Forward FLOPs for a batch.
+    pub fn flops(&self, batch: u64) -> f64 {
+        self.flops_fwd * batch as f64
+    }
+
+    // ---- constructors -----------------------------------------------------
+
+    /// Dense 2-D convolution. `h`/`w` are the *input* spatial dims.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        name: impl Into<String>,
+        cin: u64,
+        cout: u64,
+        k: u64,
+        stride: u64,
+        h: u64,
+        w: u64,
+        groups: u64,
+        bias: bool,
+    ) -> Layer {
+        assert!(groups >= 1 && cin.is_multiple_of(groups));
+        let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
+        let weights = k * k * (cin / groups) * cout;
+        let params = weights + if bias { cout } else { 0 };
+        let macs = (weights * ho * wo) as f64;
+        let kind = if groups == cin && cin == cout {
+            LayerKind::DepthwiseConv
+        } else {
+            LayerKind::Conv
+        };
+        Layer {
+            name: name.into(),
+            kind,
+            params,
+            flops_fwd: 2.0 * macs,
+            out_elems: cout * ho * wo,
+            in_elems: cin * h * w,
+        }
+    }
+
+    /// Depthwise conv: groups == channels.
+    pub fn dwconv(name: impl Into<String>, c: u64, k: u64, stride: u64, h: u64, w: u64) -> Layer {
+        Layer::conv2d(name, c, c, k, stride, h, w, c, false)
+    }
+
+    /// Fully connected layer over `tokens` positions per sample.
+    pub fn linear(name: impl Into<String>, din: u64, dout: u64, tokens: u64, bias: bool) -> Layer {
+        let params = din * dout + if bias { dout } else { 0 };
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Linear,
+            params,
+            flops_fwd: 2.0 * (din * dout * tokens) as f64,
+            out_elems: dout * tokens,
+            in_elems: din * tokens,
+        }
+    }
+
+    /// The two batched GEMMs of scaled dot-product attention (QKᵀ and
+    /// attn·V) over a `seq`-token sample. Projections are separate
+    /// [`Layer::linear`] layers.
+    pub fn attention_core(name: impl Into<String>, hidden: u64, heads: u64, seq: u64) -> Layer {
+        // QK^T: seq x seq x hidden MACs; attn V: same again.
+        let macs = 2.0 * (seq * seq * hidden) as f64;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Attention,
+            params: 0,
+            flops_fwd: 2.0 * macs,
+            out_elems: heads * seq * seq + hidden * seq,
+            in_elems: 3 * hidden * seq,
+        }
+    }
+
+    /// Embedding lookup for `tokens` ids into a `vocab × dim` table.
+    pub fn embedding(name: impl Into<String>, vocab: u64, dim: u64, tokens: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Embedding,
+            params: vocab * dim,
+            flops_fwd: 0.0,
+            out_elems: dim * tokens,
+            in_elems: tokens,
+        }
+    }
+
+    /// Batch-norm (2 params per channel) over a feature map.
+    pub fn batchnorm(name: impl Into<String>, c: u64, h: u64, w: u64) -> Layer {
+        let elems = c * h * w;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Norm,
+            params: 2 * c,
+            flops_fwd: 4.0 * elems as f64,
+            out_elems: elems,
+            in_elems: elems,
+        }
+    }
+
+    /// Layer-norm over `tokens × dim`.
+    pub fn layernorm(name: impl Into<String>, dim: u64, tokens: u64) -> Layer {
+        let elems = dim * tokens;
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Norm,
+            params: 2 * dim,
+            flops_fwd: 5.0 * elems as f64,
+            out_elems: elems,
+            in_elems: elems,
+        }
+    }
+
+    /// Elementwise op (activation / residual add / dropout) over `elems`.
+    pub fn elementwise(name: impl Into<String>, elems: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Elementwise,
+            params: 0,
+            flops_fwd: elems as f64,
+            out_elems: elems,
+            in_elems: elems,
+        }
+    }
+
+    /// Pooling over an input map down to `(ho, wo)`.
+    pub fn pool(name: impl Into<String>, c: u64, h: u64, w: u64, ho: u64, wo: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Pool,
+            params: 0,
+            flops_fwd: (c * h * w) as f64,
+            out_elems: c * ho * wo,
+            in_elems: c * h * w,
+        }
+    }
+
+    /// Softmax over `elems`.
+    pub fn softmax(name: impl Into<String>, elems: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Softmax,
+            params: 0,
+            flops_fwd: 5.0 * elems as f64,
+            out_elems: elems,
+            in_elems: elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_params_and_flops() {
+        // 3x3 conv, 64->128, 56x56 input, stride 1.
+        let l = Layer::conv2d("c", 64, 128, 3, 1, 56, 56, 1, false);
+        assert_eq!(l.params, 3 * 3 * 64 * 128);
+        let expected_macs = (3 * 3 * 64 * 128 * 56 * 56) as f64;
+        assert_eq!(l.flops_fwd, 2.0 * expected_macs);
+        assert_eq!(l.out_elems, 128 * 56 * 56);
+        assert_eq!(l.kind, LayerKind::Conv);
+    }
+
+    #[test]
+    fn strided_conv_shrinks_output() {
+        let l = Layer::conv2d("c", 3, 64, 7, 2, 224, 224, 1, false);
+        assert_eq!(l.out_elems, 64 * 112 * 112);
+    }
+
+    #[test]
+    fn depthwise_detection_and_cost() {
+        let l = Layer::dwconv("dw", 32, 3, 1, 112, 112);
+        assert_eq!(l.kind, LayerKind::DepthwiseConv);
+        assert_eq!(l.params, 3 * 3 * 32);
+        // Depthwise: k*k MACs per output element.
+        assert_eq!(l.flops_fwd, 2.0 * (9 * 32 * 112 * 112) as f64);
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let l = Layer::linear("fc", 2048, 1000, 1, true);
+        assert_eq!(l.params, 2048 * 1000 + 1000);
+        assert_eq!(l.flops_fwd, 2.0 * (2048 * 1000) as f64);
+    }
+
+    #[test]
+    fn linear_over_tokens_multiplies_flops_not_params() {
+        let a = Layer::linear("a", 768, 768, 1, true);
+        let b = Layer::linear("b", 768, 768, 384, true);
+        assert_eq!(a.params, b.params);
+        assert_eq!(b.flops_fwd, a.flops_fwd * 384.0);
+    }
+
+    #[test]
+    fn attention_core_has_no_params() {
+        let l = Layer::attention_core("attn", 768, 12, 384);
+        assert_eq!(l.params, 0);
+        assert!(l.flops_fwd > 0.0);
+        assert!(l.out_elems > 12 * 384 * 384, "keeps attention maps");
+    }
+
+    #[test]
+    fn embedding_is_flop_free() {
+        let l = Layer::embedding("emb", 30522, 768, 384);
+        assert_eq!(l.params, 30522 * 768);
+        assert_eq!(l.flops_fwd, 0.0);
+    }
+
+    #[test]
+    fn mem_bytes_scale_with_batch_and_precision() {
+        let l = Layer::conv2d("c", 64, 64, 3, 1, 56, 56, 1, false);
+        let b1 = l.mem_bytes_fwd(1, Precision::Fp16);
+        let b4 = l.mem_bytes_fwd(4, Precision::Fp16);
+        let b1_32 = l.mem_bytes_fwd(1, Precision::Fp32);
+        assert!(b4 > 3.0 * b1 && b4 < 4.0 * b1, "weights don't scale with batch");
+        assert_eq!(b1_32, b1 * 2.0);
+    }
+
+    #[test]
+    fn depth_counting_rules() {
+        assert!(LayerKind::Conv.counts_as_depth());
+        assert!(LayerKind::Linear.counts_as_depth());
+        assert!(!LayerKind::Norm.counts_as_depth());
+        assert!(!LayerKind::Elementwise.counts_as_depth());
+    }
+
+    #[test]
+    fn efficiency_ordering_is_sane() {
+        assert!(LayerKind::Linear.compute_efficiency() > LayerKind::Conv.compute_efficiency());
+        assert!(LayerKind::Conv.compute_efficiency() > LayerKind::DepthwiseConv.compute_efficiency());
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's NLP benchmarks: BERT-base and BERT-large fine-tuned for
+//! SQuAD v1.1 question answering.
+//!
+//! The descriptor builds the full transformer stack — embeddings, `L`
+//! encoder blocks (multi-head self-attention + feed-forward), and the SQuAD
+//! span-prediction head — with parameter totals pinned to the published
+//! 110 M (base) and 340 M (large).
+
+use crate::data;
+use crate::layer::Layer;
+use crate::model::{Benchmark, Domain, ModelDesc};
+
+/// BERT WordPiece vocabulary size.
+pub const BERT_VOCAB: u64 = 30_522;
+/// Maximum position embeddings.
+pub const BERT_MAX_POS: u64 = 512;
+/// Token-type (segment) vocabulary.
+pub const BERT_TYPES: u64 = 2;
+
+/// Construct a BERT encoder for SQuAD fine-tuning.
+///
+/// * `layers` — encoder blocks (12 for base, 24 for large),
+/// * `hidden` — model width (768 / 1024),
+/// * `heads` — attention heads (12 / 16),
+/// * `seq` — fine-tuning sequence length (the paper uses 384).
+pub fn bert(
+    benchmark: Benchmark,
+    name: &str,
+    layers: u64,
+    hidden: u64,
+    heads: u64,
+    seq: u64,
+) -> ModelDesc {
+    let intermediate = 4 * hidden;
+    // Embeddings: word + position + token-type, then LayerNorm.
+    let mut ls: Vec<Layer> = vec![
+        Layer::embedding("embeddings.word", BERT_VOCAB, hidden, seq),
+        Layer::embedding("embeddings.position", BERT_MAX_POS, hidden, seq),
+        Layer::embedding("embeddings.token_type", BERT_TYPES, hidden, seq),
+        Layer::layernorm("embeddings.ln", hidden, seq),
+    ];
+
+    for i in 0..layers {
+        let p = |s: &str| format!("encoder.{i}.{s}");
+        // Self-attention projections.
+        ls.push(Layer::linear(p("attn.q"), hidden, hidden, seq, true));
+        ls.push(Layer::linear(p("attn.k"), hidden, hidden, seq, true));
+        ls.push(Layer::linear(p("attn.v"), hidden, hidden, seq, true));
+        ls.push(Layer::attention_core(p("attn.core"), hidden, heads, seq));
+        ls.push(Layer::softmax(p("attn.softmax"), heads * seq * seq));
+        ls.push(Layer::linear(p("attn.out"), hidden, hidden, seq, true));
+        ls.push(Layer::elementwise(p("attn.residual"), hidden * seq));
+        ls.push(Layer::layernorm(p("attn.ln"), hidden, seq));
+        // Feed-forward.
+        ls.push(Layer::linear(p("ffn.up"), hidden, intermediate, seq, true));
+        ls.push(Layer::elementwise(p("ffn.gelu"), intermediate * seq));
+        ls.push(Layer::linear(p("ffn.down"), intermediate, hidden, seq, true));
+        ls.push(Layer::elementwise(p("ffn.residual"), hidden * seq));
+        ls.push(Layer::layernorm(p("ffn.ln"), hidden, seq));
+    }
+
+    // Pooler (kept by HF checkpoints) + SQuAD span head (start/end logits).
+    ls.push(Layer::linear("pooler", hidden, hidden, 1, true));
+    ls.push(Layer::linear("qa_outputs", hidden, 2, seq, true));
+
+    ModelDesc {
+        benchmark,
+        name: name.to_string(),
+        domain: Domain::Nlp,
+        dataset: data::squad(seq),
+        layers: ls,
+        reported_depth: layers as u32,
+        activation_overhead: 2.39,
+        input_elems_per_sample: seq * 2, // ids + attention mask
+    }
+}
+
+/// BERT-base (12 × 768, 12 heads): ~110 M parameters.
+pub fn bert_base(seq: u64) -> ModelDesc {
+    bert(Benchmark::BertBase, "BERT", 12, 768, 12, seq)
+}
+
+/// BERT-large (24 × 1024, 16 heads): ~340 M parameters.
+pub fn bert_large(seq: u64) -> ModelDesc {
+    bert(Benchmark::BertLarge, "BERT-L", 24, 1024, 16, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_params_near_110m() {
+        let m = bert_base(384);
+        let p = m.param_count() as f64;
+        // google-bert/bert-base-uncased: 109,482,240 (+ QA head).
+        assert!((p - 109.5e6).abs() / 109.5e6 < 0.01, "BERT-base params {p}");
+    }
+
+    #[test]
+    fn bert_large_params_near_340m() {
+        let m = bert_large(384);
+        let p = m.param_count() as f64;
+        // bert-large-uncased: 335,141,888 (+ QA head).
+        assert!((p - 335.1e6).abs() / 335.1e6 < 0.01, "BERT-large params {p}");
+    }
+
+    #[test]
+    fn large_is_13x_resnet_as_paper_notes() {
+        // Paper §V-C2: BERT-large has 340 M parameters, 13× ResNet-50's.
+        let ratio = bert_large(384).param_count() as f64
+            / crate::vision::resnet50().param_count() as f64;
+        assert!((ratio - 13.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reported_depths_are_encoder_counts() {
+        assert_eq!(bert_base(384).reported_depth, 12);
+        assert_eq!(bert_large(384).reported_depth, 24);
+    }
+
+    #[test]
+    fn flops_scale_roughly_with_params_and_seq() {
+        let base = bert_base(384);
+        // Rule of thumb: forward ≈ 2 × params × tokens FLOPs (plus
+        // attention quadratic term).
+        let expected = 2.0 * base.param_count() as f64 * 384.0;
+        let actual = base.flops_fwd_per_sample();
+        assert!(
+            actual > 0.8 * expected && actual < 1.6 * expected,
+            "fwd {actual} vs 2PT {expected}"
+        );
+    }
+
+    #[test]
+    fn attention_memory_grows_quadratically_with_seq() {
+        let short = bert_base(128);
+        let long = bert_base(512);
+        let a = short.activation_bytes_per_sample(crate::precision::Precision::Fp16);
+        let b = long.activation_bytes_per_sample(crate::precision::Precision::Fp16);
+        // 4x seq should be >4x activations (quadratic attention maps).
+        assert!(b / a > 4.5, "ratio {}", b / a);
+    }
+
+    #[test]
+    fn nlp_models_use_squad() {
+        assert_eq!(bert_base(384).dataset.name, "SQuAD v1.1");
+        assert_eq!(bert_large(384).dataset.name, "SQuAD v1.1");
+    }
+
+    #[test]
+    fn seq_len_affects_flops_not_params() {
+        let a = bert_base(128);
+        let b = bert_base(384);
+        assert_eq!(a.param_count(), b.param_count());
+        assert!(b.flops_fwd_per_sample() > 2.5 * a.flops_fwd_per_sample());
+    }
+}

@@ -1,0 +1,76 @@
+//! Numeric precision and optimizer-state accounting.
+//!
+//! All the paper's experiments use NVIDIA mixed-precision (FP16) training
+//! with PyTorch AMP unless the Fig 16 software-optimization study says
+//! otherwise. Precision determines the bytes per parameter/activation
+//! element, the communication volume of gradient synchronization, and —
+//! with Adam — the optimizer-state footprint that the ZeRO sharding study
+//! (Fig 16) partitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Plain FP32 training.
+    Fp32,
+    /// Mixed precision (FP16 compute/storage + FP32 master weights).
+    Fp16,
+}
+
+impl Precision {
+    /// Bytes per parameter / activation element as stored on the GPU.
+    pub fn bytes_per_element(self) -> f64 {
+        match self {
+            Precision::Fp32 => 4.0,
+            Precision::Fp16 => 2.0,
+        }
+    }
+
+    /// Bytes per gradient element exchanged by data-parallel workers.
+    pub fn gradient_bytes_per_param(self) -> f64 {
+        self.bytes_per_element()
+    }
+}
+
+/// Adam under AMP: FP32 master copy (4) + first moment (4) + second
+/// moment (4) = 12 bytes per parameter, *in addition to* the FP16 weights
+/// and gradients.
+pub const OPTIMIZER_BYTES_PER_PARAM_AMP: f64 = 12.0;
+
+/// Adam at FP32: moments only (the weights are already the master copy).
+pub const OPTIMIZER_BYTES_PER_PARAM_FP32: f64 = 8.0;
+
+/// Optimizer-state bytes per parameter for a precision.
+pub fn optimizer_bytes_per_param(precision: Precision) -> f64 {
+    match precision {
+        Precision::Fp32 => OPTIMIZER_BYTES_PER_PARAM_FP32,
+        Precision::Fp16 => OPTIMIZER_BYTES_PER_PARAM_AMP,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(Precision::Fp32.bytes_per_element(), 4.0);
+        assert_eq!(Precision::Fp16.bytes_per_element(), 2.0);
+    }
+
+    #[test]
+    fn amp_optimizer_state_is_larger() {
+        // Counter-intuitive but true: AMP keeps an extra FP32 master copy.
+        assert_eq!(optimizer_bytes_per_param(Precision::Fp16), 12.0);
+        assert_eq!(optimizer_bytes_per_param(Precision::Fp32), 8.0);
+        assert!(optimizer_bytes_per_param(Precision::Fp16) > optimizer_bytes_per_param(Precision::Fp32));
+    }
+
+    #[test]
+    fn gradient_volume_halves_under_fp16() {
+        let f32v = Precision::Fp32.gradient_bytes_per_param();
+        let f16v = Precision::Fp16.gradient_bytes_per_param();
+        assert_eq!(f32v / f16v, 2.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! The paper's computer-vision benchmarks, built layer-by-layer:
+//! ResNet-50 and MobileNetV2 on ImageNet, YOLOv5-L on COCO.
+//!
+//! Parameter totals are pinned by tests to the published counts
+//! (torchvision / Ultralytics): ResNet-50 25.56 M, MobileNetV2 3.50 M,
+//! YOLOv5-L ≈ 46.5 M — the paper's Table II quotes 25.6 M / 3.4 M / 47 M.
+
+use crate::data;
+use crate::layer::Layer;
+use crate::model::{Benchmark, Domain, ModelDesc};
+
+/// A shape-tracking layer-stack builder.
+struct Stack {
+    layers: Vec<Layer>,
+    c: u64,
+    h: u64,
+    w: u64,
+}
+
+impl Stack {
+    fn new(c: u64, h: u64, w: u64) -> Stack {
+        Stack {
+            layers: Vec::new(),
+            c,
+            h,
+            w,
+        }
+    }
+
+    fn shape(&self) -> (u64, u64, u64) {
+        (self.c, self.h, self.w)
+    }
+
+    fn set_shape(&mut self, c: u64, h: u64, w: u64) {
+        self.c = c;
+        self.h = h;
+        self.w = w;
+    }
+
+    /// conv + batch-norm (+ activation) — the ubiquitous vision building
+    /// block. `act` adds an elementwise activation layer.
+    fn conv_bn(&mut self, name: &str, cout: u64, k: u64, stride: u64, groups: u64, act: bool) {
+        self.layers.push(Layer::conv2d(
+            format!("{name}.conv"),
+            self.c,
+            cout,
+            k,
+            stride,
+            self.h,
+            self.w,
+            groups,
+            false,
+        ));
+        self.h = self.h.div_ceil(stride);
+        self.w = self.w.div_ceil(stride);
+        self.c = cout;
+        self.layers
+            .push(Layer::batchnorm(format!("{name}.bn"), self.c, self.h, self.w));
+        if act {
+            self.layers
+                .push(Layer::elementwise(format!("{name}.act"), self.c * self.h * self.w));
+        }
+    }
+
+    fn dwconv_bn(&mut self, name: &str, k: u64, stride: u64, act: bool) {
+        let c = self.c;
+        self.conv_bn(name, c, k, stride, c, act);
+    }
+
+    fn residual_add(&mut self, name: &str) {
+        self.layers
+            .push(Layer::elementwise(format!("{name}.add"), self.c * self.h * self.w));
+    }
+
+    fn finish(self) -> Vec<Layer> {
+        self.layers
+    }
+}
+
+/// ResNet-50 for 224×224 ImageNet classification (25.557 M params).
+pub fn resnet50() -> ModelDesc {
+    let mut s = Stack::new(3, 224, 224);
+    s.conv_bn("stem", 64, 7, 2, 1, true);
+    s.layers.push(Layer::pool("stem.maxpool", 64, 112, 112, 56, 56));
+    s.set_shape(64, 56, 56);
+
+    // (width, blocks, stride of first block)
+    for (stage, &(width, blocks, stride)) in
+        [(64u64, 3u64, 1u64), (128, 4, 2), (256, 6, 2), (512, 3, 2)]
+            .iter()
+            .enumerate()
+    {
+        for b in 0..blocks {
+            let name = format!("layer{}.{}", stage + 1, b);
+            let stride = if b == 0 { stride } else { 1 };
+            bottleneck(&mut s, &name, width, stride);
+        }
+    }
+
+    s.layers.push(Layer::pool("avgpool", 2048, 7, 7, 1, 1));
+    s.layers.push(Layer::linear("fc", 2048, 1000, 1, true));
+
+    ModelDesc {
+        benchmark: Benchmark::ResNet50,
+        name: "ResNet-50".to_string(),
+        domain: Domain::ComputerVision,
+        dataset: data::imagenet(),
+        layers: s.finish(),
+        reported_depth: 50,
+        activation_overhead: 1.4,
+        input_elems_per_sample: 3 * 224 * 224,
+    }
+}
+
+/// A ResNet bottleneck: 1×1 reduce → 3×3 → 1×1 expand (×4), with a
+/// projection shortcut when the shape changes.
+fn bottleneck(s: &mut Stack, name: &str, width: u64, stride: u64) {
+    let (cin, h, w) = s.shape();
+    let cout = width * 4;
+    s.conv_bn(&format!("{name}.a"), width, 1, 1, 1, true);
+    s.conv_bn(&format!("{name}.b"), width, 3, stride, 1, true);
+    s.conv_bn(&format!("{name}.c"), cout, 1, 1, 1, false);
+    if cin != cout || stride != 1 {
+        // Downsample path operates on the block input shape.
+        s.layers.push(Layer::conv2d(
+            format!("{name}.down.conv"),
+            cin,
+            cout,
+            1,
+            stride,
+            h,
+            w,
+            1,
+            false,
+        ));
+        s.layers.push(Layer::batchnorm(
+            format!("{name}.down.bn"),
+            cout,
+            h.div_ceil(stride),
+            w.div_ceil(stride),
+        ));
+    }
+    s.residual_add(name);
+    s.layers
+        .push(Layer::elementwise(format!("{name}.relu"), s.c * s.h * s.w));
+}
+
+/// MobileNetV2 for 224×224 ImageNet classification (3.505 M params).
+pub fn mobilenet_v2() -> ModelDesc {
+    let mut s = Stack::new(3, 224, 224);
+    s.conv_bn("stem", 32, 3, 2, 1, true);
+
+    // (expansion t, output channels c, repeats n, first stride s)
+    let settings: [(u64, u64, u64, u64); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut idx = 0;
+    for &(t, c, n, first_stride) in &settings {
+        for i in 0..n {
+            let stride = if i == 0 { first_stride } else { 1 };
+            inverted_residual(&mut s, &format!("ir{idx}"), t, c, stride);
+            idx += 1;
+        }
+    }
+
+    s.conv_bn("head", 1280, 1, 1, 1, true);
+    s.layers.push(Layer::pool("avgpool", 1280, 7, 7, 1, 1));
+    s.layers.push(Layer::linear("classifier", 1280, 1000, 1, true));
+
+    ModelDesc {
+        benchmark: Benchmark::MobileNetV2,
+        name: "MobileNetV2".to_string(),
+        domain: Domain::ComputerVision,
+        dataset: data::imagenet(),
+        layers: s.finish(),
+        reported_depth: 53,
+        activation_overhead: 1.4,
+        input_elems_per_sample: 3 * 224 * 224,
+    }
+}
+
+/// MobileNetV2's inverted residual with linear bottleneck.
+fn inverted_residual(s: &mut Stack, name: &str, t: u64, cout: u64, stride: u64) {
+    let cin = s.c;
+    if t != 1 {
+        s.conv_bn(&format!("{name}.expand"), cin * t, 1, 1, 1, true);
+    }
+    s.dwconv_bn(&format!("{name}.dw"), 3, stride, true);
+    s.conv_bn(&format!("{name}.project"), cout, 1, 1, 1, false);
+    if stride == 1 && cin == cout {
+        s.residual_add(name);
+    }
+}
+
+/// YOLOv5-L (release v5 architecture, 640×640 COCO, width/depth multiple
+/// 1.0): CSP backbone with SPP, PANet head, three detection scales
+/// (≈ 46.5 M params; the paper's Table II rounds to 47 M).
+pub fn yolov5l() -> ModelDesc {
+    let mut s = Stack::new(3, 640, 640);
+
+    // Focus: space-to-depth slice (3 -> 12 channels at 320x320) + Conv 64.
+    s.layers
+        .push(Layer::elementwise("focus.slice", 12 * 320 * 320));
+    s.set_shape(12, 320, 320);
+    s.conv_bn("focus", 64, 3, 1, 1, true);
+
+    s.conv_bn("b1", 128, 3, 2, 1, true); // 160
+    c3(&mut s, "c3_1", 128, 3, true);
+    s.conv_bn("b2", 256, 3, 2, 1, true); // 80
+    c3(&mut s, "c3_2", 256, 9, true);
+    let p3 = s.shape(); // 256 x 80 x 80
+    s.conv_bn("b3", 512, 3, 2, 1, true); // 40
+    c3(&mut s, "c3_3", 512, 9, true);
+    let p4 = s.shape(); // 512 x 40 x 40
+    s.conv_bn("b4", 1024, 3, 2, 1, true); // 20
+    spp(&mut s, "spp", 1024);
+    c3(&mut s, "c3_4", 1024, 3, true);
+
+    // PANet head.
+    s.conv_bn("h1", 512, 1, 1, 1, true); // 512 x 20
+    let h1 = s.shape();
+    // upsample to 40 and concat with p4 -> 1024 x 40.
+    s.layers.push(Layer::elementwise("up1", 512 * 40 * 40));
+    s.set_shape(512 + p4.0, 40, 40);
+    c3(&mut s, "c3_5", 512, 3, false);
+    s.conv_bn("h2", 256, 1, 1, 1, true);
+    let h2 = s.shape();
+    // upsample to 80 and concat with p3 -> 512 x 80.
+    s.layers.push(Layer::elementwise("up2", 256 * 80 * 80));
+    s.set_shape(256 + p3.0, 80, 80);
+    c3(&mut s, "c3_6", 256, 3, false);
+    let d_small = s.shape(); // 256 x 80 x 80 (P3 detect input)
+
+    s.conv_bn("h3", 256, 3, 2, 1, true); // down to 40
+    s.set_shape(256 + h2.0, 40, 40); // concat with h2
+    c3(&mut s, "c3_7", 512, 3, false);
+    let d_medium = s.shape(); // 512 x 40
+
+    s.conv_bn("h4", 512, 3, 2, 1, true); // down to 20
+    s.set_shape(512 + h1.0, 20, 20); // concat with h1
+    c3(&mut s, "c3_8", 1024, 3, false);
+    let d_large = s.shape(); // 1024 x 20
+
+    // Detect: 1x1 convs to 3 anchors x (80 classes + 5).
+    for (i, (c, h, w)) in [d_small, d_medium, d_large].into_iter().enumerate() {
+        s.layers.push(Layer::conv2d(
+            format!("detect.{i}"),
+            c,
+            255,
+            1,
+            1,
+            h,
+            w,
+            1,
+            true,
+        ));
+    }
+
+    ModelDesc {
+        benchmark: Benchmark::YoloV5L,
+        name: "YOLOv5-L".to_string(),
+        domain: Domain::ComputerVision,
+        dataset: data::coco(),
+        layers: s.finish(),
+        reported_depth: 392,
+        activation_overhead: 1.6,
+        input_elems_per_sample: 3 * 640 * 640,
+    }
+}
+
+/// YOLOv5 C3 module: two 1×1 branches, `n` bottlenecks on one, 1×1 fuse.
+fn c3(s: &mut Stack, name: &str, cout: u64, n: u64, shortcut: bool) {
+    let cin = s.c;
+    let c_ = cout / 2;
+    let (h, w) = (s.h, s.w);
+    // cv1 branch feeds the bottleneck chain.
+    s.conv_bn(&format!("{name}.cv1"), c_, 1, 1, 1, true);
+    for i in 0..n {
+        // Bottleneck: 1x1 then 3x3 at equal width.
+        s.conv_bn(&format!("{name}.m{i}.cv1"), c_, 1, 1, 1, true);
+        s.conv_bn(&format!("{name}.m{i}.cv2"), c_, 3, 1, 1, true);
+        if shortcut {
+            s.residual_add(&format!("{name}.m{i}"));
+        }
+    }
+    // cv2 branch straight from the module input.
+    s.layers.push(Layer::conv2d(
+        format!("{name}.cv2.conv"),
+        cin,
+        c_,
+        1,
+        1,
+        h,
+        w,
+        1,
+        false,
+    ));
+    s.layers
+        .push(Layer::batchnorm(format!("{name}.cv2.bn"), c_, h, w));
+    // Fuse.
+    s.set_shape(2 * c_, h, w);
+    s.conv_bn(&format!("{name}.cv3"), cout, 1, 1, 1, true);
+}
+
+/// YOLOv5 SPP: 1×1 reduce, three parallel max-pools, 1×1 fuse.
+fn spp(s: &mut Stack, name: &str, cout: u64) {
+    let cin = s.c;
+    let c_ = cin / 2;
+    s.conv_bn(&format!("{name}.cv1"), c_, 1, 1, 1, true);
+    for k in [5u64, 9, 13] {
+        s.layers.push(Layer::pool(
+            format!("{name}.pool{k}"),
+            c_,
+            s.h,
+            s.w,
+            s.h,
+            s.w,
+        ));
+    }
+    s.set_shape(c_ * 4, s.h, s.w);
+    s.conv_bn(&format!("{name}.cv2"), cout, 1, 1, 1, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_param_count_matches_torchvision() {
+        let m = resnet50();
+        let p = m.param_count();
+        // torchvision: 25,557,032.
+        assert!(
+            (p as f64 - 25_557_032.0).abs() / 25_557_032.0 < 0.01,
+            "ResNet-50 params {p}"
+        );
+    }
+
+    #[test]
+    fn resnet50_depth_is_50() {
+        let m = resnet50();
+        // Weighted depth by the paper's convention excludes the downsample
+        // projections: 1 stem + 48 block convs + 1 fc = 50. Our derived
+        // count includes the 4 projections.
+        assert_eq!(m.reported_depth, 50);
+        assert_eq!(m.derived_depth(), 54);
+    }
+
+    #[test]
+    fn resnet50_forward_flops_near_published() {
+        let m = resnet50();
+        let gflops = m.flops_fwd_per_sample() / 1e9;
+        // Published 4.09 GMACs = 8.18 GFLOPs (+ our BN/elementwise extras).
+        assert!((7.8..9.2).contains(&gflops), "ResNet-50 fwd {gflops} GFLOPs");
+    }
+
+    #[test]
+    fn mobilenet_param_count_matches_torchvision() {
+        let m = mobilenet_v2();
+        let p = m.param_count();
+        // torchvision: 3,504,872.
+        assert!(
+            (p as f64 - 3_504_872.0).abs() / 3_504_872.0 < 0.01,
+            "MobileNetV2 params {p}"
+        );
+    }
+
+    #[test]
+    fn mobilenet_depth_is_53() {
+        let m = mobilenet_v2();
+        assert_eq!(m.derived_depth(), 53, "1 stem + 50 block convs + head + fc");
+    }
+
+    #[test]
+    fn mobilenet_flops_near_published() {
+        let m = mobilenet_v2();
+        let gflops = m.flops_fwd_per_sample() / 1e9;
+        // Published 0.3 GMACs = 0.6 GFLOPs; BN/act add a little.
+        assert!((0.55..0.75).contains(&gflops), "MobileNetV2 fwd {gflops}");
+    }
+
+    #[test]
+    fn mobilenet_has_2x_fewer_ops_than_resnet_per_param_claim() {
+        // Paper (§V-B1): V2 is faster with ~2x fewer operations than V1 and
+        // 30% fewer parameters; against ResNet-50 it is ~7x smaller.
+        let mb = mobilenet_v2();
+        let rn = resnet50();
+        assert!(rn.param_count() as f64 / mb.param_count() as f64 > 6.0);
+        assert!(rn.flops_fwd_per_sample() / mb.flops_fwd_per_sample() > 8.0);
+    }
+
+    #[test]
+    fn yolov5l_param_count_near_published() {
+        let m = yolov5l();
+        let p = m.param_count() as f64;
+        // Ultralytics v5l: 46.5 M (Table II: 47 M).
+        assert!((p - 46.5e6).abs() / 46.5e6 < 0.05, "YOLOv5-L params {p}");
+    }
+
+    #[test]
+    fn yolov5l_flops_near_published() {
+        let m = yolov5l();
+        let gflops = m.flops_fwd_per_sample() / 1e9;
+        // Ultralytics: 109.1 GFLOPs at 640.
+        assert!((95.0..125.0).contains(&gflops), "YOLOv5-L fwd {gflops}");
+    }
+
+    #[test]
+    fn vision_models_use_imagenet_or_coco() {
+        assert_eq!(resnet50().dataset.name, "ImageNet");
+        assert_eq!(mobilenet_v2().dataset.name, "ImageNet");
+        assert_eq!(yolov5l().dataset.name, "Coco");
+    }
+
+    #[test]
+    fn depthwise_layers_present_in_mobilenet_only() {
+        use crate::layer::LayerKind;
+        let has_dw = |m: &crate::model::ModelDesc| {
+            m.layers.iter().any(|l| l.kind == LayerKind::DepthwiseConv)
+        };
+        assert!(has_dw(&mobilenet_v2()));
+        assert!(!has_dw(&resnet50()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests on the layer IR and model aggregates.
+
+use dlmodels::layer::Layer;
+use dlmodels::{paper_benchmarks, Precision};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conv parameter/FLOP formulas: doubling output channels doubles
+    /// weights and MACs; stride reduces output elements, never FLOPs per
+    /// output element.
+    #[test]
+    fn conv_scaling_laws(cin in 1u64..64, cout in 1u64..64, k in 1u64..6,
+                         h in 8u64..64, stride in 1u64..3) {
+        let base = Layer::conv2d("c", cin, cout, k, stride, h, h, 1, false);
+        let double = Layer::conv2d("c", cin, 2 * cout, k, stride, h, h, 1, false);
+        prop_assert_eq!(double.params, 2 * base.params);
+        prop_assert!((double.flops_fwd - 2.0 * base.flops_fwd).abs() < 1.0);
+        prop_assert_eq!(double.out_elems, 2 * base.out_elems);
+        // Output shrinks with stride.
+        let strided = Layer::conv2d("c", cin, cout, k, 2, h, h, 1, false);
+        prop_assert!(strided.out_elems <= base.out_elems);
+    }
+
+    /// Depthwise conv always costs fewer FLOPs and params than the dense
+    /// conv of the same shape (the MobileNet design premise).
+    #[test]
+    fn depthwise_cheaper_than_dense(c in 2u64..128, h in 8u64..64) {
+        let dw = Layer::dwconv("dw", c, 3, 1, h, h);
+        let dense = Layer::conv2d("d", c, c, 3, 1, h, h, 1, false);
+        prop_assert!(dw.params < dense.params);
+        prop_assert!(dw.flops_fwd < dense.flops_fwd);
+    }
+
+    /// Linear layers: FLOPs scale with tokens, params do not.
+    #[test]
+    fn linear_token_scaling(din in 1u64..512, dout in 1u64..512, t in 1u64..64) {
+        let one = Layer::linear("l", din, dout, 1, true);
+        let many = Layer::linear("l", din, dout, t, true);
+        prop_assert_eq!(one.params, many.params);
+        prop_assert!((many.flops_fwd - one.flops_fwd * t as f64).abs() < 1.0);
+    }
+
+    /// Memory traffic is monotone in batch and halves from fp32 to fp16
+    /// asymptotically (weights are batch-independent).
+    #[test]
+    fn mem_traffic_monotone(cin in 1u64..32, cout in 1u64..32, b1 in 1u64..16, extra in 1u64..16) {
+        let l = Layer::conv2d("c", cin, cout, 3, 1, 16, 16, 1, false);
+        let small = l.mem_bytes_fwd(b1, Precision::Fp16);
+        let big = l.mem_bytes_fwd(b1 + extra, Precision::Fp16);
+        prop_assert!(big > small);
+        prop_assert!(l.mem_bytes_fwd(b1, Precision::Fp32) > small);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// BERT aggregates behave across arbitrary widths: params grow ~
+    /// quadratically in hidden size, FLOPs superlinearly in sequence.
+    #[test]
+    fn bert_scaling(layers in 1u64..6, heads_pow in 0u32..3, seq in 64u64..256) {
+        let heads = 1u64 << heads_pow;
+        let hidden = heads * 64;
+        let m = dlmodels::nlp::bert(dlmodels::Benchmark::BertBase, "t", layers, hidden, heads, seq);
+        let m2 = dlmodels::nlp::bert(dlmodels::Benchmark::BertBase, "t", layers, hidden * 2, heads * 2, seq);
+        prop_assert!(m2.param_count() > 2 * m.param_count());
+        let short = dlmodels::nlp::bert(dlmodels::Benchmark::BertBase, "t", layers, hidden, heads, seq / 2);
+        prop_assert!(m.flops_fwd_per_sample() > 2.0 * short.flops_fwd_per_sample());
+    }
+}
+
+/// Cross-model invariants over the real zoo.
+#[test]
+fn zoo_invariants() {
+    for m in paper_benchmarks() {
+        // Gradients are exactly param_count x element size.
+        assert_eq!(
+            m.gradient_bytes(Precision::Fp16),
+            m.param_count() as f64 * 2.0
+        );
+        // Checkpoints are larger than the fp16 weights (fp32 + moments).
+        assert!(m.checkpoint_bytes() > m.param_bytes(Precision::Fp16));
+        // A training step is 3x forward.
+        assert_eq!(m.flops_step_per_sample(), 3.0 * m.flops_fwd_per_sample());
+        // Every layer has coherent shapes.
+        for l in &m.layers {
+            assert!(l.flops_fwd >= 0.0);
+            assert!(l.out_elems > 0 || l.flops_fwd == 0.0 || l.params > 0);
+        }
+        // For the classification CNNs the derived weighted-layer count
+        // tracks the reported depth (BERT reports encoder blocks and YOLO
+        // reports fused modules, so only the CNNs are comparable).
+        if matches!(
+            m.benchmark,
+            dlmodels::Benchmark::MobileNetV2 | dlmodels::Benchmark::ResNet50
+        ) {
+            let d = m.derived_depth() as f64;
+            let r = m.reported_depth as f64;
+            assert!(
+                (d - r).abs() / r < 0.15,
+                "{}: derived {d} vs reported {r}",
+                m.name
+            );
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the fabric's max-min fair allocation.
+//!
+//! Random star/dumbbell topologies with random concurrent transfers must
+//! always satisfy the fairness invariants (feasibility, progress,
+//! bottleneck), conserve bytes in the port counters, and be deterministic.
+
+use desim::{Dur, Sim, SimTime};
+use fabric::flow::FlowCallback;
+use fabric::{FabricState, FlowTag, FlowWorld, LinkClass, LinkSpec, NodeId, NodeKind, Topology, GB};
+use proptest::prelude::*;
+
+struct World {
+    fabric: FabricState<World>,
+    completions: Vec<(usize, SimTime)>,
+}
+
+impl FlowWorld for World {
+    fn fabric(&mut self) -> &mut FabricState<World> {
+        &mut self.fabric
+    }
+}
+
+fn done(i: usize) -> FlowCallback<World> {
+    Box::new(move |w: &mut World, sim| w.completions.push((i, sim.now())))
+}
+
+/// A star: `n` GPU endpoints around one switch, per-spoke capacity from
+/// `caps` (GB/s).
+fn star(caps: &[f64]) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let sw = t.add_node("sw", NodeKind::PcieSwitch);
+    let nodes = caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let g = t.add_node(format!("g{i}"), NodeKind::Gpu);
+            t.add_link(
+                g,
+                sw,
+                LinkSpec::of(LinkClass::PcieGen4x16)
+                    .with_capacity(c * GB)
+                    .with_latency(Dur::from_nanos(100)),
+            );
+            g
+        })
+        .collect();
+    (t, nodes)
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    caps: Vec<f64>,
+    /// (src index, dst index, gigabytes, start offset in ms)
+    transfers: Vec<(usize, usize, f64, u64)>,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (3usize..8)
+        .prop_flat_map(|n| {
+            let caps = proptest::collection::vec(1.0f64..40.0, n);
+            let transfers = proptest::collection::vec(
+                (0..n, 0..n, 0.1f64..8.0, 0u64..50),
+                1..12,
+            );
+            (caps, transfers)
+        })
+        .prop_map(|(caps, transfers)| Scenario { caps, transfers })
+}
+
+fn run_scenario(sc: &Scenario, check_each_event: bool) -> Vec<(usize, SimTime)> {
+    let (topo, nodes) = star(&sc.caps);
+    let mut world = World {
+        fabric: FabricState::new(topo),
+        completions: Vec::new(),
+    };
+    let mut sim: Sim<World> = Sim::new();
+    let mut launched = 0usize;
+    for (i, &(s, d, gb, off)) in sc.transfers.iter().enumerate() {
+        if s == d {
+            continue; // self-transfers are trivially immediate; skip
+        }
+        let (src, dst) = (nodes[s], nodes[d]);
+        let bytes = gb * GB;
+        launched += 1;
+        sim.schedule_at(SimTime::from_millis(off), move |w: &mut World, sim| {
+            w.fabric
+                .start_flow(sim, src, dst, bytes, FlowTag::UNTAGGED, done(i));
+        });
+    }
+    while sim.step(&mut world) {
+        if check_each_event {
+            world.fabric.check_invariants();
+        }
+    }
+    assert_eq!(world.completions.len(), launched, "every flow completes");
+    world.completions.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fairness invariants hold after every simulation event.
+    #[test]
+    fn invariants_hold_throughout(sc in scenario_strategy()) {
+        run_scenario(&sc, true);
+    }
+
+    /// The same scenario always yields bit-identical completion schedules.
+    #[test]
+    fn simulation_is_deterministic(sc in scenario_strategy()) {
+        let a = run_scenario(&sc, false);
+        let b = run_scenario(&sc, false);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Port counters conserve bytes: each hop of each completed flow carries
+    /// exactly the flow's size.
+    #[test]
+    fn port_counters_conserve_bytes(sc in scenario_strategy()) {
+        let (topo, nodes) = star(&sc.caps);
+        let mut world = World { fabric: FabricState::new(topo), completions: Vec::new() };
+        let mut sim: Sim<World> = Sim::new();
+        // Expected per-directed-link byte totals.
+        let mut expected: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        for (i, &(s, d, gb, _)) in sc.transfers.iter().enumerate() {
+            if s == d { continue; }
+            let bytes = gb * GB;
+            let route = world.fabric.topo.route(nodes[s], nodes[d]).unwrap();
+            for dl in &route.hops {
+                *expected.entry(dl.dense_index()).or_insert(0.0) += bytes;
+            }
+            let (src, dst) = (nodes[s], nodes[d]);
+            world.fabric.start_flow(&mut sim, src, dst, bytes, FlowTag::UNTAGGED, done(i));
+        }
+        sim.run(&mut world);
+        for (&idx, &exp) in &expected {
+            let dl = if idx % 2 == 0 {
+                fabric::DirLink::forward(fabric::LinkId((idx / 2) as u32))
+            } else {
+                fabric::DirLink::reverse(fabric::LinkId((idx / 2) as u32))
+            };
+            let got = world.fabric.ports.total_bytes(dl);
+            prop_assert!((got - exp).abs() < exp * 1e-6 + 1.0,
+                "link {} carried {} expected {}", idx, got, exp);
+        }
+    }
+
+    /// Makespan is bounded below by the work on the most-loaded directed
+    /// link (no link can move bytes faster than its capacity) and the flows
+    /// always finish.
+    #[test]
+    fn makespan_lower_bound(sc in scenario_strategy()) {
+        let completions = run_scenario(&sc, false);
+        if completions.is_empty() { return Ok(()); }
+        let makespan = completions.iter().map(|c| c.1).max().unwrap();
+        // Lower bound: total bytes into the busiest spoke / its capacity.
+        let mut ingress = vec![0.0f64; sc.caps.len()];
+        let mut egress = vec![0.0f64; sc.caps.len()];
+        for &(s, d, gb, _) in &sc.transfers {
+            if s == d { continue; }
+            egress[s] += gb * GB;
+            ingress[d] += gb * GB;
+        }
+        let bound = sc
+            .caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (ingress[i].max(egress[i])) / (c * GB))
+            .fold(0.0, f64::max);
+        prop_assert!(
+            makespan.as_secs_f64() + 1e-6 >= bound,
+            "makespan {} < physical bound {}",
+            makespan.as_secs_f64(),
+            bound
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests on topology routing: on arbitrary random graphs, routes
+//! are valid walks, symmetric in cost structure, cache-consistent, and
+//! respect Dijkstra optimality.
+
+use desim::Dur;
+use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
+use proptest::prelude::*;
+
+/// A random connected topology: a spanning chain plus random extra links.
+fn build(n: usize, extra: &[(usize, usize, u64)]) -> (Topology, Vec<NodeId>) {
+    let mut t = Topology::new();
+    let kinds = [
+        NodeKind::RootComplex,
+        NodeKind::PcieSwitch,
+        NodeKind::Gpu,
+        NodeKind::Storage,
+        NodeKind::DevicePort,
+    ];
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| t.add_node(format!("n{i}"), kinds[i % kinds.len()]))
+        .collect();
+    for i in 1..n {
+        t.add_link(
+            nodes[i - 1],
+            nodes[i],
+            LinkSpec::of(LinkClass::PcieGen4x16).with_latency(Dur::from_nanos(100)),
+        );
+    }
+    for &(a, b, lat) in extra {
+        if a != b {
+            t.add_link(
+                nodes[a],
+                nodes[b],
+                LinkSpec::of(LinkClass::PcieGen4x16).with_latency(Dur::from_nanos(lat)),
+            );
+        }
+    }
+    (t, nodes)
+}
+
+fn params() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>, usize, usize)> {
+    (3usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n, 0..n, 10u64..2000), 0..12),
+            0..n,
+            0..n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every route is a contiguous walk from src to dst over real links.
+    #[test]
+    fn routes_are_valid_walks((n, extra, src, dst) in params()) {
+        let (mut t, nodes) = build(n, &extra);
+        let r = t.route(nodes[src], nodes[dst]).expect("connected graph");
+        let mut at = nodes[src];
+        for &dl in &r.hops {
+            let link = t.link(dl.link);
+            prop_assert_eq!(link.src(dl.dir), at, "hops must chain");
+            at = link.dst(dl.dir);
+        }
+        prop_assert_eq!(at, nodes[dst]);
+        prop_assert!(r.path_efficiency > 0.0 && r.path_efficiency <= 1.0);
+    }
+
+    /// Route latency is optimal: no single link beats the chosen path.
+    #[test]
+    fn direct_link_is_never_worse_than_chosen_path((n, extra, src, dst) in params()) {
+        let (mut t, nodes) = build(n, &extra);
+        if src == dst { return Ok(()); }
+        let chosen = t.route(nodes[src], nodes[dst]).unwrap().latency;
+        // If a direct link exists, the chosen latency can't exceed it.
+        let direct_best = t
+            .links()
+            .filter(|(_, l)| {
+                (l.a == nodes[src] && l.b == nodes[dst])
+                    || (l.b == nodes[src] && l.a == nodes[dst])
+            })
+            .map(|(_, l)| l.spec.latency)
+            .min();
+        if let Some(d) = direct_best {
+            prop_assert!(chosen <= d, "chosen {chosen} vs direct {d}");
+        }
+    }
+
+    /// Caching does not change results: a fresh clone routes identically.
+    #[test]
+    fn cache_is_transparent((n, extra, src, dst) in params()) {
+        let (mut t, nodes) = build(n, &extra);
+        // Warm the cache with a few queries.
+        for i in 0..n.min(4) {
+            let _ = t.route(nodes[i], nodes[n - 1 - i.min(n - 1)]);
+        }
+        let warm = t.route(nodes[src], nodes[dst]).unwrap();
+        let mut fresh = t.clone();
+        // Clone carries the cache; rebuild instead for a cold query.
+        let (mut cold_topo, cold_nodes) = build(n, &extra);
+        let cold = cold_topo.route(cold_nodes[src], cold_nodes[dst]).unwrap();
+        prop_assert_eq!(warm.latency, cold.latency);
+        prop_assert_eq!(warm.hops.len(), cold.hops.len());
+        let again = fresh.route(nodes[src], nodes[dst]).unwrap();
+        prop_assert_eq!(again.latency, warm.latency);
+    }
+
+    /// Removing a link never improves latency and may disconnect.
+    #[test]
+    fn removing_links_is_monotone((n, extra, src, dst) in params()) {
+        let (mut t, nodes) = build(n, &extra);
+        if src == dst { return Ok(()); }
+        let before = t.route(nodes[src], nodes[dst]).unwrap().latency;
+        // Remove the last added link if it's an extra (the chain's n-1
+        // links stay intact so the graph remains connected).
+        if t.link_count() > n - 1 {
+            let last = fabric::LinkId((t.link_count() - 1) as u32);
+            t.remove_link(last);
+            let after = t.route(nodes[src], nodes[dst]).expect("chain keeps it connected");
+            prop_assert!(after.latency >= before);
+        }
+    }
+}

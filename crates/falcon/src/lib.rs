@@ -1,0 +1,33 @@
+//! `falcon` — the Falcon 4016 composable chassis and its management plane.
+//!
+//! The Falcon 4016 (paper §II–§III) is a 4U PCIe-Gen4 chassis with **two
+//! drawers of eight slots** each, four host ports (H1–H4) cabled to host
+//! servers over 400 Gb/s CDFP, and per-drawer PCIe switch ASICs. Devices
+//! (GPUs, NVMe, NICs, custom PCIe 4.0 hardware) can be attached to and
+//! detached from hosts — statically in *standard* mode, dynamically and
+//! shared three-ways in *advanced* mode.
+//!
+//! Crate layout:
+//! * [`chassis`] — drawers, slots, host ports, operating modes and their
+//!   constraint checking, dynamic attach/detach, and materialization of the
+//!   chassis into a [`fabric::Topology`].
+//! * [`bmc`] — the OpenBMC-style baseboard management controller:
+//!   temperature/fan/PSU sensors, thresholds, alerts, event log.
+//! * [`mgmt`] — the management GUI's functional surface: resource
+//!   inventory, port configuration, list/topology views, and allocation
+//!   import/export as a JSON configuration file.
+//! * [`mcs`] — the Management Center Server (paper §II-D): multi-user
+//!   control with admin/user roles, per-resource ownership, isolation
+//!   between users, and an audit log.
+
+pub mod bmc;
+pub mod chassis;
+pub mod mcs;
+pub mod mgmt;
+
+pub use bmc::{Bmc, BmcEvent, Severity};
+pub use chassis::{
+    ChassisError, DrawerId, Falcon4016, HostId, HostPort, Mode, SlotAddr, SlotDevice,
+};
+pub use mcs::{McsError, ManagementCenter, Role, UserId};
+pub use mgmt::{AllocationConfig, PortConfig, ResourceRecord};

@@ -1,0 +1,381 @@
+//! The Management Center Server (paper §II-D).
+//!
+//! In production "the best practice is not to allow users of the
+//! environment to directly access the low level, physical devices"; the
+//! MCS is the higher-level service that "allows users to control their own
+//! environment, yet not have any access to other users' resources". The
+//! model: users with roles, per-slot grants, permission-checked
+//! attach/detach/reassign, and a tamper-evident audit log. It is
+//! thread-safe (`parking_lot::RwLock`) so concurrent tenant sessions can
+//! drive it — exercised by a multi-threaded test.
+
+use crate::chassis::{ChassisError, Falcon4016, HostId, SlotAddr};
+use desim::SimTime;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A tenant identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Access level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Full control, including other users' resources and log export.
+    Admin,
+    /// Self-service control of owned resources only.
+    User,
+}
+
+/// MCS operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McsError {
+    UnknownUser(UserId),
+    PermissionDenied {
+        user: UserId,
+        action: &'static str,
+    },
+    NotGranted(SlotAddr, UserId),
+    Chassis(ChassisError),
+}
+
+impl fmt::Display for McsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McsError::UnknownUser(u) => write!(f, "unknown user {}", u.0),
+            McsError::PermissionDenied { user, action } => {
+                write!(f, "user {} may not {action}", user.0)
+            }
+            McsError::NotGranted(s, u) => write!(f, "slot {s} is not granted to user {}", u.0),
+            McsError::Chassis(e) => write!(f, "chassis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McsError {}
+
+impl From<ChassisError> for McsError {
+    fn from(e: ChassisError) -> Self {
+        McsError::Chassis(e)
+    }
+}
+
+/// One audit-log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    pub at: SimTime,
+    pub user: UserId,
+    pub action: String,
+    pub allowed: bool,
+}
+
+struct McsState {
+    users: BTreeMap<UserId, Role>,
+    /// Which user each slot is granted to (resource ownership).
+    grants: BTreeMap<SlotAddr, UserId>,
+    chassis: Falcon4016,
+    audit: Vec<AuditEntry>,
+}
+
+/// The Management Center Server.
+pub struct ManagementCenter {
+    state: RwLock<McsState>,
+}
+
+impl ManagementCenter {
+    pub fn new(chassis: Falcon4016) -> ManagementCenter {
+        ManagementCenter {
+            state: RwLock::new(McsState {
+                users: BTreeMap::new(),
+                grants: BTreeMap::new(),
+                chassis,
+                audit: Vec::new(),
+            }),
+        }
+    }
+
+    pub fn add_user(&self, user: UserId, role: Role) {
+        self.state.write().users.insert(user, role);
+    }
+
+    fn role_of(state: &McsState, user: UserId) -> Result<Role, McsError> {
+        state
+            .users
+            .get(&user)
+            .copied()
+            .ok_or(McsError::UnknownUser(user))
+    }
+
+    fn audit(state: &mut McsState, at: SimTime, user: UserId, action: String, allowed: bool) {
+        state.audit.push(AuditEntry {
+            at,
+            user,
+            action,
+            allowed,
+        });
+    }
+
+    /// Admin grants a slot to a user (resource assignment).
+    pub fn grant(
+        &self,
+        at: SimTime,
+        admin: UserId,
+        slot: SlotAddr,
+        to: UserId,
+    ) -> Result<(), McsError> {
+        let mut st = self.state.write();
+        let role = Self::role_of(&st, admin)?;
+        let allowed = role == Role::Admin;
+        Self::audit(&mut st, at, admin, format!("grant {slot} to user {}", to.0), allowed);
+        if !allowed {
+            return Err(McsError::PermissionDenied {
+                user: admin,
+                action: "grant resources",
+            });
+        }
+        Self::role_of(&st, to)?;
+        st.grants.insert(slot, to);
+        Ok(())
+    }
+
+    fn check_slot_access(
+        state: &McsState,
+        user: UserId,
+        slot: SlotAddr,
+    ) -> Result<(), McsError> {
+        match Self::role_of(state, user)? {
+            Role::Admin => Ok(()),
+            Role::User => match state.grants.get(&slot) {
+                Some(&owner) if owner == user => Ok(()),
+                _ => Err(McsError::NotGranted(slot, user)),
+            },
+        }
+    }
+
+    /// Attach a granted slot to a host, as `user`.
+    pub fn attach(
+        &self,
+        at: SimTime,
+        user: UserId,
+        slot: SlotAddr,
+        host: HostId,
+    ) -> Result<(), McsError> {
+        let mut st = self.state.write();
+        let access = Self::check_slot_access(&st, user, slot);
+        Self::audit(
+            &mut st,
+            at,
+            user,
+            format!("attach {slot} to host{}", host.0),
+            access.is_ok(),
+        );
+        access?;
+        st.chassis.attach(slot, host)?;
+        Ok(())
+    }
+
+    /// Detach a granted slot, as `user`.
+    pub fn detach(&self, at: SimTime, user: UserId, slot: SlotAddr) -> Result<HostId, McsError> {
+        let mut st = self.state.write();
+        let access = Self::check_slot_access(&st, user, slot);
+        Self::audit(&mut st, at, user, format!("detach {slot}"), access.is_ok());
+        access?;
+        Ok(st.chassis.detach(slot)?)
+    }
+
+    /// Dynamically reassign a granted slot (advanced mode only).
+    pub fn reassign(
+        &self,
+        at: SimTime,
+        user: UserId,
+        slot: SlotAddr,
+        to: HostId,
+    ) -> Result<HostId, McsError> {
+        let mut st = self.state.write();
+        let access = Self::check_slot_access(&st, user, slot);
+        Self::audit(
+            &mut st,
+            at,
+            user,
+            format!("reassign {slot} to host{}", to.0),
+            access.is_ok(),
+        );
+        access?;
+        Ok(st.chassis.reassign(slot, to)?)
+    }
+
+    /// The resources visible to `user`: everything for admins, owned slots
+    /// for users (isolation between tenants).
+    pub fn visible_resources(&self, user: UserId) -> Result<Vec<SlotAddr>, McsError> {
+        let st = self.state.read();
+        let role = Self::role_of(&st, user)?;
+        let mut v: Vec<SlotAddr> = match role {
+            Role::Admin => st.chassis.occupied_slots().map(|(a, _)| a).collect(),
+            Role::User => st
+                .grants
+                .iter()
+                .filter(|(_, &u)| u == user)
+                .map(|(a, _)| *a)
+                .collect(),
+        };
+        v.sort_unstable();
+        Ok(v)
+    }
+
+    /// Export the audit log (admin feature, mirroring the GUI's
+    /// "define event logs for export").
+    pub fn export_audit(&self, user: UserId) -> Result<Vec<AuditEntry>, McsError> {
+        let st = self.state.read();
+        if Self::role_of(&st, user)? != Role::Admin {
+            return Err(McsError::PermissionDenied {
+                user,
+                action: "export the audit log",
+            });
+        }
+        Ok(st.audit.clone())
+    }
+
+    /// Run a read-only closure against the chassis (views, inventory).
+    pub fn with_chassis<R>(&self, f: impl FnOnce(&Falcon4016) -> R) -> R {
+        f(&self.state.read().chassis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chassis::{DrawerId, HostPort, Mode, SlotDevice};
+    use devices::GpuSpec;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn setup() -> ManagementCenter {
+        let mut c = Falcon4016::new("falcon0", Mode::Advanced);
+        c.connect_host(HostPort::H1, HostId(1), DrawerId(0)).unwrap();
+        c.connect_host(HostPort::H2, HostId(2), DrawerId(0)).unwrap();
+        for s in 0..8 {
+            c.insert_device(
+                SlotAddr::new(0, s),
+                SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()),
+            )
+            .unwrap();
+        }
+        let mcs = ManagementCenter::new(c);
+        mcs.add_user(UserId(0), Role::Admin);
+        mcs.add_user(UserId(1), Role::User);
+        mcs.add_user(UserId(2), Role::User);
+        mcs
+    }
+
+    #[test]
+    fn users_only_touch_granted_resources() {
+        let mcs = setup();
+        let slot = SlotAddr::new(0, 0);
+        mcs.grant(t(0), UserId(0), slot, UserId(1)).unwrap();
+        // User 1 can attach their slot; user 2 cannot.
+        mcs.attach(t(1), UserId(1), slot, HostId(1)).unwrap();
+        let err = mcs.detach(t(2), UserId(2), slot).unwrap_err();
+        assert_eq!(err, McsError::NotGranted(slot, UserId(2)));
+        // Owner can detach.
+        assert_eq!(mcs.detach(t(3), UserId(1), slot).unwrap(), HostId(1));
+    }
+
+    #[test]
+    fn only_admin_grants() {
+        let mcs = setup();
+        let err = mcs
+            .grant(t(0), UserId(1), SlotAddr::new(0, 1), UserId(1))
+            .unwrap_err();
+        assert!(matches!(err, McsError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn grant_to_unknown_user_fails() {
+        let mcs = setup();
+        let err = mcs
+            .grant(t(0), UserId(0), SlotAddr::new(0, 1), UserId(99))
+            .unwrap_err();
+        assert_eq!(err, McsError::UnknownUser(UserId(99)));
+    }
+
+    #[test]
+    fn visibility_is_isolated() {
+        let mcs = setup();
+        mcs.grant(t(0), UserId(0), SlotAddr::new(0, 0), UserId(1)).unwrap();
+        mcs.grant(t(0), UserId(0), SlotAddr::new(0, 1), UserId(2)).unwrap();
+        assert_eq!(mcs.visible_resources(UserId(1)).unwrap(), vec![SlotAddr::new(0, 0)]);
+        assert_eq!(mcs.visible_resources(UserId(2)).unwrap(), vec![SlotAddr::new(0, 1)]);
+        assert_eq!(mcs.visible_resources(UserId(0)).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn audit_records_denied_attempts() {
+        let mcs = setup();
+        let _ = mcs.detach(t(1), UserId(2), SlotAddr::new(0, 3));
+        let log = mcs.export_audit(UserId(0)).unwrap();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].allowed);
+        assert_eq!(log[0].user, UserId(2));
+    }
+
+    #[test]
+    fn audit_export_is_admin_only() {
+        let mcs = setup();
+        assert!(matches!(
+            mcs.export_audit(UserId(1)),
+            Err(McsError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn chassis_errors_propagate() {
+        let mcs = setup();
+        let slot = SlotAddr::new(0, 0);
+        mcs.grant(t(0), UserId(0), slot, UserId(1)).unwrap();
+        // Host 9 is not cabled: chassis-level failure surfaces.
+        let err = mcs.attach(t(1), UserId(1), slot, HostId(9)).unwrap_err();
+        assert!(matches!(err, McsError::Chassis(ChassisError::HostNotConnected(..))));
+    }
+
+    #[test]
+    fn dynamic_reassignment_through_mcs() {
+        let mcs = setup();
+        let slot = SlotAddr::new(0, 2);
+        mcs.grant(t(0), UserId(0), slot, UserId(1)).unwrap();
+        mcs.attach(t(1), UserId(1), slot, HostId(1)).unwrap();
+        assert_eq!(mcs.reassign(t(2), UserId(1), slot, HostId(2)).unwrap(), HostId(1));
+        mcs.with_chassis(|c| assert_eq!(c.owner_of(slot), Some(HostId(2))));
+    }
+
+    #[test]
+    fn concurrent_tenants_cannot_cross_boundaries() {
+        let mcs = std::sync::Arc::new(setup());
+        for s in 0..4 {
+            mcs.grant(t(0), UserId(0), SlotAddr::new(0, s), UserId(1)).unwrap();
+        }
+        for s in 4..8 {
+            mcs.grant(t(0), UserId(0), SlotAddr::new(0, s), UserId(2)).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for (user, host, lo) in [(UserId(1), HostId(1), 0u8), (UserId(2), HostId(2), 4u8)] {
+                let mcs = std::sync::Arc::clone(&mcs);
+                scope.spawn(move || {
+                    for s in lo..lo + 4 {
+                        mcs.attach(t(1), user, SlotAddr::new(0, s), host).unwrap();
+                        // Attempt to poach the other tenant's slot: denied.
+                        let other = SlotAddr::new(0, (s + 4) % 8);
+                        assert!(mcs.detach(t(2), user, other).is_err());
+                    }
+                });
+            }
+        });
+        mcs.with_chassis(|c| {
+            assert_eq!(c.slots_of(HostId(1)).len(), 4);
+            assert_eq!(c.slots_of(HostId(2)).len(), 4);
+        });
+    }
+}

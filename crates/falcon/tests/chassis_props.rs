@@ -1,0 +1,165 @@
+//! Property tests on the chassis state machine: arbitrary sequences of
+//! composition operations can never violate the structural invariants of
+//! the Falcon 4016.
+
+use devices::GpuSpec;
+use falcon::{ChassisError, DrawerId, Falcon4016, HostId, HostPort, Mode, SlotAddr, SlotDevice};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8),
+    Remove(u8, u8),
+    Connect(u8, u32, u8),
+    Attach(u8, u8, u32),
+    Detach(u8, u8),
+    Reassign(u8, u8, u32),
+}
+
+fn ops() -> impl Strategy<Value = (bool, Vec<Op>)> {
+    let op = prop_oneof![
+        (0u8..2, 0u8..8).prop_map(|(d, s)| Op::Insert(d, s)),
+        (0u8..2, 0u8..8).prop_map(|(d, s)| Op::Remove(d, s)),
+        (0u8..4, 1u32..5, 0u8..2).prop_map(|(p, h, d)| Op::Connect(p, h, d)),
+        (0u8..2, 0u8..8, 1u32..5).prop_map(|(d, s, h)| Op::Attach(d, s, h)),
+        (0u8..2, 0u8..8).prop_map(|(d, s)| Op::Detach(d, s)),
+        (0u8..2, 0u8..8, 1u32..5).prop_map(|(d, s, h)| Op::Reassign(d, s, h)),
+    ];
+    (any::<bool>(), proptest::collection::vec(op, 1..120))
+}
+
+fn port(p: u8) -> HostPort {
+    HostPort::all()[p as usize]
+}
+
+fn check_invariants(c: &Falcon4016) {
+    let mode = c.mode();
+    // 1. Every attachment refers to an occupied slot whose host is cabled
+    //    into that drawer.
+    for (slot, host) in c.attachments() {
+        assert!(c.device_at(slot).is_some(), "attached slot must be occupied");
+        assert!(
+            c.hosts_on_drawer(slot.drawer).contains(&host),
+            "owner must be cabled into the drawer"
+        );
+    }
+    // 2. Host count per drawer respects the mode.
+    for d in [DrawerId(0), DrawerId(1)] {
+        assert!(c.hosts_on_drawer(d).len() <= mode.max_hosts_per_drawer());
+    }
+    // 3. In standard mode with two hosts, halves are disjointly owned.
+    if mode == Mode::Standard {
+        for d in [DrawerId(0), DrawerId(1)] {
+            let hosts = c.hosts_on_drawer(d);
+            if hosts.len() == 2 {
+                for (slot, host) in c.attachments().filter(|(s, _)| s.drawer == d) {
+                    let expected = hosts[usize::from(slot.slot >= 4)];
+                    assert_eq!(host, expected, "half violation at {slot}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chassis_invariants_hold((advanced, ops) in ops()) {
+        let mode = if advanced { Mode::Advanced } else { Mode::Standard };
+        let mut c = Falcon4016::new("prop", mode);
+        for op in ops {
+            // Every operation either succeeds or returns a typed error;
+            // invariants hold either way.
+            let _result: Result<(), ChassisError> = match op {
+                Op::Insert(d, s) => c
+                    .insert_device(
+                        SlotAddr::new(d, s),
+                        SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()),
+                    ),
+                Op::Remove(d, s) => c.remove_device(SlotAddr::new(d, s)).map(|_| ()),
+                Op::Connect(p, h, d) => c.connect_host(port(p), HostId(h), DrawerId(d)),
+                Op::Attach(d, s, h) => c.attach(SlotAddr::new(d, s), HostId(h)),
+                Op::Detach(d, s) => c.detach(SlotAddr::new(d, s)).map(|_| ()),
+                Op::Reassign(d, s, h) => {
+                    c.reassign(SlotAddr::new(d, s), HostId(h)).map(|_| ())
+                }
+            };
+            check_invariants(&c);
+        }
+    }
+
+    /// Reassignment in standard mode never succeeds; in advanced mode it
+    /// succeeds exactly when the slot is attached and the target is cabled.
+    #[test]
+    fn reassign_semantics((advanced, ops) in ops()) {
+        let mode = if advanced { Mode::Advanced } else { Mode::Standard };
+        let mut c = Falcon4016::new("prop", mode);
+        for op in ops {
+            if let Op::Reassign(d, s, h) = op {
+                let addr = SlotAddr::new(d, s);
+                let was_attached = c.owner_of(addr).is_some();
+                let target_cabled = c.hosts_on_drawer(DrawerId(d)).contains(&HostId(h));
+                let r = c.reassign(addr, HostId(h));
+                if mode == Mode::Standard {
+                    prop_assert_eq!(r, Err(ChassisError::RequiresAdvancedMode));
+                } else if was_attached && target_cabled {
+                    prop_assert!(r.is_ok());
+                    prop_assert_eq!(c.owner_of(addr), Some(HostId(h)));
+                } else {
+                    prop_assert!(r.is_err());
+                }
+            } else {
+                // Drive some state transitions so reassigns have targets.
+                match op {
+                    Op::Insert(d, s) => {
+                        let _ = c.insert_device(
+                            SlotAddr::new(d, s),
+                            SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()),
+                        );
+                    }
+                    Op::Connect(p, h, d) => {
+                        let _ = c.connect_host(port(p), HostId(h), DrawerId(d));
+                    }
+                    Op::Attach(d, s, h) => {
+                        let _ = c.attach(SlotAddr::new(d, s), HostId(h));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Export/import of any reachable allocation round-trips.
+    #[test]
+    fn allocation_roundtrip((advanced, ops) in ops()) {
+        let mode = if advanced { Mode::Advanced } else { Mode::Standard };
+        let mut c = Falcon4016::new("prop", mode);
+        for op in ops {
+            match op {
+                Op::Insert(d, s) => {
+                    let _ = c.insert_device(
+                        SlotAddr::new(d, s),
+                        SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()),
+                    );
+                }
+                Op::Connect(p, h, d) => {
+                    let _ = c.connect_host(port(p), HostId(h), DrawerId(d));
+                }
+                Op::Attach(d, s, h) => {
+                    let _ = c.attach(SlotAddr::new(d, s), HostId(h));
+                }
+                _ => {}
+            }
+        }
+        let cfg = falcon::mgmt::AllocationConfig::export(&c);
+        let parsed = falcon::mgmt::AllocationConfig::from_bytes(&cfg.to_bytes()).unwrap();
+        prop_assert_eq!(&parsed, &cfg);
+        // Re-importing the exported allocation onto the same chassis is a
+        // no-op fixpoint.
+        let before: Vec<_> = c.attachments().collect();
+        parsed.import(&mut c).unwrap();
+        let after: Vec<_> = c.attachments().collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,135 @@
+//! The cluster description handed to the training engine.
+//!
+//! A [`Cluster`] names the fabric nodes of one composed host: its root
+//! complex, host-memory node, GPUs (with specs and whether they sit behind
+//! the Falcon), and the storage device feeding the data pipeline. The
+//! `composable-core` crate builds these from Table III's configurations.
+
+use devices::{CpuSpec, DramSpec, GpuSpec, StorageSpec};
+use fabric::{DirLink, NodeId, Topology};
+
+/// One GPU as seen by the engine.
+#[derive(Debug, Clone)]
+pub struct GpuHandle {
+    pub core: NodeId,
+    pub port: NodeId,
+    pub spec: GpuSpec,
+    /// True when the GPU sits in a Falcon drawer (its slot-link traffic is
+    /// what the paper's Fig 12 monitors).
+    pub falcon_attached: bool,
+}
+
+/// A composed host: the world the training job runs on.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    pub host_rc: NodeId,
+    /// The host DRAM node (staging area of the data pipeline).
+    pub host_mem: NodeId,
+    pub gpus: Vec<GpuHandle>,
+    /// The storage device's media node.
+    pub storage_dev: NodeId,
+    pub storage: StorageSpec,
+    pub storage_falcon_attached: bool,
+    pub cpu: CpuSpec,
+    pub dram: DramSpec,
+    /// Human label of the configuration (Table III).
+    pub label: String,
+}
+
+impl Cluster {
+    pub fn n_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The directed links the Falcon management GUI monitors for Fig 12:
+    /// both directions of every falcon-attached GPU's external slot link
+    /// (the port's link that is *not* the internal DMA link).
+    pub fn monitored_pcie_links(&self, topo: &Topology) -> Vec<DirLink> {
+        let mut out = Vec::new();
+        for gpu in self.gpus.iter().filter(|g| g.falcon_attached) {
+            for &dl in topo.links_of(gpu.port) {
+                let link = topo.link(dl.link);
+                let other = if link.a == gpu.port { link.b } else { link.a };
+                if other != gpu.core {
+                    out.push(fabric::DirLink::forward(dl.link));
+                    out.push(fabric::DirLink::reverse(dl.link));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Cores of all GPUs, in index order (collective ring members).
+    pub fn gpu_cores(&self) -> Vec<NodeId> {
+        self.gpus.iter().map(|g| g.core).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devices::gpu::add_gpu;
+    use devices::storage::add_storage;
+    use fabric::{LinkClass, LinkSpec, NodeKind, Topology};
+
+    fn tiny_cluster() -> (Cluster, Topology) {
+        let mut topo = Topology::new();
+        let rc = topo.add_node("rc", NodeKind::RootComplex);
+        let mem = topo.add_node("mem", NodeKind::Memory);
+        topo.add_link(rc, mem, LinkSpec::of(LinkClass::MemoryBus));
+        let sw = topo.add_node("sw", NodeKind::PcieSwitch);
+        topo.add_link(rc, sw, LinkSpec::of(LinkClass::Cdfp400));
+        let mut gpus = Vec::new();
+        for i in 0..2 {
+            let spec = GpuSpec::v100_pcie_16gb();
+            let g = add_gpu(&mut topo, &format!("f{i}"), &spec);
+            topo.add_link(g.port, sw, LinkSpec::of(LinkClass::PcieGen4x16));
+            gpus.push(GpuHandle {
+                core: g.core,
+                port: g.port,
+                spec,
+                falcon_attached: true,
+            });
+        }
+        let local_spec = GpuSpec::v100_sxm2_16gb();
+        let lg = add_gpu(&mut topo, "l0", &local_spec);
+        topo.add_link(lg.port, rc, LinkSpec::of(LinkClass::PcieGen3x16));
+        gpus.push(GpuHandle {
+            core: lg.core,
+            port: lg.port,
+            spec: local_spec,
+            falcon_attached: false,
+        });
+        let st = add_storage(&mut topo, "nvme", &StorageSpec::intel_p4500_4tb());
+        topo.add_link(st.port, rc, LinkSpec::of(LinkClass::PcieGen3x4));
+        let cluster = Cluster {
+            host_rc: rc,
+            host_mem: mem,
+            gpus,
+            storage_dev: st.device,
+            storage: StorageSpec::intel_p4500_4tb(),
+            storage_falcon_attached: false,
+            cpu: CpuSpec::dual_xeon_6148(),
+            dram: DramSpec::host_756gb(),
+            label: "test".into(),
+        };
+        (cluster, topo)
+    }
+
+    #[test]
+    fn monitored_links_cover_falcon_gpus_only() {
+        let (c, topo) = tiny_cluster();
+        let links = c.monitored_pcie_links(&topo);
+        // Two falcon GPUs x two directions.
+        assert_eq!(links.len(), 4);
+    }
+
+    #[test]
+    fn gpu_cores_ordered() {
+        let (c, _topo) = tiny_cluster();
+        assert_eq!(c.gpu_cores().len(), 3);
+        assert_eq!(c.n_gpus(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! GPU memory accounting and batch-size feasibility.
+//!
+//! Reproduces the capacity arithmetic behind the paper's Fig 16 sharding
+//! study: BERT-large under plain DDP fits a per-GPU batch of 6 on a 16 GB
+//! V100, and ZeRO-style optimizer-state sharding across 8 GPUs lifts the
+//! feasible batch to 10.
+
+use crate::config::Strategy;
+use dlmodels::{ModelDesc, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Per-GPU memory footprint breakdown (bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    pub params: f64,
+    pub gradients: f64,
+    pub optimizer: f64,
+    pub activations: f64,
+    /// CUDA context, NCCL buffers, framework workspace.
+    pub framework_reserved: f64,
+}
+
+impl MemoryBudget {
+    pub fn total(&self) -> f64 {
+        self.params + self.gradients + self.optimizer + self.activations + self.framework_reserved
+    }
+}
+
+/// Baseline CUDA/framework reservation per GPU.
+pub const FRAMEWORK_RESERVED: f64 = 1.1e9;
+
+/// Per-GPU memory needed to train `model` at `batch` under `strategy`.
+pub fn gpu_memory_needed(
+    model: &ModelDesc,
+    batch: u64,
+    precision: Precision,
+    strategy: Strategy,
+    n_gpus: usize,
+) -> MemoryBudget {
+    let n = n_gpus.max(1) as f64;
+    let params = model.param_bytes(precision);
+    let gradients = model.gradient_bytes(precision);
+    let optimizer = model.optimizer_bytes(precision);
+    let activations = model.activation_bytes_per_sample(precision) * batch as f64;
+    let (gradients, optimizer) = match strategy {
+        // ZeRO-2: optimizer states and gradients are partitioned n-ways.
+        Strategy::Sharded { .. } => (gradients / n, optimizer / n),
+        Strategy::Ddp { .. } | Strategy::Dp => (gradients, optimizer),
+    };
+    MemoryBudget {
+        params,
+        gradients,
+        optimizer,
+        activations,
+        framework_reserved: FRAMEWORK_RESERVED,
+    }
+}
+
+/// Largest per-GPU batch that fits in `capacity` bytes (0 when even the
+/// model states alone overflow).
+pub fn max_feasible_batch(
+    model: &ModelDesc,
+    capacity: f64,
+    precision: Precision,
+    strategy: Strategy,
+    n_gpus: usize,
+) -> u64 {
+    let fixed = gpu_memory_needed(model, 0, precision, strategy, n_gpus).total();
+    if fixed >= capacity {
+        return 0;
+    }
+    let per_sample = model.activation_bytes_per_sample(precision);
+    ((capacity - fixed) / per_sample).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlmodels::nlp::bert_large;
+    use dlmodels::vision::resnet50;
+
+    const V100: f64 = 16e9;
+
+    #[test]
+    fn bert_large_ddp_fits_paper_batch_of_six() {
+        let m = bert_large(384);
+        let need6 = gpu_memory_needed(&m, 6, Precision::Fp16, Strategy::ddp(), 8).total();
+        assert!(need6 <= V100, "batch 6 must fit: {:.1} GB", need6 / 1e9);
+        let max = max_feasible_batch(&m, V100, Precision::Fp16, Strategy::ddp(), 8);
+        assert!(
+            (6..=8).contains(&max),
+            "plain DDP max batch should be near the paper's 6, got {max}"
+        );
+    }
+
+    #[test]
+    fn sharding_lifts_bert_large_to_ten() {
+        let m = bert_large(384);
+        let max = max_feasible_batch(&m, V100, Precision::Fp16, Strategy::sharded(), 8);
+        assert!(
+            (10..=12).contains(&max),
+            "sharded max batch should be near the paper's 10, got {max}"
+        );
+        let need10 = gpu_memory_needed(&m, 10, Precision::Fp16, Strategy::sharded(), 8).total();
+        assert!(need10 <= V100);
+    }
+
+    #[test]
+    fn fp32_bert_large_is_tighter_than_fp16() {
+        let m = bert_large(384);
+        let f16 = max_feasible_batch(&m, V100, Precision::Fp16, Strategy::ddp(), 8);
+        let f32 = max_feasible_batch(&m, V100, Precision::Fp32, Strategy::ddp(), 8);
+        assert!(f32 < f16, "fp32 {f32} vs fp16 {f16}");
+    }
+
+    #[test]
+    fn resnet_fits_large_batches() {
+        let m = resnet50();
+        let max = max_feasible_batch(&m, V100, Precision::Fp16, Strategy::ddp(), 8);
+        assert!(max >= 128, "paper trains ResNet-50 at 128/GPU, max {max}");
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let m = resnet50();
+        let b = gpu_memory_needed(&m, 32, Precision::Fp16, Strategy::ddp(), 8);
+        assert!(
+            (b.total() - (b.params + b.gradients + b.optimizer + b.activations + b.framework_reserved)).abs() < 1.0
+        );
+        assert!(b.optimizer > b.params, "Adam under AMP: 12 B vs 2 B per param");
+    }
+
+    #[test]
+    fn sharding_divides_states_not_activations() {
+        let m = bert_large(384);
+        let ddp = gpu_memory_needed(&m, 4, Precision::Fp16, Strategy::ddp(), 8);
+        let sh = gpu_memory_needed(&m, 4, Precision::Fp16, Strategy::sharded(), 8);
+        assert!((sh.optimizer - ddp.optimizer / 8.0).abs() < 1.0);
+        assert_eq!(sh.activations, ddp.activations);
+        assert_eq!(sh.params, ddp.params);
+    }
+
+    #[test]
+    fn zero_when_states_overflow() {
+        let m = bert_large(384);
+        let max = max_feasible_batch(&m, 4e9, Precision::Fp16, Strategy::ddp(), 8);
+        assert_eq!(max, 0, "BERT-L states alone exceed 4 GB");
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests on memory accounting and the training engine.
+
+use dlmodels::{Benchmark, Precision};
+use proptest::prelude::*;
+use training::{gpu_memory_needed, max_feasible_batch};
+
+fn any_strategy() -> impl Strategy<Value = training::Strategy> {
+    prop_oneof![
+        Just(training::Strategy::ddp()),
+        Just(training::Strategy::Dp),
+        Just(training::Strategy::sharded()),
+    ]
+}
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::all().to_vec())
+}
+
+fn any_precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Memory is strictly monotone in batch size.
+    #[test]
+    fn memory_monotone_in_batch(b in any_benchmark(), s in any_strategy(),
+                                p in any_precision(), batch in 1u64..32) {
+        let m = training::engine::model_for(b);
+        let small = gpu_memory_needed(&m, batch, p, s, 8).total();
+        let large = gpu_memory_needed(&m, batch + 1, p, s, 8).total();
+        prop_assert!(large > small);
+    }
+
+    /// `max_feasible_batch` is exact: the maximum fits, one more does not.
+    #[test]
+    fn max_feasible_is_tight(b in any_benchmark(), s in any_strategy(),
+                             p in any_precision(), cap_gb in 8.0f64..40.0) {
+        let m = training::engine::model_for(b);
+        let cap = cap_gb * 1e9;
+        let max = max_feasible_batch(&m, cap, p, s, 8);
+        if max > 0 {
+            prop_assert!(gpu_memory_needed(&m, max, p, s, 8).total() <= cap);
+        }
+        prop_assert!(gpu_memory_needed(&m, max + 1, p, s, 8).total() > cap);
+    }
+
+    /// Sharding never needs more memory than plain DDP at equal batch.
+    #[test]
+    fn sharding_never_hurts_memory(b in any_benchmark(), p in any_precision(),
+                                   batch in 1u64..16, n in 2usize..16) {
+        let m = training::engine::model_for(b);
+        let ddp = gpu_memory_needed(&m, batch, p, training::Strategy::ddp(), n).total();
+        let sh = gpu_memory_needed(&m, batch, p, training::Strategy::sharded(), n).total();
+        prop_assert!(sh <= ddp);
+    }
+
+    /// More replicas shard harder: sharded memory is nonincreasing in n.
+    #[test]
+    fn sharded_memory_shrinks_with_replicas(b in any_benchmark(), batch in 1u64..8,
+                                            n in 2usize..15) {
+        let m = training::engine::model_for(b);
+        let small = gpu_memory_needed(&m, batch, Precision::Fp16, training::Strategy::sharded(), n).total();
+        let large = gpu_memory_needed(&m, batch, Precision::Fp16, training::Strategy::sharded(), n + 1).total();
+        prop_assert!(large <= small);
+    }
+}

@@ -1,0 +1,42 @@
+//! Inspect the composed fabric: print the management topology view, the
+//! Graphviz rendering, and the JSON snapshot of a Table III configuration.
+//!
+//! ```text
+//! cargo run --release --example print_topology -- falconGPUs > fabric.dot
+//! dot -Tsvg fabric.dot -o fabric.svg   # if graphviz is installed
+//! ```
+
+use composable_core::{build_config, HostConfig};
+use fabric::TopologySpec;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "hybridGPUs".to_string());
+    let config = HostConfig::all()
+        .into_iter()
+        .find(|c| c.label().eq_ignore_ascii_case(&arg))
+        .unwrap_or(HostConfig::HybridGpus);
+
+    let composed = build_config(config);
+    eprintln!("# {} — {}", config.label(), config.description());
+    eprintln!(
+        "# {} fabric nodes, {} links",
+        composed.topology.node_count(),
+        composed.topology.link_count()
+    );
+    eprintln!("\n# management topology view:");
+    for line in falcon::mgmt::topology_view(&composed.chassis).lines() {
+        eprintln!("# {line}");
+    }
+
+    // The DOT graph goes to stdout so it can be piped into graphviz.
+    println!("{}", fabric::to_dot(&composed.topology));
+
+    // And the machine-readable snapshot round-trips.
+    let spec = TopologySpec::capture(&composed.topology);
+    let rebuilt = spec.rebuild();
+    assert_eq!(rebuilt.node_count(), composed.topology.node_count());
+    eprintln!(
+        "# JSON snapshot: {} bytes (round-trip verified)",
+        serde_json::to_vec(&spec).unwrap().len()
+    );
+}

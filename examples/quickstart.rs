@@ -1,0 +1,48 @@
+//! Quickstart: compose a system, train a benchmark, read the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Composes the paper's `localGPUs` and `falconGPUs` hosts (Table III),
+//! runs a scaled ResNet-50 ImageNet job on each, and prints the paper's
+//! key metrics side by side.
+
+use composable_core::report::{series_line, table, RUN_HEADERS};
+use composable_core::runner::{run, ExperimentOpts};
+use composable_core::HostConfig;
+use dlmodels::Benchmark;
+
+fn main() {
+    // 30 iterations per epoch keeps this instant; relative behavior is
+    // identical to a full ImageNet run (see DESIGN.md on mini-epochs).
+    let opts = ExperimentOpts::scaled(30);
+
+    println!("Training ResNet-50 on two compositions of the same hardware pool...\n");
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for config in [HostConfig::LocalGpus, HostConfig::FalconGpus] {
+        let report = run(Benchmark::ResNet50, config, &opts).expect("ResNet-50 fits a V100");
+        rows.push(composable_core::report::run_row(&report));
+        reports.push((config, report));
+    }
+    println!("{}", table(&RUN_HEADERS, &rows));
+
+    for (config, r) in &reports {
+        println!(
+            "{}",
+            series_line(config.label(), &r.gpu_util_trace, "")
+        );
+    }
+
+    let (_, local) = &reports[0];
+    let (_, falcon) = &reports[1];
+    println!(
+        "\nPCIe-switching overhead for ResNet-50: {:+.1}% (paper Fig 11: < 5%)",
+        falcon.pct_change_vs(local)
+    );
+    println!(
+        "Falcon PCIe traffic: {:.2} GB/s (paper Fig 12: 11.31 GB/s)",
+        falcon.falcon_pcie_rate / 1e9
+    );
+}

@@ -1,0 +1,46 @@
+//! The storage study (paper §V-C.3 / Fig 15): compare SATA scratch,
+//! locally attached NVMe, and Falcon-attached NVMe under the same
+//! 8-local-GPU host, including cold first-epoch dataset reads and
+//! epoch-end checkpoints.
+//!
+//! ```text
+//! cargo run --release --example storage_study
+//! ```
+
+use composable_core::report::{pct, table};
+use composable_core::runner::{run, ExperimentOpts};
+use composable_core::HostConfig;
+use dlmodels::Benchmark;
+
+fn main() {
+    // Checkpoints and cold epochs on — they are what storage changes.
+    let opts = ExperimentOpts {
+        iters_per_epoch: Some(40),
+        ..ExperimentOpts::default()
+    };
+
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let base = run(b, HostConfig::LocalGpus, &opts).unwrap();
+        for config in [HostConfig::LocalNvme, HostConfig::FalconNvme] {
+            let r = run(b, config, &opts).unwrap();
+            rows.push(vec![
+                b.label().to_string(),
+                config.label().to_string(),
+                format!("{}", r.total_time),
+                pct(r.pct_change_vs(&base)),
+                format!("{:.1}%", r.input_stall_share * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["benchmark", "storage", "total", "Δ vs local scratch", "input stall"],
+            &rows
+        )
+    );
+    println!("\npaper: NVMe gives additional acceleration for the data-heavy benchmarks;");
+    println!("the falcon-attached NVMe pays only a small switching overhead.");
+    println!("(Negative Δ = faster than the SATA-scratch baseline.)");
+}

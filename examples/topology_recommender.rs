@@ -1,0 +1,56 @@
+//! The paper's future work (§VI), working today: "build a system
+//! framework that can take the input of various configured runs, and
+//! recommend the optimal system level topology for AI workloads."
+//!
+//! ```text
+//! cargo run --release --example topology_recommender
+//! ```
+//!
+//! For each benchmark, the recommender simulates every candidate
+//! composition and ranks them under three objectives.
+
+use composable_core::recommend::{recommend, Objective};
+use composable_core::report::table;
+use composable_core::runner::ExperimentOpts;
+use composable_core::HostConfig;
+use dlmodels::Benchmark;
+
+fn main() {
+    let opts = ExperimentOpts::scaled(15).without_checkpoints();
+    let candidates = HostConfig::gpu_configs();
+
+    for objective in [
+        Objective::TrainingTime,
+        Objective::ThroughputPerGpu,
+        Objective::Balance,
+    ] {
+        println!("== objective: {objective:?} ==\n");
+        let mut rows = Vec::new();
+        for b in Benchmark::all() {
+            let ranked = recommend(b, &candidates, objective, &opts);
+            let best = &ranked[0];
+            let runner_up = &ranked[1];
+            let margin = runner_up.report.total_time.as_secs_f64()
+                / best.report.total_time.as_secs_f64();
+            rows.push(vec![
+                b.label().to_string(),
+                best.config.label().to_string(),
+                format!("{}", best.report.mean_iter),
+                runner_up.config.label().to_string(),
+                format!("{margin:.2}x"),
+            ]);
+        }
+        println!(
+            "{}",
+            table(
+                &["workload", "recommended", "iter", "runner-up", "runner-up slower by"],
+                &rows
+            )
+        );
+        println!();
+    }
+
+    println!("Reading: for small vision models the compositions tie — pool the GPUs");
+    println!("behind the Falcon and keep the NVLink hosts for the large NLP models,");
+    println!("which is exactly the co-design insight the paper's test bed exists to surface.");
+}

@@ -1,0 +1,24 @@
+//! `composable-system` — umbrella crate of the composable-sim workspace.
+//!
+//! A Rust reproduction of *"Performance Analysis of Deep Learning
+//! Workloads on a Composable System"* (IPPS 2021): a flow-level
+//! discrete-event simulation of an IBM-style composable infrastructure
+//! (Falcon 4016 PCIe chassis + Supermicro V100 hosts) and the five deep
+//! learning benchmarks the paper characterizes on it.
+//!
+//! This crate re-exports the workspace members and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! Start with [`composable_core`]'s `runner` and `HostConfig`, or run:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- --quick
+//! ```
+
+pub use collectives;
+pub use composable_core;
+pub use desim;
+pub use devices;
+pub use dlmodels;
+pub use fabric;
+pub use falcon;
+pub use training;
