@@ -1,6 +1,7 @@
-//! Ablation benches for the design choices DESIGN.md calls out: each
-//! bench runs the variants and asserts the *direction* of the effect, so
-//! `cargo bench` also documents why the defaults are what they are.
+//! Ablation benches for the design choices DESIGN.md calls out (testkit
+//! harness): each bench runs the variants and asserts the *direction* of
+//! the effect, so `cargo bench` also documents why the defaults are what
+//! they are.
 //!
 //! * DDP gradient-bucket size (communication/compute overlap granularity)
 //! * Ring construction policy (optimal-bottleneck vs naive order)
@@ -10,42 +11,45 @@
 use collectives::{plan_ring, ring_bottleneck};
 use composable_core::runner::{run, ExperimentOpts};
 use composable_core::HostConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
 use devices::catalog::wire_cube_mesh;
 use devices::gpu::{add_gpu, GpuSpec};
 use dlmodels::Benchmark;
 use fabric::Topology;
-use std::hint::black_box;
+use testkit::bench::{black_box, BenchOpts, Suite};
 use training::Strategy;
 
-fn bucket_size_ablation(c: &mut Criterion) {
-    c.bench_function("ablation_ddp_bucket_size", |b| {
-        b.iter(|| {
-            let mut iters = Vec::new();
-            for mib in [5.0, 25.0, 400.0] {
-                let opts = ExperimentOpts::scaled(4)
-                    .without_checkpoints()
-                    .with_strategy(Strategy::Ddp {
-                        bucket_bytes: mib * 1024.0 * 1024.0,
-                    });
-                let r = run(Benchmark::BertLarge, HostConfig::LocalGpus, &opts).unwrap();
-                iters.push(r.mean_iter.as_secs_f64());
-            }
-            // One giant bucket destroys overlap: it must be slower than
-            // PyTorch's 25 MiB default.
-            assert!(
-                iters[2] > iters[1] * 1.15,
-                "giant bucket {} vs default {}",
-                iters[2],
-                iters[1]
-            );
-            black_box(iters)
-        })
-    });
-}
+fn main() {
+    let mut s = Suite::with_opts(
+        "ablations",
+        BenchOpts {
+            warmup_iters: 1,
+            iters: 10,
+        },
+    );
 
-fn ring_policy_ablation(c: &mut Criterion) {
-    c.bench_function("ablation_ring_policy", |b| {
+    s.bench("ablation_ddp_bucket_size", || {
+        let mut iters = Vec::new();
+        for mib in [5.0, 25.0, 400.0] {
+            let opts = ExperimentOpts::scaled(4)
+                .without_checkpoints()
+                .with_strategy(Strategy::Ddp {
+                    bucket_bytes: mib * 1024.0 * 1024.0,
+                });
+            let r = run(Benchmark::BertLarge, HostConfig::LocalGpus, &opts).unwrap();
+            iters.push(r.mean_iter.as_secs_f64());
+        }
+        // One giant bucket destroys overlap: it must be slower than
+        // PyTorch's 25 MiB default.
+        assert!(
+            iters[2] > iters[1] * 1.15,
+            "giant bucket {} vs default {}",
+            iters[2],
+            iters[1]
+        );
+        black_box(iters)
+    });
+
+    {
         let mut topo = Topology::new();
         let spec = GpuSpec::v100_sxm2_16gb();
         let gpus: Vec<_> = (0..8)
@@ -53,7 +57,7 @@ fn ring_policy_ablation(c: &mut Criterion) {
             .collect();
         wire_cube_mesh(&mut topo, &gpus);
         let cores: Vec<_> = gpus.iter().map(|g| g.core).collect();
-        b.iter(|| {
+        s.bench("ablation_ring_policy", || {
             let mut t = topo.clone();
             let planned = plan_ring(&mut t, &cores);
             let optimal = ring_bottleneck(&mut t, &planned);
@@ -65,66 +69,45 @@ fn ring_policy_ablation(c: &mut Criterion) {
                 "planned {optimal} must beat naive {naive}"
             );
             black_box((optimal, naive))
-        })
+        });
+    }
+
+    s.bench("ablation_prefetch_depth", || {
+        // MobileNet is the most input-sensitive benchmark; compare a
+        // depth-0-equivalent (1) against the default (2).
+        let time = |depth: u32| {
+            let composed = composable_core::build_config(HostConfig::LocalGpus);
+            let mut cfg = training::JobConfig::paper_scaled(Benchmark::MobileNetV2, 8, 8);
+            cfg.prefetch_depth = depth;
+            cfg.checkpoint_each_epoch = false;
+            training::run_job(composed.topology, composed.cluster, cfg)
+                .unwrap()
+                .total_time
+                .as_secs_f64()
+        };
+        let shallow = time(1);
+        let deep = time(3);
+        assert!(deep <= shallow * 1.02, "prefetch never hurts: {deep} vs {shallow}");
+        black_box((shallow, deep))
+    });
+
+    s.bench("ablation_dataloader_workers", || {
+        let time = |workers: u32| {
+            let composed = composable_core::build_config(HostConfig::LocalNvme);
+            let mut cfg = training::JobConfig::paper_scaled(Benchmark::MobileNetV2, 8, 8);
+            cfg.workers_per_gpu = workers;
+            cfg.checkpoint_each_epoch = false;
+            training::run_job(composed.topology, composed.cluster, cfg)
+                .unwrap()
+                .total_time
+                .as_secs_f64()
+        };
+        let starved = time(1);
+        let fed = time(5);
+        assert!(
+            starved > fed * 1.3,
+            "1 worker must starve MobileNet: {starved} vs {fed}"
+        );
+        black_box((starved, fed))
     });
 }
-
-fn prefetch_depth_ablation(c: &mut Criterion) {
-    c.bench_function("ablation_prefetch_depth", |b| {
-        b.iter(|| {
-            // MobileNet is the most input-sensitive benchmark; compare a
-            // depth-0-equivalent (1) against the default (2).
-            let time = |depth: u32| {
-                let composed = composable_core::build_config(HostConfig::LocalGpus);
-                let mut cfg =
-                    training::JobConfig::paper_scaled(Benchmark::MobileNetV2, 8, 8);
-                cfg.prefetch_depth = depth;
-                cfg.checkpoint_each_epoch = false;
-                training::run_job(composed.topology, composed.cluster, cfg)
-                    .unwrap()
-                    .total_time
-                    .as_secs_f64()
-            };
-            let shallow = time(1);
-            let deep = time(3);
-            assert!(deep <= shallow * 1.02, "prefetch never hurts: {deep} vs {shallow}");
-            black_box((shallow, deep))
-        })
-    });
-}
-
-fn worker_count_ablation(c: &mut Criterion) {
-    c.bench_function("ablation_dataloader_workers", |b| {
-        b.iter(|| {
-            let time = |workers: u32| {
-                let composed = composable_core::build_config(HostConfig::LocalNvme);
-                let mut cfg =
-                    training::JobConfig::paper_scaled(Benchmark::MobileNetV2, 8, 8);
-                cfg.workers_per_gpu = workers;
-                cfg.checkpoint_each_epoch = false;
-                training::run_job(composed.topology, composed.cluster, cfg)
-                    .unwrap()
-                    .total_time
-                    .as_secs_f64()
-            };
-            let starved = time(1);
-            let fed = time(5);
-            assert!(
-                starved > fed * 1.3,
-                "1 worker must starve MobileNet: {starved} vs {fed}"
-            );
-            black_box((starved, fed))
-        })
-    });
-}
-
-criterion_group! {
-    name = ablations;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(8))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bucket_size_ablation, ring_policy_ablation,
-              prefetch_depth_ablation, worker_count_ablation
-}
-criterion_main!(ablations);

@@ -1,4 +1,5 @@
-//! Criterion benches regenerating each figure of the evaluation section.
+//! Benches regenerating each figure of the evaluation section (testkit
+//! harness).
 //!
 //! Every bench runs the figure's underlying simulation at a minimal scale
 //! (the relative quantities are steady-state properties, unchanged by the
@@ -8,9 +9,8 @@
 use bench::experiments::{self, Scale};
 use composable_core::runner::{run, ExperimentOpts};
 use composable_core::HostConfig;
-use criterion::{criterion_group, criterion_main, Criterion};
 use dlmodels::Benchmark;
-use std::hint::black_box;
+use testkit::bench::{black_box, BenchOpts, Suite};
 
 fn tiny() -> Scale {
     Scale {
@@ -20,104 +20,79 @@ fn tiny() -> Scale {
     }
 }
 
-fn fig9_gpu_util(c: &mut Criterion) {
-    c.bench_function("fig9_gpu_util_traces", |b| {
-        b.iter(|| {
-            let runs = experiments::fig9(Scale {
-                iters: 6,
-                epochs: Some(2),
-                checkpoints: true,
-            });
-            assert_eq!(runs.len(), 5);
-            black_box(runs.into_iter().map(|(_, r)| r.gpu_util).sum::<f64>())
-        })
+fn main() {
+    let mut s = Suite::with_opts(
+        "figures",
+        BenchOpts {
+            warmup_iters: 1,
+            iters: 10,
+        },
+    );
+
+    s.bench("fig9_gpu_util_traces", || {
+        let runs = experiments::fig9(Scale {
+            iters: 6,
+            epochs: Some(2),
+            checkpoints: true,
+        });
+        assert_eq!(runs.len(), 5);
+        black_box(runs.into_iter().map(|(_, r)| r.gpu_util).sum::<f64>())
+    });
+
+    s.bench("fig10_14_metric_grid", || {
+        let g = experiments::grid(tiny());
+        // Fig 13 shape: vision uses more CPU than NLP.
+        let cpu = |bm: Benchmark| {
+            experiments::fig13(&g)
+                .into_iter()
+                .find(|(b2, c2, _)| *b2 == bm && *c2 == HostConfig::LocalGpus)
+                .unwrap()
+                .2
+        };
+        assert!(cpu(Benchmark::MobileNetV2) > cpu(Benchmark::BertLarge));
+        // Fig 14 shape: host memory untaxed.
+        assert!(experiments::fig14(&g).iter().all(|&(_, _, u)| u < 0.5));
+        black_box(g.len())
+    });
+
+    s.bench("fig11_falcon_overhead", || {
+        let opts = ExperimentOpts::scaled(4).without_checkpoints();
+        let local = run(Benchmark::BertLarge, HostConfig::LocalGpus, &opts).unwrap();
+        let falcon = run(Benchmark::BertLarge, HostConfig::FalconGpus, &opts).unwrap();
+        let ratio = falcon.mean_iter.as_secs_f64() / local.mean_iter.as_secs_f64();
+        assert!((1.6..2.4).contains(&ratio), "BERT-L ~2x: {ratio}");
+        black_box(ratio)
+    });
+
+    s.bench("fig12_pcie_traffic", || {
+        let opts = ExperimentOpts::scaled(4).without_checkpoints();
+        let r = run(Benchmark::BertLarge, HostConfig::FalconGpus, &opts).unwrap();
+        assert!(r.falcon_pcie_rate > 40e9, "BERT-L traffic {}", r.falcon_pcie_rate);
+        black_box(r.falcon_pcie_rate)
+    });
+
+    s.bench("fig15_storage_study", || {
+        let rows = experiments::fig15(Scale {
+            iters: 8,
+            epochs: Some(2),
+            checkpoints: true,
+        });
+        // NVMe never hurts.
+        assert!(rows.iter().all(|&(_, _, pct)| pct < 2.0));
+        black_box(rows.len())
+    });
+
+    s.bench("fig16_software_optimizations", || {
+        let rows = experiments::fig16(tiny());
+        let thr = |cfg: HostConfig, v: &str| {
+            rows.iter()
+                .find(|r| r.config == cfg && r.variant == v)
+                .unwrap()
+                .throughput
+        };
+        assert!(
+            thr(HostConfig::LocalGpus, "DDP fp16") > 2.0 * thr(HostConfig::LocalGpus, "DDP fp32")
+        );
+        black_box(rows.len())
     });
 }
-
-fn fig10_fig14_grid(c: &mut Criterion) {
-    c.bench_function("fig10_14_metric_grid", |b| {
-        b.iter(|| {
-            let g = experiments::grid(tiny());
-            // Fig 13 shape: vision uses more CPU than NLP.
-            let cpu = |bm: Benchmark| {
-                experiments::fig13(&g)
-                    .into_iter()
-                    .find(|(b2, c2, _)| *b2 == bm && *c2 == HostConfig::LocalGpus)
-                    .unwrap()
-                    .2
-            };
-            assert!(cpu(Benchmark::MobileNetV2) > cpu(Benchmark::BertLarge));
-            // Fig 14 shape: host memory untaxed.
-            assert!(experiments::fig14(&g).iter().all(|&(_, _, u)| u < 0.5));
-            black_box(g.len())
-        })
-    });
-}
-
-fn fig11_falcon_overhead(c: &mut Criterion) {
-    c.bench_function("fig11_falcon_overhead", |b| {
-        b.iter(|| {
-            let opts = ExperimentOpts::scaled(4).without_checkpoints();
-            let local = run(Benchmark::BertLarge, HostConfig::LocalGpus, &opts).unwrap();
-            let falcon = run(Benchmark::BertLarge, HostConfig::FalconGpus, &opts).unwrap();
-            let ratio = falcon.mean_iter.as_secs_f64() / local.mean_iter.as_secs_f64();
-            assert!((1.6..2.4).contains(&ratio), "BERT-L ~2x: {ratio}");
-            black_box(ratio)
-        })
-    });
-}
-
-fn fig12_pcie_traffic(c: &mut Criterion) {
-    c.bench_function("fig12_pcie_traffic", |b| {
-        b.iter(|| {
-            let opts = ExperimentOpts::scaled(4).without_checkpoints();
-            let r = run(Benchmark::BertLarge, HostConfig::FalconGpus, &opts).unwrap();
-            assert!(r.falcon_pcie_rate > 40e9, "BERT-L traffic {}", r.falcon_pcie_rate);
-            black_box(r.falcon_pcie_rate)
-        })
-    });
-}
-
-fn fig15_storage(c: &mut Criterion) {
-    c.bench_function("fig15_storage_study", |b| {
-        b.iter(|| {
-            let rows = experiments::fig15(Scale {
-                iters: 8,
-                epochs: Some(2),
-                checkpoints: true,
-            });
-            // NVMe never hurts.
-            assert!(rows.iter().all(|&(_, _, pct)| pct < 2.0));
-            black_box(rows.len())
-        })
-    });
-}
-
-fn fig16_sw_opt(c: &mut Criterion) {
-    c.bench_function("fig16_software_optimizations", |b| {
-        b.iter(|| {
-            let rows = experiments::fig16(tiny());
-            let thr = |cfg: HostConfig, v: &str| {
-                rows.iter()
-                    .find(|r| r.config == cfg && r.variant == v)
-                    .unwrap()
-                    .throughput
-            };
-            assert!(
-                thr(HostConfig::LocalGpus, "DDP fp16") > 2.0 * thr(HostConfig::LocalGpus, "DDP fp32")
-            );
-            black_box(rows.len())
-        })
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(8))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = fig9_gpu_util, fig10_fig14_grid, fig11_falcon_overhead,
-              fig12_pcie_traffic, fig15_storage, fig16_sw_opt
-}
-criterion_main!(figures);

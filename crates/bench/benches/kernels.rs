@@ -1,10 +1,9 @@
-//! Microbenchmarks of the simulator's own hot paths: event queue
-//! throughput, max-min rate recomputation under many concurrent flows,
-//! routing, ring planning, and roofline aggregation. These bound how large
-//! a composable-system study the simulator can sustain.
+//! Microbenchmarks of the simulator's own hot paths (testkit harness):
+//! event queue throughput, max-min rate recomputation under many concurrent
+//! flows, routing, ring planning, and roofline aggregation. These bound how
+//! large a composable-system study the simulator can sustain.
 
 use collectives::plan_ring;
-use criterion::{criterion_group, criterion_main, Criterion};
 use desim::queue::EventQueue;
 use desim::{Dur, Sim, SimTime};
 use devices::catalog::wire_cube_mesh;
@@ -12,46 +11,7 @@ use devices::gpu::{add_gpu, GpuSpec};
 use devices::Precision;
 use fabric::flow::FlowCallback;
 use fabric::{FabricState, FlowTag, FlowWorld, LinkClass, LinkSpec, NodeKind, Topology, GB};
-use std::hint::black_box;
-
-fn event_queue_throughput(c: &mut Criterion) {
-    c.bench_function("desim_event_queue_100k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            let mut state = 0x12345u64;
-            for i in 0..100_000u64 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                q.push(SimTime::from_nanos(state % 1_000_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
-    });
-}
-
-fn scheduler_event_rate(c: &mut Criterion) {
-    c.bench_function("desim_scheduler_50k_events", |b| {
-        b.iter(|| {
-            struct W {
-                count: u64,
-            }
-            fn tick(w: &mut W, sim: &mut Sim<W>) {
-                w.count += 1;
-                if w.count < 50_000 {
-                    sim.schedule_in(Dur::from_nanos(10), tick);
-                }
-            }
-            let mut sim: Sim<W> = Sim::new();
-            let mut w = W { count: 0 };
-            sim.schedule_in(Dur::from_nanos(1), tick);
-            sim.run(&mut w);
-            black_box(w.count)
-        })
-    });
-}
+use testkit::bench::{black_box, BenchOpts, Suite};
 
 struct FlowBench {
     fabric: FabricState<FlowBench>,
@@ -68,44 +28,79 @@ fn cb() -> FlowCallback<FlowBench> {
     Box::new(|w: &mut FlowBench, _| w.done += 1)
 }
 
-/// 64 concurrent flows criss-crossing a 16-GPU two-switch fabric: every
-/// start/finish triggers a full max-min recomputation.
-fn maxmin_under_load(c: &mut Criterion) {
-    c.bench_function("fabric_maxmin_64_flows", |b| {
-        b.iter(|| {
-            let mut topo = Topology::new();
-            let sw0 = topo.add_node("sw0", NodeKind::PcieSwitch);
-            let sw1 = topo.add_node("sw1", NodeKind::PcieSwitch);
-            topo.add_link(sw0, sw1, LinkSpec::of(LinkClass::PcieGen4x16));
-            let spec = GpuSpec::v100_pcie_16gb();
-            let gpus: Vec<_> = (0..16)
-                .map(|i| {
-                    let g = add_gpu(&mut topo, &format!("g{i}"), &spec);
-                    let sw = if i < 8 { sw0 } else { sw1 };
-                    topo.add_link(g.port, sw, LinkSpec::of(LinkClass::PcieGen4x16));
-                    g.core
-                })
-                .collect();
-            let mut w = FlowBench {
-                fabric: FabricState::new(topo),
-                done: 0,
-            };
-            let mut sim: Sim<FlowBench> = Sim::new();
-            for i in 0..64 {
-                let (a, b2) = (gpus[i % 16], gpus[(i * 7 + 3) % 16]);
-                if a != b2 {
-                    w.fabric
-                        .start_flow(&mut sim, a, b2, 0.2 * GB, FlowTag::UNTAGGED, cb());
-                }
-            }
-            sim.run(&mut w);
-            black_box(w.done)
-        })
-    });
-}
+fn main() {
+    let mut s = Suite::with_opts(
+        "kernels",
+        BenchOpts {
+            warmup_iters: 2,
+            iters: 20,
+        },
+    );
 
-fn ring_planning(c: &mut Criterion) {
-    c.bench_function("collectives_plan_ring_cube_mesh", |b| {
+    s.bench("desim_event_queue_100k", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut state = 0x12345u64;
+        for i in 0..100_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(SimTime::from_nanos(state % 1_000_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc)
+    });
+
+    s.bench("desim_scheduler_50k_events", || {
+        struct W {
+            count: u64,
+        }
+        fn tick(w: &mut W, sim: &mut Sim<W>) {
+            w.count += 1;
+            if w.count < 50_000 {
+                sim.schedule_in(Dur::from_nanos(10), tick);
+            }
+        }
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W { count: 0 };
+        sim.schedule_in(Dur::from_nanos(1), tick);
+        sim.run(&mut w);
+        black_box(w.count)
+    });
+
+    // 64 concurrent flows criss-crossing a 16-GPU two-switch fabric: every
+    // start/finish triggers a full max-min recomputation.
+    s.bench("fabric_maxmin_64_flows", || {
+        let mut topo = Topology::new();
+        let sw0 = topo.add_node("sw0", NodeKind::PcieSwitch);
+        let sw1 = topo.add_node("sw1", NodeKind::PcieSwitch);
+        topo.add_link(sw0, sw1, LinkSpec::of(LinkClass::PcieGen4x16));
+        let spec = GpuSpec::v100_pcie_16gb();
+        let gpus: Vec<_> = (0..16)
+            .map(|i| {
+                let g = add_gpu(&mut topo, &format!("g{i}"), &spec);
+                let sw = if i < 8 { sw0 } else { sw1 };
+                topo.add_link(g.port, sw, LinkSpec::of(LinkClass::PcieGen4x16));
+                g.core
+            })
+            .collect();
+        let mut w = FlowBench {
+            fabric: FabricState::new(topo),
+            done: 0,
+        };
+        let mut sim: Sim<FlowBench> = Sim::new();
+        for i in 0..64 {
+            let (a, b2) = (gpus[i % 16], gpus[(i * 7 + 3) % 16]);
+            if a != b2 {
+                w.fabric
+                    .start_flow(&mut sim, a, b2, 0.2 * GB, FlowTag::UNTAGGED, cb());
+            }
+        }
+        sim.run(&mut w);
+        black_box(w.done)
+    });
+
+    {
         let mut topo = Topology::new();
         let spec = GpuSpec::v100_sxm2_16gb();
         let gpus: Vec<_> = (0..8)
@@ -113,18 +108,16 @@ fn ring_planning(c: &mut Criterion) {
             .collect();
         wire_cube_mesh(&mut topo, &gpus);
         let cores: Vec<_> = gpus.iter().map(|g| g.core).collect();
-        b.iter(|| {
+        s.bench("collectives_plan_ring_cube_mesh", || {
             let mut t = topo.clone();
             black_box(plan_ring(&mut t, &cores))
-        })
-    });
-}
+        });
+    }
 
-fn roofline_aggregation(c: &mut Criterion) {
-    c.bench_function("roofline_bert_large_step", |b| {
+    {
         let model = dlmodels::nlp::bert_large(384);
         let gpu = GpuSpec::v100_sxm2_16gb();
-        b.iter(|| {
+        s.bench("roofline_bert_large_step", || {
             let mut total = Dur::ZERO;
             for layer in &model.layers {
                 let k = gpu.kernel(
@@ -136,15 +129,13 @@ fn roofline_aggregation(c: &mut Criterion) {
                 total += k.total;
             }
             black_box(total)
-        })
-    });
-}
+        });
+    }
 
-fn routing(c: &mut Criterion) {
-    c.bench_function("fabric_route_cold_cache", |b| {
+    {
         let composed = composable_core::build_config(composable_core::HostConfig::FalconGpus);
         let gpus: Vec<_> = composed.cluster.gpus.iter().map(|g| g.core).collect();
-        b.iter(|| {
+        s.bench("fabric_route_cold_cache", || {
             let mut topo = composed.topology.clone();
             let mut hops = 0usize;
             for &a in &gpus {
@@ -155,17 +146,6 @@ fn routing(c: &mut Criterion) {
                 }
             }
             black_box(hops)
-        })
-    });
+        });
+    }
 }
-
-criterion_group! {
-    name = kernels;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(4))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = event_queue_throughput, scheduler_event_rate, maxmin_under_load,
-              ring_planning, roofline_aggregation, routing
-}
-criterion_main!(kernels);

@@ -1,44 +1,27 @@
-//! Criterion benches for the paper's tables.
+//! Benches for the paper's tables (testkit harness).
 //!
 //! * `table2_model_zoo` — building all five benchmark models layer-by-layer
 //!   and deriving their Table II characteristics.
-//! * `table4_p2p_*` — the GPU-pair microbenchmarks of Table IV, run as
+//! * `table4_p2p_probes` — the GPU-pair microbenchmarks of Table IV, run as
 //!   full flow simulations on the composed topology.
 
 use bench::experiments::table4_measured;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use testkit::bench::{black_box, BenchOpts, Suite};
 
-fn table2_model_zoo(c: &mut Criterion) {
-    c.bench_function("table2_model_zoo", |b| {
-        b.iter(|| {
-            let models = dlmodels::paper_benchmarks();
-            let total: u64 = models.iter().map(|m| m.param_count()).sum();
-            black_box(total)
-        })
+fn main() {
+    let mut s = Suite::with_opts(
+        "tables",
+        BenchOpts {
+            warmup_iters: 2,
+            iters: 10,
+        },
+    );
+
+    s.bench("table2_model_zoo", || {
+        let models = dlmodels::paper_benchmarks();
+        let total: u64 = models.iter().map(|m| m.param_count()).sum();
+        black_box(total)
     });
-}
 
-fn table4_p2p(c: &mut Criterion) {
-    c.bench_function("table4_p2p_probes", |b| {
-        b.iter(|| black_box(table4_measured()))
-    });
+    s.bench("table4_p2p_probes", || black_box(table4_measured()));
 }
-
-fn config(c: &mut Criterion) -> &mut Criterion {
-    c
-}
-
-criterion_group! {
-    name = tables;
-    config = {
-        let mut c = Criterion::default()
-            .sample_size(10)
-            .measurement_time(std::time::Duration::from_secs(4))
-            .warm_up_time(std::time::Duration::from_millis(500));
-        let _ = config(&mut c);
-        c
-    };
-    targets = table2_model_zoo, table4_p2p
-}
-criterion_main!(tables);

@@ -1,11 +1,17 @@
 //! Property tests for ring planning: the planner must return a
 //! permutation whose bottleneck is optimal (verified against brute force
 //! for small member counts) on arbitrary random fabrics.
+//!
+//! Invariants covered (testkit, 64 cases each — raised from 48 under
+//! proptest):
+//! * planned rings are permutations of the members;
+//! * the planner's bottleneck equals the brute-force optimum (small n);
+//! * pair capacity is symmetric and positive between connected pairs.
 
 use collectives::{pair_capacity, plan_ring, ring_bottleneck};
 use desim::Dur;
 use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology, GB};
-use proptest::prelude::*;
+use testkit::{f64_in, prop_assert, prop_assert_eq, property, tuple3, usize_in, vec_of};
 
 /// Random connected topology: `n` GPUs, a base switch connecting everyone
 /// (so routes always exist), plus random direct links with random
@@ -63,14 +69,12 @@ fn brute_force_best(topo: &mut Topology, members: &[NodeId]) -> f64 {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
+property! {
     /// Planned rings are permutations of the members.
-    #[test]
+    #[cases(64)]
     fn ring_is_a_permutation(
-        n in 3usize..9,
-        extra in proptest::collection::vec((0usize..9, 0usize..9, 5.0f64..60.0), 0..10)
+        n in usize_in(3..9),
+        extra in vec_of(tuple3(usize_in(0..9), usize_in(0..9), f64_in(5.0, 60.0)), 0..10)
     ) {
         let extra: Vec<_> = extra.into_iter().filter(|&(a, b, _)| a < n && b < n).collect();
         let (topo, gpus) = random_fabric(n, &extra);
@@ -84,10 +88,10 @@ proptest! {
     }
 
     /// For small n the planner's bottleneck equals the brute-force optimum.
-    #[test]
+    #[cases(64)]
     fn bottleneck_is_optimal(
-        n in 3usize..7,
-        extra in proptest::collection::vec((0usize..7, 0usize..7, 5.0f64..60.0), 0..8)
+        n in usize_in(3..7),
+        extra in vec_of(tuple3(usize_in(0..7), usize_in(0..7), f64_in(5.0, 60.0)), 0..8)
     ) {
         let extra: Vec<_> = extra.into_iter().filter(|&(a, b, _)| a < n && b < n).collect();
         let (topo, gpus) = random_fabric(n, &extra);
@@ -103,10 +107,10 @@ proptest! {
 
     /// Pair capacity is symmetric on these undirected fabrics and positive
     /// between all connected pairs.
-    #[test]
+    #[cases(64)]
     fn pair_capacity_symmetric(
-        n in 3usize..8,
-        extra in proptest::collection::vec((0usize..8, 0usize..8, 5.0f64..60.0), 0..8)
+        n in usize_in(3..8),
+        extra in vec_of(tuple3(usize_in(0..8), usize_in(0..8), f64_in(5.0, 60.0)), 0..8)
     ) {
         let extra: Vec<_> = extra.into_iter().filter(|&(a, b, _)| a < n && b < n).collect();
         let (topo, gpus) = random_fabric(n, &extra);

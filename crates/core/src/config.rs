@@ -1,6 +1,5 @@
 //! The composed-host configurations of the paper's Table III.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Table I — the software stack of the paper's test bed, kept as data so
@@ -19,7 +18,7 @@ pub fn software_stack() -> Vec<(&'static str, &'static str)> {
 }
 
 /// One row of Table III: how the host's GPUs and storage are composed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HostConfig {
     /// 8 local GPUs and local storage.
     LocalGpus,

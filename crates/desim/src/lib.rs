@@ -10,7 +10,9 @@
 //!   time-bucketed series used to reproduce the paper's telemetry
 //!   (GPU/CPU utilization traces, PCIe traffic rates),
 //! * [`rng`] — seeded random-number plumbing so identical inputs always
-//!   produce identical simulations.
+//!   produce identical simulations,
+//! * [`json`] — a self-contained JSON value/parser/emitter so the types
+//!   that cross a serialization boundary need no registry dependency.
 //!
 //! # Determinism
 //!
@@ -37,6 +39,7 @@
 //! assert_eq!(sim.now(), SimTime::from_micros(5));
 //! ```
 
+pub mod json;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -44,6 +47,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use json::{FromJson, JsonError, ToJson, Value};
 pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use sim::Sim;

@@ -2,9 +2,18 @@
 //! schedule/cancel operations, events fire exactly once, in nondecreasing
 //! time order, never after cancellation, and identical inputs replay
 //! identically.
+//!
+//! Invariants covered (testkit, 128 cases for the op-interleaving block,
+//! 64 for the stats block):
+//! * events fire at most once, in nondecreasing time order;
+//! * cancelled events never fire; fired ≤ scheduled;
+//! * identical op sequences replay bit-identically;
+//! * `run_until` partitions events cleanly around the horizon;
+//! * `BusyTracker` / `TimeWeightedGauge` agree with brute force.
 
 use desim::{Sim, SimTime};
-use proptest::prelude::*;
+use testkit::{prop_assert, prop_assert_eq, property};
+use testkit::{one_of, u64_in, usize_in, vec_of, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -14,12 +23,12 @@ enum Op {
     Cancel(usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u64..1_000_000).prop_map(Op::Schedule),
-            (0usize..8).prop_map(Op::Cancel),
-        ],
+fn ops() -> Gen<Vec<Op>> {
+    vec_of(
+        one_of(vec![
+            u64_in(0..1_000_000).map(|v| Op::Schedule(*v)),
+            usize_in(0..8).map(|k| Op::Cancel(*k)),
+        ]),
         1..200,
     )
 }
@@ -63,10 +72,8 @@ fn run(ops: &[Op]) -> Vec<(u64, u32)> {
     world.fired
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
+property! {
+    #[cases(128)]
     fn events_fire_once_in_time_order(ops in ops()) {
         let fired = run(&ops);
         // Time order.
@@ -79,28 +86,24 @@ proptest! {
         prop_assert_eq!(ids.len(), before, "an event fired twice");
     }
 
-    #[test]
+    #[cases(128)]
     fn replay_is_bit_identical(ops in ops()) {
         prop_assert_eq!(run(&ops), run(&ops));
     }
 
-    #[test]
+    #[cases(128)]
     fn scheduled_minus_cancelled_equals_fired(ops in ops()) {
         let scheduled = ops.iter().filter(|o| matches!(o, Op::Schedule(_))).count();
         // Count successful cancels by reproducing handle bookkeeping.
         let fired = run(&ops).len();
         prop_assert!(fired <= scheduled);
     }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// run_until never executes events beyond the horizon and leaves them
     /// intact for a later run.
-    #[test]
-    fn run_until_partitions_cleanly(times in proptest::collection::vec(0u64..1000, 1..50),
-                                    horizon in 0u64..1000) {
+    #[cases(64)]
+    fn run_until_partitions_cleanly(times in vec_of(u64_in(0..1000), 1..50),
+                                    horizon in u64_in(0..1000)) {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
         for (i, &t) in times.iter().enumerate() {
@@ -118,8 +121,10 @@ proptest! {
     }
 
     /// The stats busy-tracker agrees with a brute-force boolean timeline.
-    #[test]
-    fn busy_tracker_matches_brute_force(intervals in proptest::collection::vec((0u64..500, 0u64..100), 0..40)) {
+    #[cases(64)]
+    fn busy_tracker_matches_brute_force(
+        intervals in vec_of(testkit::tuple2(u64_in(0..500), u64_in(0..100)), 0..40)
+    ) {
         use desim::stats::BusyTracker;
         let mut tracker = BusyTracker::new();
         let mut timeline = vec![false; 700];
@@ -138,8 +143,10 @@ proptest! {
     }
 
     /// Time-weighted gauge mean equals a brute-force integral.
-    #[test]
-    fn gauge_mean_matches_integral(values in proptest::collection::vec((1u64..100, 0.0f64..50.0), 1..30)) {
+    #[cases(64)]
+    fn gauge_mean_matches_integral(
+        values in vec_of(testkit::tuple2(u64_in(1..100), testkit::f64_in(0.0, 50.0)), 1..30)
+    ) {
         use desim::stats::TimeWeightedGauge;
         let mut g = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
         let mut t = 0u64;

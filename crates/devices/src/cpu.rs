@@ -8,10 +8,9 @@
 //! sample; `workers` cores process samples concurrently.
 
 use desim::Dur;
-use serde::{Deserialize, Serialize};
 
 /// Static description of the host CPU complex.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     pub name: String,
     /// Total physical cores across sockets.

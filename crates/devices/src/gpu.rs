@@ -10,10 +10,9 @@ use crate::roofline::{kernel_time, KernelTime, Precision};
 use crate::{GB, TFLOP};
 use desim::Dur;
 use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Static description of a GPU model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     pub name: String,
     /// Peak FP32 throughput (FLOP/s).

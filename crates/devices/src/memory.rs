@@ -7,10 +7,9 @@
 //! to the paper's Fig 15 storage study).
 
 use crate::GB;
-use serde::{Deserialize, Serialize};
 
 /// Static description of a host's DRAM pool.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DramSpec {
     pub capacity_bytes: f64,
     /// Aggregate bandwidth across channels (bytes/s).

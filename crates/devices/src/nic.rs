@@ -8,10 +8,9 @@
 
 use crate::GB;
 use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Static description of a NIC.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NicSpec {
     pub name: String,
     /// Line rate per port (bytes/s).

@@ -8,10 +8,9 @@
 //! spent accessing GPU memory" metric of the paper's Figure 10.
 
 use desim::Dur;
-use serde::{Deserialize, Serialize};
 
 /// Numeric precision of a kernel (affects peak FLOPs and bytes moved).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// IEEE single precision on the FP32 pipeline.
     Fp32,

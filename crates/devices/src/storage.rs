@@ -9,10 +9,9 @@
 use crate::GB;
 use desim::Dur;
 use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Static description of a storage device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StorageSpec {
     pub name: String,
     pub capacity_bytes: f64,

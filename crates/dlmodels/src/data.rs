@@ -8,10 +8,9 @@
 //! between vision and NLP workloads (Fig 13).
 
 use desim::Dur;
-use serde::{Deserialize, Serialize};
 
 /// A synthetic stand-in for one of the paper's datasets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     pub name: String,
     /// Training samples per epoch.

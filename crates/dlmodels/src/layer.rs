@@ -9,11 +9,10 @@
 //! and testable — quantities.
 
 use crate::precision::Precision;
-use serde::{Deserialize, Serialize};
 
 /// What kind of kernel a layer runs — determines achievable compute
 /// efficiency on a V100 and whether the layer is typically memory-bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Dense convolution (im2col/implicit GEMM on tensor cores).
     Conv,
@@ -64,7 +63,7 @@ impl LayerKind {
 }
 
 /// One layer of a benchmark model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layer {
     pub name: String,
     pub kind: LayerKind,

@@ -4,17 +4,16 @@
 use crate::data::DatasetSpec;
 use crate::layer::Layer;
 use crate::precision::{optimizer_bytes_per_param, Precision};
-use serde::{Deserialize, Serialize};
 
 /// Application domain (Table II column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     ComputerVision,
     Nlp,
 }
 
 /// Which paper benchmark a model descriptor instantiates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     MobileNetV2,
     ResNet50,
@@ -46,7 +45,7 @@ impl Benchmark {
 }
 
 /// An analytic model of one benchmark network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelDesc {
     pub benchmark: Benchmark,
     pub name: String,

@@ -7,10 +7,9 @@
 //! with Adam — the optimizer-state footprint that the ZeRO sharding study
 //! (Fig 16) partitions.
 
-use serde::{Deserialize, Serialize};
 
 /// Numeric precision of training.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// Plain FP32 training.
     Fp32,

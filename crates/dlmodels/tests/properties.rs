@@ -1,18 +1,26 @@
 //! Property tests on the layer IR and model aggregates.
+//!
+//! Invariants covered (testkit, 256 cases for the layer-formula block —
+//! they are cheap — and 64 for BERT aggregates, raised from 32 under
+//! proptest):
+//! * conv parameter/FLOP scaling laws (channels double => params double);
+//! * depthwise conv is strictly cheaper than dense at equal shape;
+//! * linear FLOPs scale with tokens, params do not;
+//! * memory traffic is monotone in batch and precision width;
+//! * BERT params grow superquadratically in hidden size, FLOPs
+//!   superlinearly in sequence length.
 
 use dlmodels::layer::Layer;
 use dlmodels::{paper_benchmarks, Precision};
-use proptest::prelude::*;
+use testkit::{prop_assert, prop_assert_eq, property, u32_in, u64_in};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
+property! {
     /// Conv parameter/FLOP formulas: doubling output channels doubles
     /// weights and MACs; stride reduces output elements, never FLOPs per
     /// output element.
-    #[test]
-    fn conv_scaling_laws(cin in 1u64..64, cout in 1u64..64, k in 1u64..6,
-                         h in 8u64..64, stride in 1u64..3) {
+    #[cases(256)]
+    fn conv_scaling_laws(cin in u64_in(1..64), cout in u64_in(1..64), k in u64_in(1..6),
+                         h in u64_in(8..64), stride in u64_in(1..3)) {
         let base = Layer::conv2d("c", cin, cout, k, stride, h, h, 1, false);
         let double = Layer::conv2d("c", cin, 2 * cout, k, stride, h, h, 1, false);
         prop_assert_eq!(double.params, 2 * base.params);
@@ -25,8 +33,8 @@ proptest! {
 
     /// Depthwise conv always costs fewer FLOPs and params than the dense
     /// conv of the same shape (the MobileNet design premise).
-    #[test]
-    fn depthwise_cheaper_than_dense(c in 2u64..128, h in 8u64..64) {
+    #[cases(256)]
+    fn depthwise_cheaper_than_dense(c in u64_in(2..128), h in u64_in(8..64)) {
         let dw = Layer::dwconv("dw", c, 3, 1, h, h);
         let dense = Layer::conv2d("d", c, c, 3, 1, h, h, 1, false);
         prop_assert!(dw.params < dense.params);
@@ -34,8 +42,8 @@ proptest! {
     }
 
     /// Linear layers: FLOPs scale with tokens, params do not.
-    #[test]
-    fn linear_token_scaling(din in 1u64..512, dout in 1u64..512, t in 1u64..64) {
+    #[cases(256)]
+    fn linear_token_scaling(din in u64_in(1..512), dout in u64_in(1..512), t in u64_in(1..64)) {
         let one = Layer::linear("l", din, dout, 1, true);
         let many = Layer::linear("l", din, dout, t, true);
         prop_assert_eq!(one.params, many.params);
@@ -44,23 +52,20 @@ proptest! {
 
     /// Memory traffic is monotone in batch and halves from fp32 to fp16
     /// asymptotically (weights are batch-independent).
-    #[test]
-    fn mem_traffic_monotone(cin in 1u64..32, cout in 1u64..32, b1 in 1u64..16, extra in 1u64..16) {
+    #[cases(256)]
+    fn mem_traffic_monotone(cin in u64_in(1..32), cout in u64_in(1..32),
+                            b1 in u64_in(1..16), extra in u64_in(1..16)) {
         let l = Layer::conv2d("c", cin, cout, 3, 1, 16, 16, 1, false);
         let small = l.mem_bytes_fwd(b1, Precision::Fp16);
         let big = l.mem_bytes_fwd(b1 + extra, Precision::Fp16);
         prop_assert!(big > small);
         prop_assert!(l.mem_bytes_fwd(b1, Precision::Fp32) > small);
     }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// BERT aggregates behave across arbitrary widths: params grow ~
     /// quadratically in hidden size, FLOPs superlinearly in sequence.
-    #[test]
-    fn bert_scaling(layers in 1u64..6, heads_pow in 0u32..3, seq in 64u64..256) {
+    #[cases(64)]
+    fn bert_scaling(layers in u64_in(1..6), heads_pow in u32_in(0..3), seq in u64_in(64..256)) {
         let heads = 1u64 << heads_pow;
         let hidden = heads * 64;
         let m = dlmodels::nlp::bert(dlmodels::Benchmark::BertBase, "t", layers, hidden, heads, seq);

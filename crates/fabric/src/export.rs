@@ -1,29 +1,32 @@
-//! Topology export: Graphviz DOT for humans, serde round-trip for tools.
+//! Topology export: Graphviz DOT for humans, JSON round-trip for tools.
 //!
 //! The Falcon management GUI offers list and topology views plus
 //! configuration import/export (paper §II-B); this module gives the
 //! simulated fabric the same affordances, so a composed system can be
-//! inspected (`dot -Tsvg`) or archived and rebuilt exactly.
+//! inspected (`dot -Tsvg`) or archived and rebuilt exactly. The JSON
+//! shapes match what the earlier serde derives produced (unit enum
+//! variants as strings, data variants externally tagged), so archived
+//! snapshots remain readable.
 
-use crate::link::LinkSpec;
+use crate::link::{LinkClass, LinkSpec};
 use crate::topology::{NodeKind, Topology};
 use crate::GB;
-use serde::{Deserialize, Serialize};
+use desim::json::{FromJson, JsonError, ToJson, Value};
 
 /// A serializable snapshot of a topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopologySpec {
     pub nodes: Vec<NodeSpec>,
     pub links: Vec<LinkRow>,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     pub name: String,
     pub kind: NodeKind,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkRow {
     pub a: u32,
     pub b: u32,
@@ -65,6 +68,168 @@ impl TopologySpec {
             t.add_link(ids[l.a as usize], ids[l.b as usize], l.spec);
         }
         t
+    }
+}
+
+impl TopologySpec {
+    /// Emit the snapshot as pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Parse a snapshot previously produced by [`TopologySpec::to_json_string`].
+    pub fn from_json_str(s: &str) -> Result<TopologySpec, JsonError> {
+        TopologySpec::from_json(&Value::parse(s)?)
+    }
+}
+
+impl ToJson for NodeKind {
+    fn to_json(&self) -> Value {
+        Value::str(match self {
+            NodeKind::RootComplex => "RootComplex",
+            NodeKind::PcieSwitch => "PcieSwitch",
+            NodeKind::Gpu => "Gpu",
+            NodeKind::Storage => "Storage",
+            NodeKind::Nic => "Nic",
+            NodeKind::Memory => "Memory",
+            NodeKind::HostAdapter => "HostAdapter",
+            NodeKind::DevicePort => "DevicePort",
+        })
+    }
+}
+
+impl FromJson for NodeKind {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "RootComplex" => Ok(NodeKind::RootComplex),
+            "PcieSwitch" => Ok(NodeKind::PcieSwitch),
+            "Gpu" => Ok(NodeKind::Gpu),
+            "Storage" => Ok(NodeKind::Storage),
+            "Nic" => Ok(NodeKind::Nic),
+            "Memory" => Ok(NodeKind::Memory),
+            "HostAdapter" => Ok(NodeKind::HostAdapter),
+            "DevicePort" => Ok(NodeKind::DevicePort),
+            other => Err(JsonError::decode(format!("unknown NodeKind \"{other}\""))),
+        }
+    }
+}
+
+impl ToJson for LinkClass {
+    fn to_json(&self) -> Value {
+        match self {
+            LinkClass::NvLink2 { lanes } => Value::obj(vec![(
+                "NvLink2",
+                Value::obj(vec![("lanes", Value::from_u64(u64::from(*lanes)))]),
+            )]),
+            LinkClass::PcieGen3x16 => Value::str("PcieGen3x16"),
+            LinkClass::PcieGen4x16 => Value::str("PcieGen4x16"),
+            LinkClass::PcieGen4x8 => Value::str("PcieGen4x8"),
+            LinkClass::PcieGen4x4 => Value::str("PcieGen4x4"),
+            LinkClass::PcieGen3x4 => Value::str("PcieGen3x4"),
+            LinkClass::Cdfp400 => Value::str("Cdfp400"),
+            LinkClass::Upi => Value::str("Upi"),
+            LinkClass::MemoryBus => Value::str("MemoryBus"),
+            LinkClass::Sata3 => Value::str("Sata3"),
+            LinkClass::TenGbE => Value::str("TenGbE"),
+        }
+    }
+}
+
+impl FromJson for LinkClass {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Ok(tag) = v.as_str() {
+            return match tag {
+                "PcieGen3x16" => Ok(LinkClass::PcieGen3x16),
+                "PcieGen4x16" => Ok(LinkClass::PcieGen4x16),
+                "PcieGen4x8" => Ok(LinkClass::PcieGen4x8),
+                "PcieGen4x4" => Ok(LinkClass::PcieGen4x4),
+                "PcieGen3x4" => Ok(LinkClass::PcieGen3x4),
+                "Cdfp400" => Ok(LinkClass::Cdfp400),
+                "Upi" => Ok(LinkClass::Upi),
+                "MemoryBus" => Ok(LinkClass::MemoryBus),
+                "Sata3" => Ok(LinkClass::Sata3),
+                "TenGbE" => Ok(LinkClass::TenGbE),
+                other => Err(JsonError::decode(format!("unknown LinkClass \"{other}\""))),
+            };
+        }
+        let lanes = v.get("NvLink2")?.get("lanes")?.as_u8()?;
+        Ok(LinkClass::NvLink2 { lanes })
+    }
+}
+
+impl ToJson for LinkSpec {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("class", self.class.to_json()),
+            ("capacity", Value::Num(self.capacity)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LinkSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(LinkSpec {
+            class: LinkClass::from_json(v.get("class")?)?,
+            capacity: v.get("capacity")?.as_f64()?,
+            latency: FromJson::from_json(v.get("latency")?)?,
+        })
+    }
+}
+
+impl ToJson for NodeSpec {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(&*self.name)),
+            ("kind", self.kind.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(NodeSpec {
+            name: String::from_json(v.get("name")?)?,
+            kind: NodeKind::from_json(v.get("kind")?)?,
+        })
+    }
+}
+
+impl ToJson for LinkRow {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("a", Value::from_u64(u64::from(self.a))),
+            ("b", Value::from_u64(u64::from(self.b))),
+            ("spec", self.spec.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LinkRow {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(LinkRow {
+            a: v.get("a")?.as_u32()?,
+            b: v.get("b")?.as_u32()?,
+            spec: LinkSpec::from_json(v.get("spec")?)?,
+        })
+    }
+}
+
+impl ToJson for TopologySpec {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("nodes", self.nodes.to_json()),
+            ("links", self.links.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TopologySpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(TopologySpec {
+            nodes: FromJson::from_json(v.get("nodes")?)?,
+            links: FromJson::from_json(v.get("links")?)?,
+        })
     }
 }
 
@@ -125,8 +290,8 @@ mod tests {
     fn capture_rebuild_round_trips() {
         let t = sample();
         let spec = TopologySpec::capture(&t);
-        let json = serde_json::to_string(&spec).unwrap();
-        let parsed: TopologySpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json_string();
+        let parsed = TopologySpec::from_json_str(&json).unwrap();
         assert_eq!(parsed, spec);
         let mut rebuilt = parsed.rebuild();
         assert_eq!(rebuilt.node_count(), t.node_count());

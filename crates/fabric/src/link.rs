@@ -10,11 +10,10 @@
 
 use crate::GB;
 use desim::Dur;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The physical class of an interconnect link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkClass {
     /// PCI Express Gen3 ×16 (≈ 15.75 GB/s raw per direction).
     PcieGen3x16,
@@ -129,7 +128,7 @@ impl fmt::Display for LinkClass {
 }
 
 /// A fully resolved link: effective per-direction capacity and latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     pub class: LinkClass,
     /// Effective capacity per direction, bytes/s.

@@ -8,21 +8,20 @@
 
 use crate::link::LinkSpec;
 use desim::Dur;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Index of a node in a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Index of an undirected link in a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub u32);
 
 /// Direction of travel over an undirected link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Dir {
     /// From endpoint `a` to endpoint `b`.
     Forward,
@@ -31,7 +30,7 @@ pub enum Dir {
 }
 
 /// A directed traversal of a link — the unit of bandwidth contention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DirLink {
     pub link: LinkId,
     pub dir: Dir,
@@ -62,7 +61,7 @@ impl DirLink {
 
 /// What a node *is*, which determines its forwarding latency and how
 /// higher layers (devices, falcon) interpret it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A CPU socket / PCIe root complex.
     RootComplex,
@@ -132,14 +131,14 @@ impl NodeKind {
 }
 
 /// A node in the fabric.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     pub name: String,
     pub kind: NodeKind,
 }
 
 /// An undirected link between two nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     pub a: NodeId,
     pub b: NodeId,

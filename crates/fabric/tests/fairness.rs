@@ -3,11 +3,17 @@
 //! Random star/dumbbell topologies with random concurrent transfers must
 //! always satisfy the fairness invariants (feasibility, progress,
 //! bottleneck), conserve bytes in the port counters, and be deterministic.
+//!
+//! Invariants covered (testkit, 64 cases each):
+//! * fairness invariants hold after every simulation event;
+//! * identical scenarios produce bit-identical completion schedules;
+//! * port counters conserve bytes per directed link;
+//! * makespan respects the physical capacity lower bound.
 
 use desim::{Dur, Sim, SimTime};
 use fabric::flow::FlowCallback;
 use fabric::{FabricState, FlowTag, FlowWorld, LinkClass, LinkSpec, NodeId, NodeKind, Topology, GB};
-use proptest::prelude::*;
+use testkit::{f64_in, prop_assert, prop_assert_eq, property, tuple2, tuple4, u64_in, usize_in, vec_of, Gen};
 
 struct World {
     fabric: FabricState<World>,
@@ -54,17 +60,22 @@ struct Scenario {
     transfers: Vec<(usize, usize, f64, u64)>,
 }
 
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
-    (3usize..8)
-        .prop_flat_map(|n| {
-            let caps = proptest::collection::vec(1.0f64..40.0, n);
-            let transfers = proptest::collection::vec(
-                (0..n, 0..n, 0.1f64..8.0, 0u64..50),
-                1..12,
-            );
-            (caps, transfers)
+fn scenario_gen() -> Gen<Scenario> {
+    usize_in(3..8)
+        .flat_map(|n| {
+            let n = *n;
+            tuple2(
+                vec_of(f64_in(1.0, 40.0), n..n + 1),
+                vec_of(
+                    tuple4(usize_in(0..n), usize_in(0..n), f64_in(0.1, 8.0), u64_in(0..50)),
+                    1..12,
+                ),
+            )
         })
-        .prop_map(|(caps, transfers)| Scenario { caps, transfers })
+        .map(|v| Scenario {
+            caps: v.0.clone(),
+            transfers: v.1.clone(),
+        })
 }
 
 fn run_scenario(sc: &Scenario, check_each_event: bool) -> Vec<(usize, SimTime)> {
@@ -96,18 +107,16 @@ fn run_scenario(sc: &Scenario, check_each_event: bool) -> Vec<(usize, SimTime)> 
     world.completions.clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+property! {
     /// Fairness invariants hold after every simulation event.
-    #[test]
-    fn invariants_hold_throughout(sc in scenario_strategy()) {
+    #[cases(64)]
+    fn invariants_hold_throughout(sc in scenario_gen()) {
         run_scenario(&sc, true);
     }
 
     /// The same scenario always yields bit-identical completion schedules.
-    #[test]
-    fn simulation_is_deterministic(sc in scenario_strategy()) {
+    #[cases(64)]
+    fn simulation_is_deterministic(sc in scenario_gen()) {
         let a = run_scenario(&sc, false);
         let b = run_scenario(&sc, false);
         prop_assert_eq!(a, b);
@@ -115,8 +124,8 @@ proptest! {
 
     /// Port counters conserve bytes: each hop of each completed flow carries
     /// exactly the flow's size.
-    #[test]
-    fn port_counters_conserve_bytes(sc in scenario_strategy()) {
+    #[cases(64)]
+    fn port_counters_conserve_bytes(sc in scenario_gen()) {
         let (topo, nodes) = star(&sc.caps);
         let mut world = World { fabric: FabricState::new(topo), completions: Vec::new() };
         let mut sim: Sim<World> = Sim::new();
@@ -148,8 +157,8 @@ proptest! {
     /// Makespan is bounded below by the work on the most-loaded directed
     /// link (no link can move bytes faster than its capacity) and the flows
     /// always finish.
-    #[test]
-    fn makespan_lower_bound(sc in scenario_strategy()) {
+    #[cases(64)]
+    fn makespan_lower_bound(sc in scenario_gen()) {
         let completions = run_scenario(&sc, false);
         if completions.is_empty() { return Ok(()); }
         let makespan = completions.iter().map(|c| c.1).max().unwrap();

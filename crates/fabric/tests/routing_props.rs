@@ -1,10 +1,16 @@
 //! Property tests on topology routing: on arbitrary random graphs, routes
 //! are valid walks, symmetric in cost structure, cache-consistent, and
 //! respect Dijkstra optimality.
+//!
+//! Invariants covered (testkit, 192 cases each):
+//! * every route is a contiguous walk from src to dst over real links;
+//! * no single direct link beats the chosen path latency (optimality);
+//! * the route cache is transparent (warm == cold results);
+//! * removing a link never improves latency.
 
 use desim::Dur;
 use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
-use proptest::prelude::*;
+use testkit::{just, prop_assert, prop_assert_eq, property, tuple3, tuple4, u64_in, usize_in, vec_of, Gen};
 
 /// A random connected topology: a spanning chain plus random extra links.
 fn build(n: usize, extra: &[(usize, usize, u64)]) -> (Topology, Vec<NodeId>) {
@@ -38,23 +44,26 @@ fn build(n: usize, extra: &[(usize, usize, u64)]) -> (Topology, Vec<NodeId>) {
     (t, nodes)
 }
 
-fn params() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>, usize, usize)> {
-    (3usize..12).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n, 10u64..2000), 0..12),
-            0..n,
-            0..n,
+fn params() -> Gen<(usize, Vec<(usize, usize, u64)>, usize, usize)> {
+    usize_in(3..12).flat_map(|n| {
+        let n = *n;
+        tuple4(
+            just(n),
+            vec_of(
+                tuple3(usize_in(0..n), usize_in(0..n), u64_in(10..2000)),
+                0..12,
+            ),
+            usize_in(0..n),
+            usize_in(0..n),
         )
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
+property! {
     /// Every route is a contiguous walk from src to dst over real links.
-    #[test]
-    fn routes_are_valid_walks((n, extra, src, dst) in params()) {
+    #[cases(192)]
+    fn routes_are_valid_walks(params in params()) {
+        let (n, extra, src, dst) = params;
         let (mut t, nodes) = build(n, &extra);
         let r = t.route(nodes[src], nodes[dst]).expect("connected graph");
         let mut at = nodes[src];
@@ -68,8 +77,9 @@ proptest! {
     }
 
     /// Route latency is optimal: no single link beats the chosen path.
-    #[test]
-    fn direct_link_is_never_worse_than_chosen_path((n, extra, src, dst) in params()) {
+    #[cases(192)]
+    fn direct_link_is_never_worse_than_chosen_path(params in params()) {
+        let (n, extra, src, dst) = params;
         let (mut t, nodes) = build(n, &extra);
         if src == dst { return Ok(()); }
         let chosen = t.route(nodes[src], nodes[dst]).unwrap().latency;
@@ -88,8 +98,9 @@ proptest! {
     }
 
     /// Caching does not change results: a fresh clone routes identically.
-    #[test]
-    fn cache_is_transparent((n, extra, src, dst) in params()) {
+    #[cases(192)]
+    fn cache_is_transparent(params in params()) {
+        let (n, extra, src, dst) = params;
         let (mut t, nodes) = build(n, &extra);
         // Warm the cache with a few queries.
         for i in 0..n.min(4) {
@@ -107,8 +118,9 @@ proptest! {
     }
 
     /// Removing a link never improves latency and may disconnect.
-    #[test]
-    fn removing_links_is_monotone((n, extra, src, dst) in params()) {
+    #[cases(192)]
+    fn removing_links_is_monotone(params in params()) {
+        let (n, extra, src, dst) = params;
         let (mut t, nodes) = build(n, &extra);
         if src == dst { return Ok(()); }
         let before = t.route(nodes[src], nodes[dst]).unwrap().latency;

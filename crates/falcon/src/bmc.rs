@@ -8,11 +8,10 @@
 //! that emit alert events into a queryable log.
 
 use desim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Alert severity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
     Info,
     Warning,
@@ -20,7 +19,7 @@ pub enum Severity {
 }
 
 /// One entry in the BMC event log.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BmcEvent {
     pub at: SimTime,
     pub severity: Severity,
@@ -29,7 +28,7 @@ pub struct BmcEvent {
 }
 
 /// A temperature sensor with warning/critical thresholds (°C).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalSensor {
     pub name: String,
     pub ambient_c: f64,

@@ -13,16 +13,15 @@
 
 use devices::{GpuSpec, NicSpec, StorageSpec};
 use fabric::{LinkClass, LinkSpec, NodeId, NodeKind, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One of the chassis's two drawers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DrawerId(pub u8);
 
 /// A slot address within the chassis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SlotAddr {
     pub drawer: DrawerId,
     pub slot: u8,
@@ -45,7 +44,7 @@ impl fmt::Display for SlotAddr {
 }
 
 /// One of the four host ports (H1–H4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HostPort {
     H1,
     H2,
@@ -60,11 +59,11 @@ impl HostPort {
 }
 
 /// Identifier of a host server known to the chassis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostId(pub u32);
 
 /// Operating mode of a drawer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Static composition; at most two hosts per drawer in fixed halves.
     Standard,
@@ -83,7 +82,7 @@ impl Mode {
 }
 
 /// What occupies a slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SlotDevice {
     Gpu(GpuSpec),
     Nvme(StorageSpec),

@@ -6,22 +6,21 @@
 //! environment, yet not have any access to other users' resources". The
 //! model: users with roles, per-slot grants, permission-checked
 //! attach/detach/reassign, and a tamper-evident audit log. It is
-//! thread-safe (`parking_lot::RwLock`) so concurrent tenant sessions can
+//! thread-safe (`std::sync::RwLock`) so concurrent tenant sessions can
 //! drive it — exercised by a multi-threaded test.
 
 use crate::chassis::{ChassisError, Falcon4016, HostId, SlotAddr};
 use desim::SimTime;
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use std::sync::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A tenant identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u32);
 
 /// Access level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Role {
     /// Full control, including other users' resources and log export.
     Admin,
@@ -63,7 +62,7 @@ impl From<ChassisError> for McsError {
 }
 
 /// One audit-log entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AuditEntry {
     pub at: SimTime,
     pub user: UserId,
@@ -97,7 +96,7 @@ impl ManagementCenter {
     }
 
     pub fn add_user(&self, user: UserId, role: Role) {
-        self.state.write().users.insert(user, role);
+        self.state.write().unwrap().users.insert(user, role);
     }
 
     fn role_of(state: &McsState, user: UserId) -> Result<Role, McsError> {
@@ -125,7 +124,7 @@ impl ManagementCenter {
         slot: SlotAddr,
         to: UserId,
     ) -> Result<(), McsError> {
-        let mut st = self.state.write();
+        let mut st = self.state.write().unwrap();
         let role = Self::role_of(&st, admin)?;
         let allowed = role == Role::Admin;
         Self::audit(&mut st, at, admin, format!("grant {slot} to user {}", to.0), allowed);
@@ -162,7 +161,7 @@ impl ManagementCenter {
         slot: SlotAddr,
         host: HostId,
     ) -> Result<(), McsError> {
-        let mut st = self.state.write();
+        let mut st = self.state.write().unwrap();
         let access = Self::check_slot_access(&st, user, slot);
         Self::audit(
             &mut st,
@@ -178,7 +177,7 @@ impl ManagementCenter {
 
     /// Detach a granted slot, as `user`.
     pub fn detach(&self, at: SimTime, user: UserId, slot: SlotAddr) -> Result<HostId, McsError> {
-        let mut st = self.state.write();
+        let mut st = self.state.write().unwrap();
         let access = Self::check_slot_access(&st, user, slot);
         Self::audit(&mut st, at, user, format!("detach {slot}"), access.is_ok());
         access?;
@@ -193,7 +192,7 @@ impl ManagementCenter {
         slot: SlotAddr,
         to: HostId,
     ) -> Result<HostId, McsError> {
-        let mut st = self.state.write();
+        let mut st = self.state.write().unwrap();
         let access = Self::check_slot_access(&st, user, slot);
         Self::audit(
             &mut st,
@@ -209,7 +208,7 @@ impl ManagementCenter {
     /// The resources visible to `user`: everything for admins, owned slots
     /// for users (isolation between tenants).
     pub fn visible_resources(&self, user: UserId) -> Result<Vec<SlotAddr>, McsError> {
-        let st = self.state.read();
+        let st = self.state.read().unwrap();
         let role = Self::role_of(&st, user)?;
         let mut v: Vec<SlotAddr> = match role {
             Role::Admin => st.chassis.occupied_slots().map(|(a, _)| a).collect(),
@@ -227,7 +226,7 @@ impl ManagementCenter {
     /// Export the audit log (admin feature, mirroring the GUI's
     /// "define event logs for export").
     pub fn export_audit(&self, user: UserId) -> Result<Vec<AuditEntry>, McsError> {
-        let st = self.state.read();
+        let st = self.state.read().unwrap();
         if Self::role_of(&st, user)? != Role::Admin {
             return Err(McsError::PermissionDenied {
                 user,
@@ -239,7 +238,7 @@ impl ManagementCenter {
 
     /// Run a read-only closure against the chassis (views, inventory).
     pub fn with_chassis<R>(&self, f: impl FnOnce(&Falcon4016) -> R) -> R {
-        f(&self.state.read().chassis)
+        f(&self.state.read().unwrap().chassis)
     }
 }
 

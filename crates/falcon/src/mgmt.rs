@@ -2,14 +2,14 @@
 //! resource inventory, port configuration, list/topology views, and
 //! **import/export of the resource allocation as a configuration file**.
 
-use crate::chassis::{Falcon4016, HostId, SlotAddr, SlotDevice};
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use crate::chassis::{DrawerId, Falcon4016, HostId, SlotAddr, SlotDevice};
+use desim::json::{FromJson, JsonError, ToJson, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// One row of the management GUI's resource list: device model, link
 /// speed, vendor/device id, owner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceRecord {
     pub slot: SlotAddr,
     pub kind: String,
@@ -22,7 +22,7 @@ pub struct ResourceRecord {
 
 /// Port configuration the resource owner can change (paper §II-B: "port
 /// type and lanes of specific ports").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortConfig {
     pub lanes: u8,
     pub max_gen: u8,
@@ -52,13 +52,13 @@ impl PortConfig {
 /// A serializable snapshot of the chassis's resource allocation — the
 /// management GUI's "import or export resource allocation as a
 /// configuration file".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AllocationConfig {
     pub chassis: String,
     pub assignments: Vec<Assignment>,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     pub slot: SlotAddr,
     pub host: HostId,
@@ -76,14 +76,17 @@ impl AllocationConfig {
         }
     }
 
-    /// Serialize to the on-disk JSON form.
-    pub fn to_bytes(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec_pretty(self).expect("config serialization"))
+    /// Serialize to the on-disk JSON form. The cheaply clonable `Arc`
+    /// mirrors how the management plane hands the same exported file to
+    /// several consumers.
+    pub fn to_bytes(&self) -> Arc<[u8]> {
+        Arc::from(self.to_json().emit_pretty().into_bytes())
     }
 
     /// Parse an exported configuration file.
     pub fn from_bytes(bytes: &[u8]) -> Result<AllocationConfig, String> {
-        serde_json::from_slice(bytes).map_err(|e| format!("bad allocation config: {e}"))
+        let v = Value::parse_bytes(bytes).map_err(|e| format!("bad allocation config: {e}"))?;
+        AllocationConfig::from_json(&v).map_err(|e| format!("bad allocation config: {e}"))
     }
 
     /// Apply this allocation to a chassis: detach everything, then attach
@@ -100,6 +103,79 @@ impl AllocationConfig {
                 .map_err(|e| format!("applying {}: {e}", asg.slot))?;
         }
         Ok(())
+    }
+}
+
+impl ToJson for SlotAddr {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("drawer", Value::from_u64(u64::from(self.drawer.0))),
+            ("slot", Value::from_u64(u64::from(self.slot))),
+        ])
+    }
+}
+
+impl FromJson for SlotAddr {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let drawer = v.get("drawer")?.as_u8()?;
+        let slot = v.get("slot")?.as_u8()?;
+        if drawer >= 2 || slot >= 8 {
+            return Err(JsonError::decode(format!(
+                "slot address d{drawer}s{slot} outside the 2x8 chassis"
+            )));
+        }
+        Ok(SlotAddr {
+            drawer: DrawerId(drawer),
+            slot,
+        })
+    }
+}
+
+impl ToJson for HostId {
+    fn to_json(&self) -> Value {
+        Value::from_u64(u64::from(self.0))
+    }
+}
+
+impl FromJson for HostId {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(HostId(v.as_u32()?))
+    }
+}
+
+impl ToJson for Assignment {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("slot", self.slot.to_json()),
+            ("host", self.host.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Assignment {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Assignment {
+            slot: SlotAddr::from_json(v.get("slot")?)?,
+            host: HostId::from_json(v.get("host")?)?,
+        })
+    }
+}
+
+impl ToJson for AllocationConfig {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("chassis", Value::str(&*self.chassis)),
+            ("assignments", self.assignments.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AllocationConfig {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(AllocationConfig {
+            chassis: String::from_json(v.get("chassis")?)?,
+            assignments: FromJson::from_json(v.get("assignments")?)?,
+        })
     }
 }
 

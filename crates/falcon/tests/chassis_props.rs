@@ -1,10 +1,17 @@
 //! Property tests on the chassis state machine: arbitrary sequences of
 //! composition operations can never violate the structural invariants of
 //! the Falcon 4016.
+//!
+//! Invariants covered (testkit, 256 cases each):
+//! * attachments always reference occupied slots with cabled owners;
+//! * per-drawer host counts respect the mode; standard mode keeps
+//!   drawer halves disjointly owned;
+//! * reassignment semantics match the mode exactly;
+//! * any reachable allocation exports/imports as a fixpoint.
 
 use devices::GpuSpec;
 use falcon::{ChassisError, DrawerId, Falcon4016, HostId, HostPort, Mode, SlotAddr, SlotDevice};
-use proptest::prelude::*;
+use testkit::{bools, one_of, prop_assert, prop_assert_eq, property, tuple2, tuple3, u32_in, u8_in, vec_of, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,16 +23,16 @@ enum Op {
     Reassign(u8, u8, u32),
 }
 
-fn ops() -> impl Strategy<Value = (bool, Vec<Op>)> {
-    let op = prop_oneof![
-        (0u8..2, 0u8..8).prop_map(|(d, s)| Op::Insert(d, s)),
-        (0u8..2, 0u8..8).prop_map(|(d, s)| Op::Remove(d, s)),
-        (0u8..4, 1u32..5, 0u8..2).prop_map(|(p, h, d)| Op::Connect(p, h, d)),
-        (0u8..2, 0u8..8, 1u32..5).prop_map(|(d, s, h)| Op::Attach(d, s, h)),
-        (0u8..2, 0u8..8).prop_map(|(d, s)| Op::Detach(d, s)),
-        (0u8..2, 0u8..8, 1u32..5).prop_map(|(d, s, h)| Op::Reassign(d, s, h)),
-    ];
-    (any::<bool>(), proptest::collection::vec(op, 1..120))
+fn ops() -> Gen<(bool, Vec<Op>)> {
+    let op = one_of(vec![
+        tuple2(u8_in(0..2), u8_in(0..8)).map(|v| Op::Insert(v.0, v.1)),
+        tuple2(u8_in(0..2), u8_in(0..8)).map(|v| Op::Remove(v.0, v.1)),
+        tuple3(u8_in(0..4), u32_in(1..5), u8_in(0..2)).map(|v| Op::Connect(v.0, v.1, v.2)),
+        tuple3(u8_in(0..2), u8_in(0..8), u32_in(1..5)).map(|v| Op::Attach(v.0, v.1, v.2)),
+        tuple2(u8_in(0..2), u8_in(0..8)).map(|v| Op::Detach(v.0, v.1)),
+        tuple3(u8_in(0..2), u8_in(0..8), u32_in(1..5)).map(|v| Op::Reassign(v.0, v.1, v.2)),
+    ]);
+    tuple2(bools(), vec_of(op, 1..120))
 }
 
 fn port(p: u8) -> HostPort {
@@ -61,11 +68,10 @@ fn check_invariants(c: &Falcon4016) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn chassis_invariants_hold((advanced, ops) in ops()) {
+property! {
+    #[cases(256)]
+    fn chassis_invariants_hold(input in ops()) {
+        let (advanced, ops) = input;
         let mode = if advanced { Mode::Advanced } else { Mode::Standard };
         let mut c = Falcon4016::new("prop", mode);
         for op in ops {
@@ -91,8 +97,9 @@ proptest! {
 
     /// Reassignment in standard mode never succeeds; in advanced mode it
     /// succeeds exactly when the slot is attached and the target is cabled.
-    #[test]
-    fn reassign_semantics((advanced, ops) in ops()) {
+    #[cases(256)]
+    fn reassign_semantics(input in ops()) {
+        let (advanced, ops) = input;
         let mode = if advanced { Mode::Advanced } else { Mode::Standard };
         let mut c = Falcon4016::new("prop", mode);
         for op in ops {
@@ -131,8 +138,9 @@ proptest! {
     }
 
     /// Export/import of any reachable allocation round-trips.
-    #[test]
-    fn allocation_roundtrip((advanced, ops) in ops()) {
+    #[cases(256)]
+    fn allocation_roundtrip(input in ops()) {
+        let (advanced, ops) = input;
         let mode = if advanced { Mode::Advanced } else { Mode::Standard };
         let mut c = Falcon4016::new("prop", mode);
         for op in ops {

@@ -1,0 +1,209 @@
+//! Micro-benchmark harness: warmup, N timed iterations, robust summary
+//! stats, one JSON line per benchmark.
+//!
+//! Replaces criterion for the workspace's `cargo bench` targets. Each
+//! bench binary builds a [`Suite`], registers closures, and the harness
+//! prints both a human-readable line and a machine-readable JSON line
+//! (`desim::json`, so downstream tooling can parse without guessing):
+//!
+//! ```text
+//! tables/table2_microbenchmarks   median 12.41ms  p95 12.52ms  min 12.39ms  (20 iters)
+//! {"suite":"tables","bench":"table2_microbenchmarks","iters":20,...}
+//! ```
+//!
+//! `TESTKIT_BENCH_ITERS` / `TESTKIT_BENCH_WARMUP` override the iteration
+//! counts (e.g. set both low in CI smoke runs).
+
+pub use std::hint::black_box;
+
+use desim::json::Value;
+use std::time::Instant;
+
+/// Iteration counts for one suite.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOpts {
+    pub warmup_iters: u32,
+    pub iters: u32,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            warmup_iters: 3,
+            iters: 20,
+        }
+    }
+}
+
+/// Summary statistics over the timed iterations, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub name: String,
+    pub iters: u32,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub p95_ns: u128,
+    pub mean_ns: f64,
+}
+
+fn fmt_ns(ns: u128) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Compute summary stats from raw per-iteration samples.
+pub fn summarize(name: &str, samples: &mut [u128]) -> BenchStats {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    let n = samples.len();
+    let median_ns = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    };
+    // Nearest-rank p95 (clamped to the largest sample).
+    let p95_idx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+    BenchStats {
+        name: name.to_string(),
+        iters: n as u32,
+        min_ns: samples[0],
+        median_ns,
+        p95_ns: samples[p95_idx],
+        mean_ns: samples.iter().sum::<u128>() as f64 / n as f64,
+    }
+}
+
+/// A named group of benchmarks sharing iteration options.
+pub struct Suite {
+    name: String,
+    opts: BenchOpts,
+    results: Vec<BenchStats>,
+}
+
+impl Suite {
+    /// A suite with default options, honoring the `TESTKIT_BENCH_*`
+    /// environment overrides.
+    pub fn new(name: &str) -> Suite {
+        Suite::with_opts(name, BenchOpts::default())
+    }
+
+    pub fn with_opts(name: &str, mut opts: BenchOpts) -> Suite {
+        if let Some(n) = env_u32("TESTKIT_BENCH_ITERS") {
+            opts.iters = n.max(1);
+        }
+        if let Some(n) = env_u32("TESTKIT_BENCH_WARMUP") {
+            opts.warmup_iters = n;
+        }
+        Suite {
+            name: name.to_string(),
+            opts,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f` (warmup first), record and print its stats. The closure's
+    /// return value is passed through [`black_box`] so the optimizer
+    /// cannot elide the measured work.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &BenchStats {
+        for _ in 0..self.opts.warmup_iters {
+            black_box(f());
+        }
+        let mut samples: Vec<u128> = Vec::with_capacity(self.opts.iters as usize);
+        for _ in 0..self.opts.iters {
+            let t = Instant::now();
+            black_box(f());
+            samples.push(t.elapsed().as_nanos());
+        }
+        let stats = summarize(id, &mut samples);
+        println!(
+            "{}/{:<40} median {:>9}  p95 {:>9}  min {:>9}  ({} iters)",
+            self.name,
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            fmt_ns(stats.min_ns),
+            stats.iters
+        );
+        println!("{}", self.json_line(&stats));
+        self.results.push(stats);
+        self.results.last().unwrap()
+    }
+
+    fn json_line(&self, s: &BenchStats) -> String {
+        Value::obj(vec![
+            ("suite", Value::str(&*self.name)),
+            ("bench", Value::str(&*s.name)),
+            ("iters", Value::from_u64(u64::from(s.iters))),
+            ("min_ns", Value::from_u64(s.min_ns as u64)),
+            ("median_ns", Value::from_u64(s.median_ns as u64)),
+            ("p95_ns", Value::from_u64(s.p95_ns as u64)),
+            ("mean_ns", Value::Num(s.mean_ns)),
+        ])
+        .emit()
+    }
+
+    /// All results recorded so far, in registration order.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+}
+
+fn env_u32(key: &str) -> Option<u32> {
+    std::env::var(key).ok().and_then(|s| s.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_stats_are_order_statistics() {
+        let mut samples: Vec<u128> = (1..=20).rev().collect();
+        let s = summarize("x", &mut samples);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.median_ns, 10); // (10 + 11) / 2 floored
+        assert_eq!(s.p95_ns, 19);
+        assert!((s.mean_ns - 10.5).abs() < 1e-9);
+        assert_eq!(s.iters, 20);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut samples = vec![42u128];
+        let s = summarize("x", &mut samples);
+        assert_eq!(s.min_ns, 42);
+        assert_eq!(s.median_ns, 42);
+        assert_eq!(s.p95_ns, 42);
+    }
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut suite = Suite::with_opts(
+            "t",
+            BenchOpts {
+                warmup_iters: 1,
+                iters: 3,
+            },
+        );
+        let mut calls = 0u32;
+        suite.bench("count", || {
+            calls += 1;
+            calls
+        });
+        // 1 warmup + 3 timed (unless env overrides raised the counts).
+        assert!(calls >= 4);
+        assert_eq!(suite.results().len(), 1);
+        let line = suite.json_line(&suite.results()[0]);
+        let v = desim::json::Value::parse(&line).unwrap();
+        assert_eq!(v.get("suite").unwrap().as_str().unwrap(), "t");
+        assert_eq!(v.get("bench").unwrap().as_str().unwrap(), "count");
+    }
+}

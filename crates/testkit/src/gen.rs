@@ -1,0 +1,428 @@
+//! Generator combinators with integrated (rose-tree) shrinking.
+//!
+//! A [`Gen<T>`] turns a [`SimRng`] into a [`Shrinkable<T>`]: the generated
+//! value plus a *lazy* list of shrink candidates, each itself shrinkable.
+//! Because candidates are produced structurally alongside the value,
+//! `map`, `flat_map` and the tuple/vector combinators compose shrinking
+//! for free — there is no separate "strategy" machinery to keep in sync.
+//!
+//! Shrink candidate ordering is aggressive-first: the first child is the
+//! smallest plausible value (the range origin, the empty suffix, the
+//! first `one_of` alternative), later children move progressively closer
+//! to the original. The runner's greedy walk (take the first failing
+//! child, repeat) therefore converges in few evaluations.
+
+use desim::SimRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A generated value together with a lazy tree of smaller candidates.
+pub struct Shrinkable<T> {
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Shrinkable<T>>>,
+}
+
+impl<T: Clone> Clone for Shrinkable<T> {
+    fn clone(&self) -> Self {
+        Shrinkable {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Shrinkable<T> {
+    /// A value with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Shrinkable {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with lazily computed shrink candidates.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Shrinkable<T>> + 'static) -> Self {
+        Shrinkable {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Materialize the immediate shrink candidates.
+    pub fn children(&self) -> Vec<Shrinkable<T>> {
+        (self.children)()
+    }
+
+    fn map_rc<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Shrinkable<U> {
+        let value = f(&self.value);
+        let kids = Rc::clone(&self.children);
+        Shrinkable {
+            value,
+            children: Rc::new(move || kids().iter().map(|c| c.map_rc(Rc::clone(&f))).collect()),
+        }
+    }
+}
+
+/// A reusable, cloneable generator of shrinkable values.
+pub struct Gen<T> {
+    run: Rc<dyn Fn(&mut SimRng) -> Shrinkable<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    pub fn new(f: impl Fn(&mut SimRng) -> Shrinkable<T> + 'static) -> Gen<T> {
+        Gen { run: Rc::new(f) }
+    }
+
+    /// Draw one shrinkable value.
+    pub fn sample(&self, rng: &mut SimRng) -> Shrinkable<T> {
+        (self.run)(rng)
+    }
+
+    /// Transform generated values; shrinking maps through.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        let run = Rc::clone(&self.run);
+        Gen::new(move |rng| run(rng).map_rc(Rc::clone(&f)))
+    }
+
+    /// Dependent generation: pick a follow-up generator from the value.
+    /// Shrinking first shrinks the *input* (re-running the follow-up under
+    /// a fixed sub-seed so the regenerated value stays comparable), then
+    /// shrinks the output itself.
+    pub fn flat_map<U: Clone + 'static>(&self, f: impl Fn(&T) -> Gen<U> + 'static) -> Gen<U> {
+        let f: Rc<dyn Fn(&T) -> Gen<U>> = Rc::new(f);
+        let run = Rc::clone(&self.run);
+        Gen::new(move |rng| {
+            let t = run(rng);
+            let sub_seed = rng.next_u64();
+            bind(t, Rc::clone(&f), sub_seed)
+        })
+    }
+}
+
+fn bind<T: Clone + 'static, U: Clone + 'static>(
+    t: Shrinkable<T>,
+    f: Rc<dyn Fn(&T) -> Gen<U>>,
+    sub_seed: u64,
+) -> Shrinkable<U> {
+    let u = f(&t.value).sample(&mut SimRng::seed_from_u64(sub_seed));
+    let u_children = Rc::clone(&u.children);
+    Shrinkable {
+        value: u.value,
+        children: Rc::new(move || {
+            let mut out: Vec<Shrinkable<U>> = t
+                .children()
+                .into_iter()
+                .map(|tk| bind(tk, Rc::clone(&f), sub_seed))
+                .collect();
+            out.extend(u_children());
+            out
+        }),
+    }
+}
+
+/// Always the same value; never shrinks.
+pub fn just<T: Clone + 'static>(v: T) -> Gen<T> {
+    Gen::new(move |_| Shrinkable::leaf(v.clone()))
+}
+
+fn int_shrinkable(lo: u64, v: u64) -> Shrinkable<u64> {
+    Shrinkable::with_children(v, move || {
+        // Candidates: the origin `lo` first, then binary steps back toward v.
+        let mut out = Vec::new();
+        let mut d = v - lo;
+        while d > 0 {
+            out.push(int_shrinkable(lo, v - d));
+            d /= 2;
+        }
+        out
+    })
+}
+
+/// Uniform integer in `[lo, hi)`; shrinks toward `lo`.
+pub fn u64_in(r: Range<u64>) -> Gen<u64> {
+    assert!(r.start < r.end, "u64_in: empty range");
+    let (lo, hi) = (r.start, r.end);
+    Gen::new(move |rng| int_shrinkable(lo, lo + rng.next_u64() % (hi - lo)))
+}
+
+/// Uniform `usize` in `[lo, hi)`; shrinks toward `lo`.
+pub fn usize_in(r: Range<usize>) -> Gen<usize> {
+    u64_in(r.start as u64..r.end as u64).map(|v| *v as usize)
+}
+
+/// Uniform `u32` in `[lo, hi)`; shrinks toward `lo`.
+pub fn u32_in(r: Range<u32>) -> Gen<u32> {
+    u64_in(u64::from(r.start)..u64::from(r.end)).map(|v| *v as u32)
+}
+
+/// Uniform `u8` in `[lo, hi)`; shrinks toward `lo`.
+pub fn u8_in(r: Range<u8>) -> Gen<u8> {
+    u64_in(u64::from(r.start)..u64::from(r.end)).map(|v| *v as u8)
+}
+
+fn f64_shrinkable(lo: f64, v: f64) -> Shrinkable<f64> {
+    Shrinkable::with_children(v, move || {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(f64_shrinkable(lo, lo));
+            let mid = lo + (v - lo) / 2.0;
+            // Stop bisecting once the step is negligible relative to v.
+            if mid > lo && mid < v && (v - mid) > (v.abs() + 1.0) * 1e-9 {
+                out.push(f64_shrinkable(lo, mid));
+            }
+        }
+        out
+    })
+}
+
+/// Uniform float in `[lo, hi)`; shrinks toward `lo` by bisection.
+pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi, "f64_in: empty range");
+    Gen::new(move |rng| f64_shrinkable(lo, rng.uniform(lo, hi)))
+}
+
+/// Fair coin; `true` shrinks to `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::new(|rng| {
+        if rng.chance(0.5) {
+            Shrinkable::with_children(true, || vec![Shrinkable::leaf(false)])
+        } else {
+            Shrinkable::leaf(false)
+        }
+    })
+}
+
+fn vec_shrinkable<T: Clone + 'static>(items: Vec<Shrinkable<T>>, min: usize) -> Shrinkable<Vec<T>> {
+    let value: Vec<T> = items.iter().map(|s| s.value.clone()).collect();
+    Shrinkable::with_children(value, move || {
+        let n = items.len();
+        let mut out = Vec::new();
+        if n > min {
+            // Aggressive length cuts first: truncate to the minimum, then
+            // drop the back half, then drop single elements.
+            out.push(vec_shrinkable(items[..min].to_vec(), min));
+            let half = (n / 2).max(min);
+            if half < n && half > min {
+                out.push(vec_shrinkable(items[..half].to_vec(), min));
+            }
+            for i in 0..n {
+                let mut fewer = items.clone();
+                fewer.remove(i);
+                out.push(vec_shrinkable(fewer, min));
+            }
+        }
+        // Then element-wise shrinks at the current length.
+        for i in 0..n {
+            for c in items[i].children() {
+                let mut v2 = items.clone();
+                v2[i] = c;
+                out.push(vec_shrinkable(v2, min));
+            }
+        }
+        out
+    })
+}
+
+/// Vector with length uniform in `len` (half-open, as in `0..10`);
+/// shrinks by dropping elements (not below `len.start`) and by shrinking
+/// elements in place.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, len: Range<usize>) -> Gen<Vec<T>> {
+    assert!(len.start < len.end, "vec_of: empty length range");
+    let (min, max) = (len.start, len.end);
+    Gen::new(move |rng| {
+        let n = min + rng.index(max - min);
+        let items: Vec<Shrinkable<T>> = (0..n).map(|_| elem.sample(rng)).collect();
+        vec_shrinkable(items, min)
+    })
+}
+
+/// Pick one of the listed values; shrinks toward earlier entries.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "select: no items");
+    usize_in(0..items.len()).map(move |i| items[*i].clone())
+}
+
+/// Pick one of the listed generators (the `prop_oneof` shape); shrinks
+/// toward earlier alternatives, then within the chosen alternative.
+pub fn one_of<T: Clone + 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of: no generators");
+    usize_in(0..gens.len()).flat_map(move |i| gens[*i].clone())
+}
+
+fn pair_shrinkable<A: Clone + 'static, B: Clone + 'static>(
+    a: Shrinkable<A>,
+    b: Shrinkable<B>,
+) -> Shrinkable<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Shrinkable::with_children(value, move || {
+        let mut out = Vec::new();
+        for ak in a.children() {
+            out.push(pair_shrinkable(ak, b.clone()));
+        }
+        for bk in b.children() {
+            out.push(pair_shrinkable(a.clone(), bk));
+        }
+        out
+    })
+}
+
+/// Pair of independent generators; shrinks component-wise.
+pub fn tuple2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |rng| {
+        let sa = a.sample(rng);
+        let sb = b.sample(rng);
+        pair_shrinkable(sa, sb)
+    })
+}
+
+/// Triple of independent generators; shrinks component-wise.
+pub fn tuple3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    tuple2(tuple2(a, b), c).map(|v| (v.0 .0.clone(), v.0 .1.clone(), v.1.clone()))
+}
+
+/// Quadruple of independent generators; shrinks component-wise.
+pub fn tuple4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    tuple2(tuple2(a, b), tuple2(c, d))
+        .map(|v| (v.0 .0.clone(), v.0 .1.clone(), v.1 .0.clone(), v.1 .1.clone()))
+}
+
+/// Five independent generators; shrinks component-wise.
+pub fn tuple5<
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+    D: Clone + 'static,
+    E: Clone + 'static,
+>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+    e: Gen<E>,
+) -> Gen<(A, B, C, D, E)> {
+    tuple2(tuple4(a, b, c, d), e).map(|v| {
+        (
+            v.0 .0.clone(),
+            v.0 .1.clone(),
+            v.0 .2.clone(),
+            v.0 .3.clone(),
+            v.1.clone(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ints_stay_in_range_and_shrink_to_origin() {
+        let g = u64_in(10..50);
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = g.sample(&mut r);
+            assert!((10..50).contains(&s.value));
+            if s.value > 10 {
+                assert_eq!(s.children()[0].value, 10, "first candidate is the origin");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = vec_of(u64_in(0..1000), 0..20);
+        let a: Vec<Vec<u64>> = {
+            let mut r = rng();
+            (0..10).map(|_| g.sample(&mut r).value).collect()
+        };
+        let b: Vec<Vec<u64>> = {
+            let mut r = rng();
+            (0..10).map(|_| g.sample(&mut r).value).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_shrinks_respect_min_len() {
+        let g = vec_of(u64_in(0..10), 2..8);
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = g.sample(&mut r);
+            for c in s.children() {
+                assert!(c.value.len() >= 2, "shrunk below min: {:?}", c.value);
+            }
+        }
+    }
+
+    #[test]
+    fn map_transports_shrinks() {
+        let g = u64_in(0..100).map(|v| v * 2);
+        let mut r = rng();
+        let s = g.sample(&mut r);
+        assert_eq!(s.value % 2, 0);
+        for c in s.children() {
+            assert_eq!(c.value % 2, 0);
+            assert!(c.value < s.value);
+        }
+    }
+
+    #[test]
+    fn flat_map_regenerates_under_fixed_subseed() {
+        // len -> vector of that length: shrinking the length must yield a
+        // vector of the shrunk length (regenerated deterministically).
+        let g = usize_in(1..6).flat_map(|n| vec_of(u64_in(0..10), *n..*n + 1));
+        let mut r = rng();
+        let s = g.sample(&mut r);
+        for c in s.children() {
+            assert!(c.value.len() <= s.value.len());
+        }
+    }
+
+    #[test]
+    fn one_of_covers_all_alternatives() {
+        let g = one_of(vec![just(1u64), just(2), just(3)]);
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[g.sample(&mut r).value as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let g = tuple3(u64_in(0..10), u64_in(0..10), u64_in(0..10));
+        let mut r = rng();
+        let s = g.sample(&mut r);
+        let (a, b, c) = s.value;
+        for k in s.children() {
+            let changed = [k.value.0 != a, k.value.1 != b, k.value.2 != c]
+                .iter()
+                .filter(|&&x| x)
+                .count();
+            assert_eq!(changed, 1, "exactly one component shrinks per step");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Golden-file regression: compare a rendered string against a
+//! checked-in snapshot.
+//!
+//! Contract: the producing pipeline must be deterministic (fixed seed,
+//! no wall-clock), so the snapshot only changes when the model changes.
+//! On mismatch the test fails with a unified diff; if the change is
+//! intended, re-bless with `TESTKIT_BLESS=1 cargo test ...` and commit
+//! the updated file.
+
+use std::fs;
+use std::path::Path;
+
+/// Compare `actual` against the golden file at `path` (conventionally
+/// `concat!(env!("CARGO_MANIFEST_DIR"), "/golden/<name>")`).
+///
+/// * `TESTKIT_BLESS=1` — (re)write the file instead of comparing.
+/// * missing file — fail with instructions to bless.
+/// * mismatch — fail with a unified diff.
+pub fn check_golden(path: impl AsRef<Path>, actual: &str) {
+    let path = path.as_ref();
+    // Normalize to exactly one trailing newline so editors/POSIX tools
+    // don't introduce spurious diffs.
+    let mut actual = actual.trim_end_matches('\n').to_string();
+    actual.push('\n');
+
+    if std::env::var("TESTKIT_BLESS").as_deref() == Ok("1") {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
+        fs::write(path, &actual).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("testkit: blessed {}", path.display());
+        return;
+    }
+
+    let expected = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(_) => panic!(
+            "golden file {} is missing — run the test once with TESTKIT_BLESS=1 to create it, \
+             inspect the result, and check it in",
+            path.display()
+        ),
+    };
+    if expected != actual {
+        panic!(
+            "golden mismatch for {}\n{}\nIf this change is intended, re-bless with \
+             TESTKIT_BLESS=1 and commit the updated file.",
+            path.display(),
+            unified_diff(&expected, &actual, 3)
+        );
+    }
+}
+
+/// A minimal unified diff (`-` expected, `+` actual) with `context`
+/// lines of context, via longest-common-subsequence alignment.
+pub fn unified_diff(old: &str, new: &str, context: usize) -> String {
+    let a: Vec<&str> = old.lines().collect();
+    let b: Vec<&str> = new.lines().collect();
+    let (n, m) = (a.len(), b.len());
+
+    // LCS length table, dp[i][j] = LCS of a[i..] and b[j..].
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+
+    // Walk the table into an edit script: (tag, old line no, new line no, text).
+    let mut ops: Vec<(char, usize, usize, &str)> = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.push((' ', i, j, a[i]));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            ops.push(('-', i, j, a[i]));
+            i += 1;
+        } else {
+            ops.push(('+', i, j, b[j]));
+            j += 1;
+        }
+    }
+    while i < n {
+        ops.push(('-', i, j, a[i]));
+        i += 1;
+    }
+    while j < m {
+        ops.push(('+', i, j, b[j]));
+        j += 1;
+    }
+
+    // Group changed ops into hunks, keeping `context` lines around each
+    // and merging hunks whose context would overlap.
+    let changed: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.0 != ' ')
+        .map(|(k, _)| k)
+        .collect();
+    if changed.is_empty() {
+        return String::from("(no differences)");
+    }
+    let mut hunks: Vec<(usize, usize)> = Vec::new();
+    for &k in &changed {
+        let lo = k.saturating_sub(context);
+        let hi = (k + context + 1).min(ops.len());
+        match hunks.last_mut() {
+            Some((_, end)) if lo <= *end => *end = hi,
+            _ => hunks.push((lo, hi)),
+        }
+    }
+
+    let mut out = String::new();
+    for (lo, hi) in hunks {
+        let old_start = ops[lo].1 + 1;
+        let new_start = ops[lo].2 + 1;
+        let old_count = ops[lo..hi].iter().filter(|o| o.0 != '+').count();
+        let new_count = ops[lo..hi].iter().filter(|o| o.0 != '-').count();
+        out.push_str(&format!(
+            "@@ -{old_start},{old_count} +{new_start},{new_count} @@\n"
+        ));
+        for op in &ops[lo..hi] {
+            out.push(op.0);
+            out.push_str(op.3);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_have_no_diff() {
+        assert_eq!(unified_diff("a\nb\n", "a\nb\n", 3), "(no differences)");
+    }
+
+    #[test]
+    fn diff_marks_changed_lines() {
+        let old = "one\ntwo\nthree\nfour\n";
+        let new = "one\n2\nthree\nfour\n";
+        let d = unified_diff(old, new, 1);
+        assert!(d.contains("-two\n"), "{d}");
+        assert!(d.contains("+2\n"), "{d}");
+        assert!(d.contains(" one\n"), "context kept: {d}");
+        assert!(d.contains("@@ -1,3 +1,3 @@"), "{d}");
+    }
+
+    #[test]
+    fn distant_changes_get_separate_hunks() {
+        let old: String = (0..40).map(|i| format!("line{i}\n")).collect();
+        let new = old.replace("line3\n", "LINE3\n").replace("line33\n", "LINE33\n");
+        let d = unified_diff(&old, &new, 2);
+        assert_eq!(d.matches("@@ ").count(), 2, "{d}");
+    }
+
+    #[test]
+    fn golden_bless_and_match_cycle() {
+        let dir = std::env::temp_dir().join(format!("testkit-golden-{}", std::process::id()));
+        let path = dir.join("sample.json");
+        // Bless (env vars are process-global; this test owns this key in
+        // this binary — serialize with other golden tests if ever added).
+        std::env::set_var("TESTKIT_BLESS", "1");
+        check_golden(&path, "{\"x\": 1}");
+        std::env::remove_var("TESTKIT_BLESS");
+        // Match passes; the normalizer tolerates a missing trailing newline.
+        check_golden(&path, "{\"x\": 1}\n");
+        // Mismatch panics with a diff.
+        let err = std::panic::catch_unwind(|| check_golden(&path, "{\"x\": 2}")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("golden mismatch"), "{msg}");
+        assert!(msg.contains("-{\"x\": 1}"), "{msg}");
+        assert!(msg.contains("+{\"x\": 2}"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

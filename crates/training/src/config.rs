@@ -1,10 +1,9 @@
 //! Job configuration: benchmark, batch sizes, epochs, precision, strategy.
 
 use dlmodels::{Benchmark, Precision};
-use serde::{Deserialize, Serialize};
 
 /// Data-parallel training strategy (paper §V-C.4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Strategy {
     /// PyTorch DistributedDataParallel with NCCL: bucketed ring allreduce
     /// overlapped with backward.
@@ -54,7 +53,7 @@ pub fn dp_dispatch_dilation(n_gpus: usize) -> f64 {
 }
 
 /// A training-job configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobConfig {
     pub benchmark: Benchmark,
     /// Per-GPU batch size.

@@ -7,10 +7,9 @@
 
 use crate::config::Strategy;
 use dlmodels::{ModelDesc, Precision};
-use serde::{Deserialize, Serialize};
 
 /// Per-GPU memory footprint breakdown (bytes).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryBudget {
     pub params: f64,
     pub gradients: f64,

@@ -1,32 +1,36 @@
 //! Property tests on memory accounting and the training engine.
+//!
+//! Invariants covered (testkit, 64 cases each):
+//! * GPU memory need is strictly monotone in batch size;
+//! * `max_feasible_batch` is exact (max fits, max+1 does not);
+//! * sharding never needs more memory than DDP at equal batch;
+//! * sharded memory is nonincreasing in replica count.
 
 use dlmodels::{Benchmark, Precision};
-use proptest::prelude::*;
+use testkit::{just, one_of, prop_assert, property, select, f64_in, u64_in, usize_in, Gen};
 use training::{gpu_memory_needed, max_feasible_batch};
 
-fn any_strategy() -> impl Strategy<Value = training::Strategy> {
-    prop_oneof![
-        Just(training::Strategy::ddp()),
-        Just(training::Strategy::Dp),
-        Just(training::Strategy::sharded()),
-    ]
+fn any_strategy() -> Gen<training::Strategy> {
+    one_of(vec![
+        just(training::Strategy::ddp()),
+        just(training::Strategy::Dp),
+        just(training::Strategy::sharded()),
+    ])
 }
 
-fn any_benchmark() -> impl Strategy<Value = Benchmark> {
-    proptest::sample::select(Benchmark::all().to_vec())
+fn any_benchmark() -> Gen<Benchmark> {
+    select(Benchmark::all().to_vec())
 }
 
-fn any_precision() -> impl Strategy<Value = Precision> {
-    prop_oneof![Just(Precision::Fp16), Just(Precision::Fp32)]
+fn any_precision() -> Gen<Precision> {
+    one_of(vec![just(Precision::Fp16), just(Precision::Fp32)])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+property! {
     /// Memory is strictly monotone in batch size.
-    #[test]
+    #[cases(64)]
     fn memory_monotone_in_batch(b in any_benchmark(), s in any_strategy(),
-                                p in any_precision(), batch in 1u64..32) {
+                                p in any_precision(), batch in u64_in(1..32)) {
         let m = training::engine::model_for(b);
         let small = gpu_memory_needed(&m, batch, p, s, 8).total();
         let large = gpu_memory_needed(&m, batch + 1, p, s, 8).total();
@@ -34,9 +38,9 @@ proptest! {
     }
 
     /// `max_feasible_batch` is exact: the maximum fits, one more does not.
-    #[test]
+    #[cases(64)]
     fn max_feasible_is_tight(b in any_benchmark(), s in any_strategy(),
-                             p in any_precision(), cap_gb in 8.0f64..40.0) {
+                             p in any_precision(), cap_gb in f64_in(8.0, 40.0)) {
         let m = training::engine::model_for(b);
         let cap = cap_gb * 1e9;
         let max = max_feasible_batch(&m, cap, p, s, 8);
@@ -47,9 +51,9 @@ proptest! {
     }
 
     /// Sharding never needs more memory than plain DDP at equal batch.
-    #[test]
+    #[cases(64)]
     fn sharding_never_hurts_memory(b in any_benchmark(), p in any_precision(),
-                                   batch in 1u64..16, n in 2usize..16) {
+                                   batch in u64_in(1..16), n in usize_in(2..16)) {
         let m = training::engine::model_for(b);
         let ddp = gpu_memory_needed(&m, batch, p, training::Strategy::ddp(), n).total();
         let sh = gpu_memory_needed(&m, batch, p, training::Strategy::sharded(), n).total();
@@ -57,9 +61,9 @@ proptest! {
     }
 
     /// More replicas shard harder: sharded memory is nonincreasing in n.
-    #[test]
-    fn sharded_memory_shrinks_with_replicas(b in any_benchmark(), batch in 1u64..8,
-                                            n in 2usize..15) {
+    #[cases(64)]
+    fn sharded_memory_shrinks_with_replicas(b in any_benchmark(), batch in u64_in(1..8),
+                                            n in usize_in(2..15)) {
         let m = training::engine::model_for(b);
         let small = gpu_memory_needed(&m, batch, Precision::Fp16, training::Strategy::sharded(), n).total();
         let large = gpu_memory_needed(&m, batch, Precision::Fp16, training::Strategy::sharded(), n + 1).total();

@@ -37,6 +37,6 @@ fn main() {
     assert_eq!(rebuilt.node_count(), composed.topology.node_count());
     eprintln!(
         "# JSON snapshot: {} bytes (round-trip verified)",
-        serde_json::to_vec(&spec).unwrap().len()
+        spec.to_json_string().len()
     );
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# CI entry point: the tier-1 verification plus the hermeticity gate.
+#
+# The workspace must build and test with NO network and NO registry
+# dependencies — every dependency is a path dependency inside this repo.
+# `--offline --locked` makes cargo fail loudly if that ever regresses,
+# and the Cargo.lock grep proves no registry source snuck back in.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== hermeticity: offline, locked build =="
+cargo build --offline --locked --workspace
+
+echo "== hermeticity: Cargo.lock has no registry sources =="
+if grep -q 'source = ' Cargo.lock; then
+    echo "ERROR: Cargo.lock references an external source:" >&2
+    grep 'source = ' Cargo.lock >&2
+    exit 1
+fi
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== workspace tests (all property + golden suites) =="
+cargo test -q --offline --workspace
+
+echo "== benches compile (smoke run, 1 iteration) =="
+TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
+
+echo "CI OK"

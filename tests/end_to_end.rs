@@ -135,8 +135,8 @@ fn run_report_serializes() {
         &ExperimentOpts::scaled(3),
     )
     .unwrap();
-    let json = serde_json::to_string(&r).unwrap();
-    let back: training::RunReport = serde_json::from_str(&json).unwrap();
+    let json = r.to_json_string();
+    let back = training::RunReport::from_json_str(&json).unwrap();
     assert_eq!(back.total_time, r.total_time);
     assert_eq!(back.benchmark, r.benchmark);
 }
