@@ -17,6 +17,7 @@ use composable_core::report::{gbps, pct, sparkline, table};
 use composable_core::HostConfig;
 use dlmodels::Benchmark;
 use fabric::link::comms_requirements;
+use scheduler::{all_policies, compare_policies, comparison_table, trace, SchedulerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +73,9 @@ fn main() {
     }
     if want("fig16") {
         fig16(scale);
+    }
+    if want("cluster") {
+        cluster(quick);
     }
 }
 
@@ -334,4 +338,39 @@ fn fig16(scale: Scale) {
             shard
         );
     }
+}
+
+fn cluster(quick: bool) {
+    heading("CLUSTER — multi-job trace replay on the shared Falcon test bed");
+    let n_jobs = if quick { 8 } else { 20 };
+    let trace = trace::seeded_two_tenant(n_jobs, 0xC10D);
+    println!(
+        "trace {}: {} jobs, {} tenants, 16 pooled V100s (2 drawers x 8 slots, advanced mode)\n",
+        trace.name,
+        trace.jobs.len(),
+        trace.n_tenants()
+    );
+    let reports = compare_policies(&trace, all_policies(), &SchedulerConfig::default())
+        .expect("trace drains under every policy");
+    println!("{}", comparison_table(&reports));
+    let fifo = reports
+        .iter()
+        .find(|r| r.policy == "fifo-first-fit")
+        .expect("baseline present");
+    let best = reports
+        .iter()
+        .min_by_key(|r| r.mean_jct)
+        .expect("nonempty comparison");
+    println!(
+        "\nbest mean JCT: {} at {:.1}s ({} vs fifo-first-fit); every placement was an",
+        best.policy,
+        best.mean_jct.as_secs_f64(),
+        pct(
+            (best.mean_jct.as_secs_f64() / fifo.mean_jct.as_secs_f64() - 1.0) * 100.0
+        )
+    );
+    println!(
+        "MCS-audited recomposition ({} audit entries under {}).",
+        fifo.audit_entries, fifo.policy
+    );
 }

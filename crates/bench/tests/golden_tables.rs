@@ -16,6 +16,8 @@ use composable_core::runner::{run, ExperimentOpts};
 use composable_core::HostConfig;
 use desim::json::Value;
 use dlmodels::Benchmark;
+use scheduler::policy::FifoFirstFit;
+use scheduler::{trace, ClusterSim, SchedulerConfig};
 use testkit::check_golden;
 
 fn golden(name: &str) -> String {
@@ -54,6 +56,24 @@ fn golden_table4() {
         })
         .collect();
     check_golden(golden("table4.json"), &Value::Arr(rows).emit_pretty());
+}
+
+/// The `repro cluster` trace (20 jobs, two tenants, seed 0xC10D) replayed
+/// under FIFO first-fit: freezes the scheduler's entire report surface —
+/// per-job lifecycles, placement spans, utilization, fairness, audit
+/// volume — against drift in the trace generator, the probe pricing, or
+/// the event loop.
+#[test]
+fn golden_cluster_fifo() {
+    let report = ClusterSim::new(
+        trace::seeded_two_tenant(20, 0xC10D),
+        Box::new(FifoFirstFit),
+        SchedulerConfig::default(),
+    )
+    .expect("valid trace")
+    .run()
+    .expect("trace drains");
+    check_golden(golden("cluster_fifo.json"), &report.to_json_string());
 }
 
 /// One full (scaled) MobileNetV2 run on localGPUs under a pinned seed:

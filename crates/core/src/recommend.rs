@@ -27,8 +27,10 @@ pub enum Objective {
 }
 
 impl Objective {
-    /// Score a run; **higher is better**.
-    fn score(self, r: &RunReport, n_gpus: usize) -> f64 {
+    /// Score a run; **higher is better**. Public so other rankers (the
+    /// cluster scheduler's topology-aware placement policy) can score
+    /// candidate compositions with the same objective definitions.
+    pub fn score(self, r: &RunReport, n_gpus: usize) -> f64 {
         match self {
             Objective::TrainingTime => -r.total_time.as_secs_f64(),
             Objective::ThroughputPerGpu => r.throughput / n_gpus.max(1) as f64,

@@ -242,6 +242,86 @@ pub fn build_custom_falcon_host(gpu: &GpuSpec, n_gpus: usize) -> Composed {
     }
 }
 
+/// Compose a host whose GPUs sit at *exactly* the given chassis slots —
+/// the building block the cluster scheduler uses to price a candidate
+/// placement. A job kept inside one drawer communicates over that drawer's
+/// switch; a job split across drawers pays the cross-domain path through
+/// the host root complex, which is what makes placement quality visible
+/// in the simulated training time. Storage is the local NVMe.
+pub fn build_falcon_slots(gpu: &GpuSpec, slots: &[SlotAddr]) -> Composed {
+    assert!(
+        !slots.is_empty() && slots.len() <= 16,
+        "a placement uses 1..=16 chassis slots"
+    );
+    let host = HostSpec::default();
+    let mut topo = Topology::new();
+    let rc = topo.add_node("host0.rc", NodeKind::RootComplex);
+    let mem = topo.add_node("host0.dram", NodeKind::Memory);
+    topo.add_link(rc, mem, LinkSpec::of(LinkClass::MemoryBus));
+    let nvme_spec = StorageSpec::intel_p4500_4tb();
+    let nvme = add_storage(&mut topo, "host0.nvme", &nvme_spec);
+    topo.add_link(nvme.port, rc, LinkSpec::of(LinkClass::PcieGen3x4));
+
+    // Advanced mode so any slot subset is attachable to the one host.
+    let mut chassis = Falcon4016::new("falcon0", Mode::Advanced);
+    let host_id = HostId(0);
+    chassis
+        .connect_host(HostPort::H1, host_id, DrawerId(0))
+        .expect("cable drawer 0");
+    chassis
+        .connect_host(HostPort::H2, host_id, DrawerId(1))
+        .expect("cable drawer 1");
+    for &addr in slots {
+        chassis
+            .insert_device(addr, SlotDevice::Gpu(gpu.clone()))
+            .expect("insert GPU");
+        chassis.attach(addr, host_id).expect("attach GPU");
+    }
+    let mut host_nodes = BTreeMap::new();
+    host_nodes.insert(host_id, rc);
+    chassis
+        .materialize(&mut topo, &host_nodes)
+        .expect("materialize chassis");
+
+    let gpus = slots
+        .iter()
+        .map(|&addr| {
+            let nodes = chassis.slot_nodes(addr).expect("materialized");
+            GpuHandle {
+                core: nodes.endpoint,
+                port: nodes.port,
+                spec: gpu.clone(),
+                falcon_attached: true,
+            }
+        })
+        .collect();
+
+    let cluster = Cluster {
+        host_rc: rc,
+        host_mem: mem,
+        gpus,
+        storage_dev: nvme.device,
+        storage: nvme_spec,
+        storage_falcon_attached: false,
+        cpu: host.cpu,
+        dram: host.dram,
+        label: format!(
+            "falcon-slots[{}]",
+            slots
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    };
+
+    Composed {
+        topology: topo,
+        cluster,
+        chassis,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +337,33 @@ mod tests {
                 assert!(topo.route(c.cluster.host_rc, g.core).is_some());
             }
         }
+    }
+
+    #[test]
+    fn slot_placements_compose_and_split_costs_show() {
+        let spec = GpuSpec::v100_pcie_16gb();
+        let whole: Vec<SlotAddr> = (0..4).map(|s| SlotAddr::new(0, s)).collect();
+        let split: Vec<SlotAddr> = vec![
+            SlotAddr::new(0, 0),
+            SlotAddr::new(0, 1),
+            SlotAddr::new(1, 0),
+            SlotAddr::new(1, 1),
+        ];
+        let mut w = build_falcon_slots(&spec, &whole);
+        let mut s = build_falcon_slots(&spec, &split);
+        assert_eq!(w.cluster.n_gpus(), 4);
+        assert_eq!(s.cluster.n_gpus(), 4);
+        // Same-drawer GPU pairs route over one switch; the split placement's
+        // cross-drawer pair pays the root-complex crossing.
+        let rw = w
+            .topology
+            .route(w.cluster.gpus[0].core, w.cluster.gpus[3].core)
+            .unwrap();
+        let rs = s
+            .topology
+            .route(s.cluster.gpus[0].core, s.cluster.gpus[3].core)
+            .unwrap();
+        assert!(rs.hop_count() > rw.hop_count());
     }
 
     #[test]

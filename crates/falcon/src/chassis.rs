@@ -29,11 +29,20 @@ pub struct SlotAddr {
 
 impl SlotAddr {
     pub fn new(drawer: u8, slot: u8) -> SlotAddr {
-        assert!(drawer < 2 && slot < 8, "Falcon 4016 is 2 drawers × 8 slots");
-        SlotAddr {
+        Self::try_new(drawer, slot).expect("Falcon 4016 is 2 drawers × 8 slots")
+    }
+
+    /// Fallible construction for addresses arriving from outside the
+    /// program (trace files, management imports): out-of-range addresses
+    /// become a typed error instead of a panic.
+    pub fn try_new(drawer: u8, slot: u8) -> Result<SlotAddr, ChassisError> {
+        if drawer >= 2 || slot >= 8 {
+            return Err(ChassisError::InvalidSlot { drawer, slot });
+        }
+        Ok(SlotAddr {
             drawer: DrawerId(drawer),
             slot,
-        }
+        })
     }
 }
 
@@ -130,6 +139,12 @@ pub enum ChassisError {
     /// Standard mode: cabling another host into a drawer requires the
     /// drawer's devices to be detached first (re-composition quiesce).
     DrawerBusy(DrawerId),
+    /// A slot address outside the 2-drawer × 8-slot envelope.
+    InvalidSlot { drawer: u8, slot: u8 },
+    /// The chassis was already built into a fabric.
+    AlreadyMaterialized,
+    /// Materialization found a cabled host with no fabric node.
+    NoFabricNode(HostId),
 }
 
 impl fmt::Display for ChassisError {
@@ -165,6 +180,14 @@ impl fmt::Display for ChassisError {
                 "drawer {} has attached devices; detach before re-cabling in standard mode",
                 d.0
             ),
+            ChassisError::InvalidSlot { drawer, slot } => write!(
+                f,
+                "slot d{drawer}s{slot} is outside the 2-drawer x 8-slot chassis"
+            ),
+            ChassisError::AlreadyMaterialized => write!(f, "chassis already materialized"),
+            ChassisError::NoFabricNode(h) => {
+                write!(f, "no fabric node for cabled host {}", h.0)
+            }
         }
     }
 }
@@ -362,7 +385,14 @@ impl Falcon4016 {
         topo: &mut Topology,
         host_nodes: &BTreeMap<HostId, NodeId>,
     ) -> Result<(), ChassisError> {
-        assert!(!self.materialized, "chassis already materialized");
+        if self.materialized {
+            return Err(ChassisError::AlreadyMaterialized);
+        }
+        for &(host, _) in self.ports.values() {
+            if !host_nodes.contains_key(&host) {
+                return Err(ChassisError::NoFabricNode(host));
+            }
+        }
         self.host_nodes = host_nodes.clone();
 
         // Drawer switches.
@@ -371,11 +401,9 @@ impl Falcon4016 {
             self.switch_nodes.insert(d, sw);
         }
 
-        // Host ports (CDFP cables).
+        // Host ports (CDFP cables); hosts were checked above.
         for (&port, &(host, drawer)) in &self.ports {
-            let host_node = *host_nodes
-                .get(&host)
-                .unwrap_or_else(|| panic!("no fabric node for host {}", host.0));
+            let host_node = host_nodes[&host];
             let sw = self.switch_nodes[&drawer];
             topo.add_link(host_node, sw, LinkSpec::of(LinkClass::Cdfp400));
             let _ = port;
@@ -462,6 +490,42 @@ mod tests {
     #[should_panic(expected = "2 drawers")]
     fn slot_addr_bounds() {
         let _ = SlotAddr::new(2, 0);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_slots() {
+        assert_eq!(
+            SlotAddr::try_new(2, 0),
+            Err(ChassisError::InvalidSlot { drawer: 2, slot: 0 })
+        );
+        assert_eq!(
+            SlotAddr::try_new(0, 8),
+            Err(ChassisError::InvalidSlot { drawer: 0, slot: 8 })
+        );
+        assert_eq!(SlotAddr::try_new(1, 7), Ok(SlotAddr::new(1, 7)));
+    }
+
+    #[test]
+    fn materialize_failures_are_typed() {
+        let mut topo = Topology::new();
+        let mut c = chassis(Mode::Standard);
+        c.connect_host(HostPort::H1, HostId(0), DrawerId(0)).unwrap();
+        // Cabled host with no fabric node: typed error, chassis untouched.
+        let empty = BTreeMap::new();
+        assert_eq!(
+            c.materialize(&mut topo, &empty),
+            Err(ChassisError::NoFabricNode(HostId(0)))
+        );
+        assert!(!c.is_materialized());
+        // Now materialize properly, then again: typed error.
+        let rc = topo.add_node("host0.rc", NodeKind::RootComplex);
+        let mut hosts = BTreeMap::new();
+        hosts.insert(HostId(0), rc);
+        c.materialize(&mut topo, &hosts).unwrap();
+        assert_eq!(
+            c.materialize(&mut topo, &hosts),
+            Err(ChassisError::AlreadyMaterialized)
+        );
     }
 
     #[test]

@@ -1,0 +1,669 @@
+//! The cluster event loop: co-simulates concurrent training jobs on one
+//! shared Falcon 4016 test bed.
+//!
+//! The test bed is the chassis in **advanced mode** — 2 drawers × 8 slots
+//! of V100 PCIe GPUs — shared by two tenants. Each tenant's host server is
+//! cabled into both drawers (tenant 0 on ports H1/H2, tenant 1 on H3/H4),
+//! so every placement decision is a real composition: job start and finish
+//! drive MCS-audited `grant`/`attach`/`detach` calls against the chassis,
+//! and tenant isolation comes from the MCS role model, not scheduler
+//! bookkeeping.
+//!
+//! Time advances by discrete events (job arrival, job finish). Running
+//! jobs progress at a rate set by (a) a probe-measured mean iteration
+//! time for their placement *shape* — so drawer-spanning placements are
+//! genuinely slower for communication-bound models — and (b) a
+//! deterministic interference dilation per co-resident job sharing a
+//! drawer's switch ASIC. Rates are piecewise constant between events.
+//!
+//! When the queue head cannot be placed for lack of capacity, the
+//! scheduler may *shrink* a running elastic job (e.g. 8 → 4 GPUs) through
+//! the same detach path, stretching the victim's remaining iterations so
+//! total work in GPU-iterations is conserved.
+
+use crate::metrics::{JobOutcome, ScheduleReport};
+use crate::policy::{FreeView, PlacePolicy};
+use crate::probe::{ProbeCache, Shape};
+use crate::trace::{JobSpec, Trace};
+use desim::{Dur, SimTime};
+use devices::gpu::GpuSpec;
+use falcon::{
+    DrawerId, Falcon4016, HostId, HostPort, ManagementCenter, McsError, Mode, Role, SlotAddr,
+    SlotDevice, UserId,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// GPUs in the shared pool (2 drawers × 8 slots).
+pub const POOL_GPUS: usize = 16;
+/// The chassis has four host ports; two per tenant means two tenants.
+pub const MAX_TENANTS: u32 = 2;
+
+const ADMIN: UserId = UserId(0);
+
+fn tenant_user(t: u32) -> UserId {
+    UserId(t + 1)
+}
+
+fn tenant_host(t: u32) -> HostId {
+    HostId(t + 1)
+}
+
+/// Knobs of the cluster simulation (not of any single policy).
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Concurrent GPUs one tenant may hold across its jobs.
+    pub quota_gpus_per_tenant: usize,
+    /// Shrink elastic jobs when the queue head is capacity-blocked.
+    pub elastic: bool,
+    /// Iterations per placement-pricing probe.
+    pub probe_iters: u64,
+    /// Fractional slowdown per co-resident job sharing a drawer.
+    pub interference: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            quota_gpus_per_tenant: 12,
+            elastic: true,
+            probe_iters: 3,
+            interference: 0.05,
+        }
+    }
+}
+
+/// Typed admission and replay failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerError {
+    EmptyTrace,
+    TooManyTenants { job: u64, tenant: u32 },
+    BadDemand { job: u64, gpus: u8 },
+    QuotaUnsatisfiable { job: u64, gpus: u8, quota: usize },
+    BadElasticRange { job: u64, min_gpus: u8, gpus: u8 },
+    ZeroLength { job: u64 },
+    /// The policy declined the job even on an otherwise idle pool.
+    Unplaceable { job: u64, policy: String },
+    Mcs(McsError),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::EmptyTrace => write!(f, "trace has no jobs"),
+            SchedulerError::TooManyTenants { job, tenant } => {
+                write!(f, "job {job}: tenant {tenant} exceeds the {MAX_TENANTS}-tenant test bed")
+            }
+            SchedulerError::BadDemand { job, gpus } => {
+                write!(f, "job {job}: demand {gpus} outside 1..={POOL_GPUS} GPUs")
+            }
+            SchedulerError::QuotaUnsatisfiable { job, gpus, quota } => {
+                write!(f, "job {job}: demand {gpus} can never fit tenant quota {quota}")
+            }
+            SchedulerError::BadElasticRange { job, min_gpus, gpus } => {
+                write!(f, "job {job}: min_gpus {min_gpus} outside 1..={gpus}")
+            }
+            SchedulerError::ZeroLength { job } => write!(f, "job {job}: zero iterations"),
+            SchedulerError::Unplaceable { job, policy } => {
+                write!(f, "policy {policy} never places job {job}; trace cannot drain")
+            }
+            SchedulerError::Mcs(e) => write!(f, "mcs: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+impl From<McsError> for SchedulerError {
+    fn from(e: McsError) -> Self {
+        SchedulerError::Mcs(e)
+    }
+}
+
+/// A job currently holding GPUs.
+struct Running {
+    spec: JobSpec,
+    slots: Vec<SlotAddr>,
+    started: SimTime,
+    remaining_iters: f64,
+    /// Alone-on-the-bed mean iteration time for the current shape (s).
+    base_iter_secs: f64,
+    /// Iterations per second including interference dilation.
+    rate: f64,
+    last_progress: SimTime,
+    finish_at: SimTime,
+    ever_spanned: bool,
+    shrunk: bool,
+}
+
+/// One trace replay under one policy on one fresh test bed.
+pub struct ClusterSim {
+    mcs: ManagementCenter,
+    policy: Box<dyn PlacePolicy>,
+    cfg: SchedulerConfig,
+    trace: Trace,
+    probes: ProbeCache,
+}
+
+impl ClusterSim {
+    pub fn new(
+        trace: Trace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+    ) -> Result<ClusterSim, SchedulerError> {
+        if trace.jobs.is_empty() {
+            return Err(SchedulerError::EmptyTrace);
+        }
+        for j in &trace.jobs {
+            if j.tenant.0 >= MAX_TENANTS {
+                return Err(SchedulerError::TooManyTenants { job: j.id, tenant: j.tenant.0 });
+            }
+            if j.gpus == 0 || usize::from(j.gpus) > POOL_GPUS {
+                return Err(SchedulerError::BadDemand { job: j.id, gpus: j.gpus });
+            }
+            if usize::from(j.gpus) > cfg.quota_gpus_per_tenant {
+                return Err(SchedulerError::QuotaUnsatisfiable {
+                    job: j.id,
+                    gpus: j.gpus,
+                    quota: cfg.quota_gpus_per_tenant,
+                });
+            }
+            if j.min_gpus == 0 || j.min_gpus > j.gpus {
+                return Err(SchedulerError::BadElasticRange {
+                    job: j.id,
+                    min_gpus: j.min_gpus,
+                    gpus: j.gpus,
+                });
+            }
+            if j.iters == 0 {
+                return Err(SchedulerError::ZeroLength { job: j.id });
+            }
+        }
+
+        // The shared test bed: advanced-mode chassis, a V100 in every
+        // slot, both tenants' hosts cabled into both drawers.
+        let mut chassis = Falcon4016::new("cluster-falcon", Mode::Advanced);
+        for d in 0..2u8 {
+            for s in 0..8u8 {
+                chassis
+                    .insert_device(SlotAddr::new(d, s), SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()))
+                    .expect("fresh chassis slot");
+            }
+        }
+        let cabling = [
+            (HostPort::H1, 0u32, 0u8),
+            (HostPort::H2, 0, 1),
+            (HostPort::H3, 1, 0),
+            (HostPort::H4, 1, 1),
+        ];
+        for (port, tenant, drawer) in cabling {
+            chassis
+                .connect_host(port, tenant_host(tenant), DrawerId(drawer))
+                .expect("advanced mode takes two hosts per drawer");
+        }
+        let mcs = ManagementCenter::new(chassis);
+        mcs.add_user(ADMIN, Role::Admin);
+        for t in 0..MAX_TENANTS {
+            mcs.add_user(tenant_user(t), Role::User);
+        }
+
+        let probe_iters = cfg.probe_iters;
+        Ok(ClusterSim {
+            mcs,
+            policy,
+            cfg,
+            trace: trace.sorted(),
+            probes: ProbeCache::new(probe_iters),
+        })
+    }
+
+    /// Replay the trace to completion. Deterministic: equal traces,
+    /// policies, and configs yield byte-identical reports.
+    pub fn run(mut self) -> Result<ScheduleReport, SchedulerError> {
+        let jobs = std::mem::take(&mut self.trace.jobs);
+        let trace_name = self.trace.name.clone();
+        let policy_name = self.policy.name();
+
+        let mut next_arrival = 0usize;
+        let mut pending: Vec<JobSpec> = Vec::new();
+        let mut running: BTreeMap<u64, Running> = BTreeMap::new();
+        let mut now = SimTime::ZERO;
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut busy_gpu_secs = 0.0;
+        let mut span_gpu_secs = 0.0;
+        let mut tenant_gpu_secs = vec![0.0f64; MAX_TENANTS as usize];
+        let mut makespan = SimTime::ZERO;
+
+        loop {
+            let next_finish = running.values().map(|r| r.finish_at).min();
+            let t = match (jobs.get(next_arrival).map(|j| j.arrival), next_finish) {
+                (Some(a), Some(f)) => a.min(f),
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (None, None) => break,
+            };
+
+            // Advance resource accounting and job progress to t.
+            let dt = t.since(now).as_secs_f64();
+            if dt > 0.0 {
+                for r in running.values_mut() {
+                    let g = r.slots.len() as f64;
+                    busy_gpu_secs += g * dt;
+                    if Shape::of(&r.slots).spans() {
+                        span_gpu_secs += g * dt;
+                    }
+                    tenant_gpu_secs[r.spec.tenant.0 as usize] += g * dt;
+                    r.remaining_iters = (r.remaining_iters - r.rate * dt).max(0.0);
+                    r.last_progress = t;
+                }
+            }
+            now = t;
+
+            while next_arrival < jobs.len() && jobs[next_arrival].arrival == t {
+                Self::enqueue(&mut pending, jobs[next_arrival].clone());
+                next_arrival += 1;
+            }
+
+            let finished: Vec<u64> = running
+                .iter()
+                .filter(|(_, r)| r.finish_at <= t)
+                .map(|(&id, _)| id)
+                .collect();
+            let mut membership_changed = !finished.is_empty();
+            for id in finished {
+                let r = running.remove(&id).expect("id from the running set");
+                for &slot in &r.slots {
+                    self.mcs.detach(now, tenant_user(r.spec.tenant.0), slot)?;
+                }
+                makespan = makespan.max(now);
+                outcomes.push(JobOutcome {
+                    id: r.spec.id,
+                    tenant: r.spec.tenant.0,
+                    benchmark: r.spec.benchmark.label().to_string(),
+                    gpus: r.spec.gpus,
+                    final_gpus: r.slots.len() as u8,
+                    priority: r.spec.priority,
+                    arrival: r.spec.arrival,
+                    start: r.started,
+                    finish: now,
+                    spanned: r.ever_spanned,
+                    shrunk: r.shrunk,
+                });
+            }
+
+            if self.schedule_pass(now, &mut pending, &mut running)? {
+                membership_changed = true;
+            }
+            if membership_changed {
+                self.recompute_rates(&mut running);
+            }
+            self.assert_conservation(&running);
+        }
+
+        if let Some(stuck) = pending.first() {
+            return Err(SchedulerError::Unplaceable {
+                job: stuck.id,
+                policy: policy_name.to_string(),
+            });
+        }
+        let audit = self.mcs.export_audit(ADMIN)?.len() as u64;
+        Ok(ScheduleReport::assemble(
+            policy_name,
+            trace_name,
+            POOL_GPUS as u32,
+            outcomes,
+            makespan.since(SimTime::ZERO),
+            busy_gpu_secs,
+            span_gpu_secs,
+            tenant_gpu_secs,
+            audit,
+        ))
+    }
+
+    /// Queue discipline: priority (desc), then arrival, then id. The
+    /// policy never reorders the queue — it only picks slots.
+    fn enqueue(pending: &mut Vec<JobSpec>, job: JobSpec) {
+        let key = |j: &JobSpec| (std::cmp::Reverse(j.priority), j.arrival, j.id);
+        let pos = pending.partition_point(|j| key(j) <= key(&job));
+        pending.insert(pos, job);
+    }
+
+    fn free_view(&self) -> FreeView {
+        self.mcs.with_chassis(|c| {
+            FreeView::new(
+                c.occupied_slots()
+                    .filter(|&(a, d)| matches!(d, SlotDevice::Gpu(_)) && c.owner_of(a).is_none())
+                    .map(|(a, _)| a)
+                    .collect(),
+            )
+        })
+    }
+
+    /// Place as many queued jobs as the policy allows, in strict queue
+    /// order: the first quota-eligible job that cannot be placed blocks
+    /// the line (no backfill — that keeps every admitted job free of
+    /// starvation), except that quota-blocked jobs are stepped over.
+    fn schedule_pass(
+        &mut self,
+        now: SimTime,
+        pending: &mut Vec<JobSpec>,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let mut changed = false;
+        loop {
+            let free = self.free_view();
+            let mut used = vec![0usize; MAX_TENANTS as usize];
+            for r in running.values() {
+                used[r.spec.tenant.0 as usize] += r.slots.len();
+            }
+            let head = pending.iter().enumerate().find(|(_, j)| {
+                used[j.tenant.0 as usize] + usize::from(j.gpus) <= self.cfg.quota_gpus_per_tenant
+            });
+            let Some((i, job)) = head else { break };
+            match self.policy.place(job, &free, &mut self.probes) {
+                Some(slots) => {
+                    debug_assert_eq!(slots.len(), usize::from(job.gpus));
+                    let spec = pending.remove(i);
+                    self.start_job(now, spec, slots, running)?;
+                    changed = true;
+                }
+                None => {
+                    // Shrink only on a genuine capacity shortage; if the
+                    // policy is holding out for a better-shaped placement,
+                    // clawing back a victim's GPUs would not unblock it.
+                    if !self.cfg.elastic || free.total() >= usize::from(job.gpus) {
+                        break;
+                    }
+                    if !self.try_shrink(now, running)? {
+                        break;
+                    }
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    fn start_job(
+        &mut self,
+        now: SimTime,
+        spec: JobSpec,
+        slots: Vec<SlotAddr>,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<(), SchedulerError> {
+        let user = tenant_user(spec.tenant.0);
+        let host = tenant_host(spec.tenant.0);
+        for &slot in &slots {
+            self.mcs.grant(now, ADMIN, slot, user)?;
+            self.mcs.attach(now, user, slot, host)?;
+        }
+        let shape = Shape::of(&slots);
+        let base = self.probes.price(spec.benchmark, shape).mean_iter.as_secs_f64();
+        running.insert(
+            spec.id,
+            Running {
+                remaining_iters: spec.iters as f64,
+                base_iter_secs: base,
+                rate: 1.0 / base,
+                last_progress: now,
+                finish_at: SimTime::MAX, // recompute_rates sets the real value
+                started: now,
+                ever_spanned: shape.spans(),
+                shrunk: false,
+                slots,
+                spec,
+            },
+        );
+        Ok(())
+    }
+
+    /// Claw back GPUs from the running elastic job holding the most slots
+    /// (ties to the lowest id), releasing whole-drawer remainders first.
+    fn try_shrink(
+        &mut self,
+        now: SimTime,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let victim = running
+            .values()
+            .filter(|r| r.slots.len() > usize::from(r.spec.min_gpus))
+            .max_by_key(|r| (r.slots.len(), std::cmp::Reverse(r.spec.id)))
+            .map(|r| r.spec.id);
+        let Some(id) = victim else { return Ok(false) };
+        let r = running.get_mut(&id).expect("victim is running");
+        let old = r.slots.len();
+        let new = usize::from(r.spec.min_gpus).max(old / 2);
+        debug_assert!(new < old);
+        // Keep the drawer where the job holds more slots; release the rest
+        // (highest slots first) so the freed hole is as whole as possible.
+        let in_d0 = r.slots.iter().filter(|s| s.drawer.0 == 0).count();
+        let major = if in_d0 * 2 >= old { 0u8 } else { 1 };
+        r.slots.sort_by_key(|s| (s.drawer.0 != major, s.slot));
+        let released = r.slots.split_off(new);
+        for &slot in &released {
+            self.mcs.detach(now, tenant_user(r.spec.tenant.0), slot)?;
+        }
+        // Constant total work in GPU-iterations: fewer GPUs, more
+        // remaining iterations at the new (cheaper per-iteration) shape.
+        r.remaining_iters *= old as f64 / new as f64;
+        r.base_iter_secs = self
+            .probes
+            .price(r.spec.benchmark, Shape::of(&r.slots))
+            .mean_iter
+            .as_secs_f64();
+        r.shrunk = true;
+        Ok(true)
+    }
+
+    /// Resource-conservation invariants, checked at every event: no slot
+    /// is double-booked, the scheduler's view matches the chassis
+    /// attachment table exactly, the pool is never oversubscribed, and no
+    /// tenant exceeds its quota. Cheap (≤ 16 attachments), so it runs in
+    /// release builds too.
+    fn assert_conservation(&self, running: &BTreeMap<u64, Running>) {
+        let mut booked = std::collections::BTreeSet::new();
+        let mut used = vec![0usize; MAX_TENANTS as usize];
+        for r in running.values() {
+            for &slot in &r.slots {
+                assert!(booked.insert(slot), "slot {slot} double-booked");
+            }
+            used[r.spec.tenant.0 as usize] += r.slots.len();
+        }
+        assert!(booked.len() <= POOL_GPUS, "pool oversubscribed");
+        for (t, &u) in used.iter().enumerate() {
+            assert!(u <= self.cfg.quota_gpus_per_tenant, "tenant {t} over quota: {u}");
+        }
+        let attached: Vec<SlotAddr> =
+            self.mcs.with_chassis(|c| c.attachments().map(|(a, _)| a).collect());
+        assert_eq!(
+            attached.len(),
+            booked.len(),
+            "scheduler view diverged from chassis attachments"
+        );
+        assert!(attached.iter().all(|a| booked.contains(a)));
+    }
+
+    /// Rates are piecewise constant between events: every membership or
+    /// placement change re-prices each running job as its alone-on-bed
+    /// iteration rate diluted by co-residents sharing a drawer switch.
+    fn recompute_rates(&mut self, running: &mut BTreeMap<u64, Running>) {
+        let drawers: Vec<(u64, [bool; 2])> = running
+            .values()
+            .map(|r| {
+                let d0 = r.slots.iter().any(|s| s.drawer.0 == 0);
+                let d1 = r.slots.iter().any(|s| s.drawer.0 == 1);
+                (r.spec.id, [d0, d1])
+            })
+            .collect();
+        for r in running.values_mut() {
+            let mine = drawers
+                .iter()
+                .find(|(id, _)| *id == r.spec.id)
+                .map(|(_, d)| *d)
+                .expect("job listed");
+            let neighbors = drawers
+                .iter()
+                .filter(|(id, d)| *id != r.spec.id && ((d[0] && mine[0]) || (d[1] && mine[1])))
+                .count();
+            let dilation = 1.0 + self.cfg.interference * neighbors as f64;
+            r.rate = 1.0 / (r.base_iter_secs * dilation);
+            r.finish_at = r.last_progress + Dur::from_secs_f64(r.remaining_iters / r.rate);
+        }
+    }
+}
+
+/// Replay `trace` under each named policy (see [`crate::policy`]) on a
+/// fresh test bed and return the reports in policy order.
+pub fn compare_policies(
+    trace: &Trace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    cfg: &SchedulerConfig,
+) -> Result<Vec<ScheduleReport>, SchedulerError> {
+    policies
+        .into_iter()
+        .map(|p| ClusterSim::new(trace.clone(), p, cfg.clone())?.run())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{all_policies, FifoFirstFit, FragAware};
+    use crate::trace::{seeded_two_tenant, JobSpec, TenantId};
+    use dlmodels::Benchmark;
+
+    fn tiny_trace() -> Trace {
+        seeded_two_tenant(6, 11)
+    }
+
+    #[test]
+    fn replay_completes_every_job() {
+        let trace = tiny_trace();
+        let n = trace.jobs.len() as u32;
+        let report = ClusterSim::new(trace, Box::new(FifoFirstFit), SchedulerConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.n_jobs, n);
+        assert!(report.makespan > Dur::ZERO);
+        assert!(report.gpu_util > 0.0 && report.gpu_util <= 1.0);
+        for o in &report.jobs {
+            assert!(o.start >= o.arrival);
+            assert!(o.finish > o.start);
+        }
+        // Every start/finish left an MCS audit trail.
+        assert!(report.audit_entries > 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let cfg = SchedulerConfig::default();
+        let a = ClusterSim::new(tiny_trace(), Box::new(FragAware), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = ClusterSim::new(tiny_trace(), Box::new(FragAware), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+
+    #[test]
+    fn admission_rejects_bad_specs() {
+        let mut t = tiny_trace();
+        t.jobs[0].gpus = 0;
+        let r = ClusterSim::new(t, Box::new(FifoFirstFit), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::BadDemand { .. })));
+
+        let mut t = tiny_trace();
+        t.jobs[0].tenant = TenantId(5);
+        let r = ClusterSim::new(t, Box::new(FifoFirstFit), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::TooManyTenants { .. })));
+
+        let mut t = tiny_trace();
+        t.jobs[0].gpus = 14;
+        t.jobs[0].min_gpus = 14;
+        let r = ClusterSim::new(t, Box::new(FifoFirstFit), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::QuotaUnsatisfiable { .. })));
+    }
+
+    #[test]
+    fn quota_caps_a_tenant() {
+        // One tenant floods the cluster; its concurrent GPUs never exceed
+        // the quota, so the queue drains in arrival order under the cap.
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|id| JobSpec {
+                id,
+                tenant: TenantId(0),
+                benchmark: Benchmark::MobileNetV2,
+                gpus: 4,
+                min_gpus: 4,
+                priority: 1,
+                arrival: SimTime::ZERO,
+                iters: 6,
+            })
+            .collect();
+        let trace = Trace { name: "flood".into(), jobs };
+        let cfg = SchedulerConfig { quota_gpus_per_tenant: 8, ..SchedulerConfig::default() };
+        let report = ClusterSim::new(trace, Box::new(FifoFirstFit), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.n_jobs, 4);
+        // With an 8-GPU cap only two 4-GPU jobs run at once: the last two
+        // must start strictly after the first two.
+        let mut starts: Vec<SimTime> = report.jobs.iter().map(|o| o.start).collect();
+        starts.sort();
+        assert!(starts[2] > starts[0]);
+    }
+
+    #[test]
+    fn elastic_shrink_fires_under_pressure() {
+        // An 8-GPU elastic job holds the pool busy enough that a burst of
+        // arrivals forces a claw-back.
+        let mut jobs = vec![JobSpec {
+            id: 0,
+            tenant: TenantId(0),
+            benchmark: Benchmark::ResNet50,
+            gpus: 8,
+            min_gpus: 4,
+            priority: 1,
+            arrival: SimTime::ZERO,
+            iters: 48,
+        }];
+        for id in 1..4 {
+            jobs.push(JobSpec {
+                id,
+                tenant: TenantId(1),
+                benchmark: Benchmark::MobileNetV2,
+                gpus: 4,
+                min_gpus: 4,
+                priority: 1,
+                arrival: SimTime::from_millis(100),
+                iters: 6,
+            });
+        }
+        let trace = Trace { name: "pressure".into(), jobs };
+        let report = ClusterSim::new(trace, Box::new(FifoFirstFit), SchedulerConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let big = report.jobs.iter().find(|o| o.id == 0).unwrap();
+        assert!(big.shrunk, "the elastic job should have been clawed back");
+        assert_eq!(big.final_gpus, 4);
+        assert_eq!(report.shrunk_jobs, 1);
+    }
+
+    #[test]
+    fn all_policies_drain_the_same_trace() {
+        let reports =
+            compare_policies(&tiny_trace(), all_policies(), &SchedulerConfig::default()).unwrap();
+        assert_eq!(reports.len(), 4);
+        let n = tiny_trace().jobs.len() as u32;
+        for r in &reports {
+            assert_eq!(r.n_jobs, n, "{} lost jobs", r.policy);
+            assert!((0.0..=1.0).contains(&r.fairness));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `scheduler` — cluster-level, trace-driven multi-job scheduling on the
+//! composable test bed.
+//!
+//! The paper studies one tenant composing one host at a time; the natural
+//! next question for a composable system is *cluster* behavior: many
+//! training jobs, from multiple tenants, arriving over time and competing
+//! for the same two drawers of pooled GPUs. This crate answers it with a
+//! discrete-event scheduler that replays a workload trace on the Falcon
+//! 4016 model, driving every placement through the chassis's real
+//! management plane (MCS grant/attach/detach, audited) and pricing every
+//! placement *shape* with a short simulated probe run — so the paper's
+//! §V-B composition costs (drawer-spanning allreduce) show up directly in
+//! scheduler-level metrics.
+//!
+//! Crate layout:
+//! * [`trace`] — job specs, Poisson/heavy-tail synthetic generators, and
+//!   JSON import/export.
+//! * [`probe`] — cached micro-probes pricing a `(benchmark, shape)` pair.
+//! * [`policy`] — placement policies behind one trait: FIFO first-fit,
+//!   best-fit packing, fragmentation-aware, topology-aware (probe-scored
+//!   with [`composable_core::Objective`]).
+//! * [`cluster`] — the event loop: shared-chassis co-simulation,
+//!   MCS-audited recomposition, elastic shrink, per-tenant quotas.
+//! * [`metrics`] — JCT / queueing / makespan / utilization /
+//!   fragmentation / fairness reporting and the policy-comparison table.
+
+pub mod cluster;
+pub mod metrics;
+pub mod policy;
+pub mod probe;
+pub mod trace;
+
+pub use cluster::{compare_policies, ClusterSim, SchedulerConfig, SchedulerError, POOL_GPUS};
+pub use metrics::{comparison_table, jain_fairness, JobOutcome, ScheduleReport};
+pub use policy::{all_policies, policy_by_name, FreeView, PlacePolicy};
+pub use probe::{Probe, ProbeCache, Shape};
+pub use trace::{seeded_two_tenant, JobSpec, PoissonMix, TenantId, Trace};

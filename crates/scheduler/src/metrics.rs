@@ -1,0 +1,342 @@
+//! Schedule-quality metrics: per-job outcomes and the cluster-level
+//! report (JCT, queueing delay, makespan, utilization, fragmentation,
+//! per-tenant fairness), with JSON export and a policy-comparison table.
+
+use composable_core::report::table;
+use desim::json::{FromJson, JsonError, ToJson, Value};
+use desim::{Dur, SimTime};
+
+/// The lifecycle record of one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    pub id: u64,
+    pub tenant: u32,
+    pub benchmark: String,
+    /// GPUs requested at submit.
+    pub gpus: u8,
+    /// GPUs held at completion (smaller than `gpus` after elastic shrink).
+    pub final_gpus: u8,
+    pub priority: u8,
+    pub arrival: SimTime,
+    pub start: SimTime,
+    pub finish: SimTime,
+    /// Did the placement ever span both drawers?
+    pub spanned: bool,
+    pub shrunk: bool,
+}
+
+impl JobOutcome {
+    /// Job completion time: arrival → finish.
+    pub fn jct(&self) -> Dur {
+        self.finish.since(self.arrival)
+    }
+
+    /// Time spent queued before the first GPU was attached.
+    pub fn queue_delay(&self) -> Dur {
+        self.start.since(self.arrival)
+    }
+}
+
+impl ToJson for JobOutcome {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("id", Value::from_u64(self.id)),
+            ("tenant", Value::from_u64(u64::from(self.tenant))),
+            ("benchmark", Value::str(self.benchmark.clone())),
+            ("gpus", Value::from_u64(u64::from(self.gpus))),
+            ("final_gpus", Value::from_u64(u64::from(self.final_gpus))),
+            ("priority", Value::from_u64(u64::from(self.priority))),
+            ("arrival_ns", self.arrival.to_json()),
+            ("start_ns", self.start.to_json()),
+            ("finish_ns", self.finish.to_json()),
+            ("spanned", Value::Bool(self.spanned)),
+            ("shrunk", Value::Bool(self.shrunk)),
+        ])
+    }
+}
+
+impl FromJson for JobOutcome {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(JobOutcome {
+            id: v.get("id")?.as_u64()?,
+            tenant: v.get("tenant")?.as_u32()?,
+            benchmark: String::from_json(v.get("benchmark")?)?,
+            gpus: v.get("gpus")?.as_u8()?,
+            final_gpus: v.get("final_gpus")?.as_u8()?,
+            priority: v.get("priority")?.as_u8()?,
+            arrival: SimTime::from_json(v.get("arrival_ns")?)?,
+            start: SimTime::from_json(v.get("start_ns")?)?,
+            finish: SimTime::from_json(v.get("finish_ns")?)?,
+            spanned: v.get("spanned")?.as_bool()?,
+            shrunk: v.get("shrunk")?.as_bool()?,
+        })
+    }
+}
+
+/// Jain's fairness index over per-tenant shares: 1.0 when every tenant
+/// received the same amount, approaching `1/n` under total capture.
+pub fn jain_fairness(shares: &[f64]) -> f64 {
+    let sum: f64 = shares.iter().sum();
+    let sq: f64 = shares.iter().map(|x| x * x).sum();
+    if sq <= 0.0 || shares.is_empty() {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sq)
+}
+
+/// The cluster-level result of replaying one trace under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    pub policy: String,
+    pub trace: String,
+    pub pool_gpus: u32,
+    pub n_jobs: u32,
+    pub makespan: Dur,
+    pub mean_jct: Dur,
+    pub p95_jct: Dur,
+    pub mean_queue_delay: Dur,
+    /// Busy GPU-seconds over pool-GPU-seconds of the makespan.
+    pub gpu_util: f64,
+    /// Share of busy GPU-seconds spent in drawer-spanning placements —
+    /// the fragmentation cost made visible.
+    pub frag_share: f64,
+    /// Jain's index over per-tenant GPU-seconds.
+    pub fairness: f64,
+    pub shrunk_jobs: u32,
+    /// MCS audit-log length: every grant/attach/detach of the replay.
+    pub audit_entries: u64,
+    pub tenant_gpu_secs: Vec<f64>,
+    pub jobs: Vec<JobOutcome>,
+}
+
+fn mean_dur(ds: impl Iterator<Item = Dur>) -> Dur {
+    let v: Vec<Dur> = ds.collect();
+    if v.is_empty() {
+        return Dur::ZERO;
+    }
+    let total: u64 = v.iter().map(|d| d.as_nanos()).sum();
+    Dur::from_nanos(total / v.len() as u64)
+}
+
+fn percentile_dur(mut ns: Vec<u64>, p: f64) -> Dur {
+    if ns.is_empty() {
+        return Dur::ZERO;
+    }
+    ns.sort_unstable();
+    let rank = ((p * ns.len() as f64).ceil() as usize).clamp(1, ns.len());
+    Dur::from_nanos(ns[rank - 1])
+}
+
+/// Round a share/ratio to a stable number of decimals so reports (and the
+/// golden files built from them) don't encode float noise.
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
+}
+
+impl ScheduleReport {
+    /// Fold completed-job outcomes and the loop's resource accounting into
+    /// the summary metrics. `outcomes` may arrive in completion order; the
+    /// report stores them by id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        policy: impl Into<String>,
+        trace: impl Into<String>,
+        pool_gpus: u32,
+        mut outcomes: Vec<JobOutcome>,
+        makespan: Dur,
+        busy_gpu_secs: f64,
+        span_gpu_secs: f64,
+        tenant_gpu_secs: Vec<f64>,
+        audit_entries: u64,
+    ) -> ScheduleReport {
+        outcomes.sort_by_key(|o| o.id);
+        let cap = pool_gpus as f64 * makespan.as_secs_f64();
+        ScheduleReport {
+            policy: policy.into(),
+            trace: trace.into(),
+            pool_gpus,
+            n_jobs: outcomes.len() as u32,
+            makespan,
+            mean_jct: mean_dur(outcomes.iter().map(|o| o.jct())),
+            p95_jct: percentile_dur(outcomes.iter().map(|o| o.jct().as_nanos()).collect(), 0.95),
+            mean_queue_delay: mean_dur(outcomes.iter().map(|o| o.queue_delay())),
+            gpu_util: round4(if cap > 0.0 { busy_gpu_secs / cap } else { 0.0 }),
+            frag_share: round4(if busy_gpu_secs > 0.0 {
+                span_gpu_secs / busy_gpu_secs
+            } else {
+                0.0
+            }),
+            fairness: round4(jain_fairness(&tenant_gpu_secs)),
+            shrunk_jobs: outcomes.iter().filter(|o| o.shrunk).count() as u32,
+            audit_entries,
+            tenant_gpu_secs: tenant_gpu_secs.into_iter().map(round4).collect(),
+            jobs: outcomes,
+        }
+    }
+
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    pub fn from_json_str(s: &str) -> Result<ScheduleReport, JsonError> {
+        ScheduleReport::from_json(&Value::parse(s)?)
+    }
+}
+
+impl ToJson for ScheduleReport {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("policy", Value::str(self.policy.clone())),
+            ("trace", Value::str(self.trace.clone())),
+            ("pool_gpus", Value::from_u64(u64::from(self.pool_gpus))),
+            ("n_jobs", Value::from_u64(u64::from(self.n_jobs))),
+            ("makespan_ns", self.makespan.to_json()),
+            ("mean_jct_ns", self.mean_jct.to_json()),
+            ("p95_jct_ns", self.p95_jct.to_json()),
+            ("mean_queue_delay_ns", self.mean_queue_delay.to_json()),
+            ("gpu_util", Value::Num(self.gpu_util)),
+            ("frag_share", Value::Num(self.frag_share)),
+            ("fairness", Value::Num(self.fairness)),
+            ("shrunk_jobs", Value::from_u64(u64::from(self.shrunk_jobs))),
+            ("audit_entries", Value::from_u64(self.audit_entries)),
+            (
+                "tenant_gpu_secs",
+                Value::Arr(self.tenant_gpu_secs.iter().map(|s| Value::Num(*s)).collect()),
+            ),
+            ("jobs", self.jobs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScheduleReport {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ScheduleReport {
+            policy: String::from_json(v.get("policy")?)?,
+            trace: String::from_json(v.get("trace")?)?,
+            pool_gpus: v.get("pool_gpus")?.as_u32()?,
+            n_jobs: v.get("n_jobs")?.as_u32()?,
+            makespan: Dur::from_json(v.get("makespan_ns")?)?,
+            mean_jct: Dur::from_json(v.get("mean_jct_ns")?)?,
+            p95_jct: Dur::from_json(v.get("p95_jct_ns")?)?,
+            mean_queue_delay: Dur::from_json(v.get("mean_queue_delay_ns")?)?,
+            gpu_util: v.get("gpu_util")?.as_f64()?,
+            frag_share: v.get("frag_share")?.as_f64()?,
+            fairness: v.get("fairness")?.as_f64()?,
+            shrunk_jobs: v.get("shrunk_jobs")?.as_u32()?,
+            audit_entries: v.get("audit_entries")?.as_u64()?,
+            tenant_gpu_secs: Vec::<f64>::from_json(v.get("tenant_gpu_secs")?)?,
+            jobs: Vec::<JobOutcome>::from_json(v.get("jobs")?)?,
+        })
+    }
+}
+
+/// Render the `repro cluster` policy-comparison table.
+pub fn comparison_table(reports: &[ScheduleReport]) -> String {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.1}", r.mean_jct.as_secs_f64()),
+                format!("{:.1}", r.p95_jct.as_secs_f64()),
+                format!("{:.1}", r.mean_queue_delay.as_secs_f64()),
+                format!("{:.1}", r.makespan.as_secs_f64()),
+                format!("{:.1}", r.gpu_util * 100.0),
+                format!("{:.1}", r.frag_share * 100.0),
+                format!("{:.3}", r.fairness),
+                format!("{}", r.shrunk_jobs),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "policy",
+            "mean JCT (s)",
+            "p95 JCT (s)",
+            "queue (s)",
+            "makespan (s)",
+            "GPU util %",
+            "split %",
+            "fairness",
+            "shrunk",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, arrival_s: u64, start_s: u64, finish_s: u64) -> JobOutcome {
+        JobOutcome {
+            id,
+            tenant: (id % 2) as u32,
+            benchmark: "ResNet-50".to_string(),
+            gpus: 2,
+            final_gpus: 2,
+            priority: 1,
+            arrival: SimTime::from_secs(arrival_s),
+            start: SimTime::from_secs(start_s),
+            finish: SimTime::from_secs(finish_s),
+            spanned: id == 1,
+            shrunk: false,
+        }
+    }
+
+    #[test]
+    fn jct_and_queue_delay() {
+        let o = outcome(0, 2, 5, 9);
+        assert_eq!(o.jct(), Dur::from_secs(7));
+        assert_eq!(o.queue_delay(), Dur::from_secs(3));
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_fairness(&[1.0, 1.0]), 1.0);
+        assert!((jain_fairness(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn assemble_and_round_trip() {
+        let r = ScheduleReport::assemble(
+            "best-fit",
+            "t",
+            16,
+            vec![outcome(1, 0, 0, 4), outcome(0, 0, 1, 3)],
+            Dur::from_secs(4),
+            24.0,
+            8.0,
+            vec![12.0, 12.0],
+            42,
+        );
+        assert_eq!(r.jobs[0].id, 0, "stored by id");
+        assert_eq!(r.n_jobs, 2);
+        assert_eq!(r.mean_jct, Dur::from_nanos(3_500_000_000));
+        assert_eq!(r.p95_jct, Dur::from_secs(4));
+        assert!((r.gpu_util - 0.375).abs() < 1e-9);
+        assert!((r.frag_share - 1.0 / 3.0).abs() < 1e-4);
+        assert_eq!(r.fairness, 1.0);
+        let back = ScheduleReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn comparison_table_lists_each_policy() {
+        let r = ScheduleReport::assemble(
+            "fifo-first-fit",
+            "t",
+            16,
+            vec![outcome(0, 0, 1, 3)],
+            Dur::from_secs(3),
+            4.0,
+            0.0,
+            vec![4.0, 0.0],
+            7,
+        );
+        let t = comparison_table(&[r]);
+        assert!(t.contains("fifo-first-fit"));
+        assert!(t.contains("mean JCT (s)"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Placement policies: given a job and the chassis's current free slots,
+//! choose the slots to compose — or decline and let the job wait.
+//!
+//! All policies see the same queue in the same order (the cluster loop
+//! owns queue discipline); they differ **only** in slot selection:
+//!
+//! * [`FifoFirstFit`] — the naive baseline: first free slots in global
+//!   slot order, splitting across drawers whenever the first drawer is
+//!   fragmented.
+//! * [`BestFit`] — classic best-fit packing: the *tightest* drawer that
+//!   still fits the job, spilling only when no single drawer fits.
+//! * [`FragAware`] — keeps Falcon drawers whole: never splits a job
+//!   across drawers, preferring to let it queue until a whole-drawer
+//!   placement opens.
+//! * [`TopologyAware`] — prices every candidate shape with a cached
+//!   micro-probe ([`crate::probe`]) and picks the best
+//!   [`composable_core::Objective::TrainingTime`] score.
+
+use crate::probe::{ProbeCache, Shape};
+use crate::trace::JobSpec;
+use falcon::SlotAddr;
+
+/// Snapshot of the chassis's unattached GPU slots, in global slot order.
+#[derive(Debug, Clone)]
+pub struct FreeView {
+    free: Vec<SlotAddr>,
+}
+
+impl FreeView {
+    pub fn new(mut free: Vec<SlotAddr>) -> FreeView {
+        free.sort();
+        FreeView { free }
+    }
+
+    pub fn total(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn slots(&self) -> &[SlotAddr] {
+        &self.free
+    }
+
+    /// Free slots inside one drawer, ascending.
+    pub fn in_drawer(&self, drawer: u8) -> Vec<SlotAddr> {
+        self.free
+            .iter()
+            .copied()
+            .filter(|s| s.drawer.0 == drawer)
+            .collect()
+    }
+}
+
+/// A slot-selection strategy. Returning `None` means "this job cannot (or
+/// should not) be placed right now"; the cluster loop decides whether that
+/// blocks the queue.
+pub trait PlacePolicy {
+    fn name(&self) -> &'static str;
+    fn place(&self, job: &JobSpec, free: &FreeView, probes: &mut ProbeCache)
+        -> Option<Vec<SlotAddr>>;
+}
+
+/// Every built-in policy, in the order the comparison tables print them.
+pub fn all_policies() -> Vec<Box<dyn PlacePolicy>> {
+    vec![
+        Box::new(FifoFirstFit),
+        Box::new(BestFit),
+        Box::new(FragAware),
+        Box::new(TopologyAware),
+    ]
+}
+
+/// Look a policy up by its `name()`.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn PlacePolicy>> {
+    all_policies().into_iter().find(|p| p.name() == name)
+}
+
+pub struct FifoFirstFit;
+
+impl PlacePolicy for FifoFirstFit {
+    fn name(&self) -> &'static str {
+        "fifo-first-fit"
+    }
+
+    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<SlotAddr>> {
+        let k = usize::from(job.gpus);
+        if free.total() < k {
+            return None;
+        }
+        Some(free.slots()[..k].to_vec())
+    }
+}
+
+pub struct BestFit;
+
+impl PlacePolicy for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<SlotAddr>> {
+        let k = usize::from(job.gpus);
+        if free.total() < k {
+            return None;
+        }
+        let per: Vec<Vec<SlotAddr>> = (0..2).map(|d| free.in_drawer(d)).collect();
+        // Tightest single drawer that fits.
+        if let Some(d) = (0..2)
+            .filter(|&d| per[d].len() >= k)
+            .min_by_key(|&d| (per[d].len(), d))
+        {
+            return Some(per[d][..k].to_vec());
+        }
+        // No drawer fits alone: drain the fuller drawer, spill the rest.
+        let first = if per[0].len() >= per[1].len() { 0 } else { 1 };
+        let mut slots: Vec<SlotAddr> = per[first].clone();
+        slots.extend(per[1 - first].iter().copied().take(k - slots.len().min(k)));
+        slots.truncate(k);
+        Some(slots)
+    }
+}
+
+pub struct FragAware;
+
+impl PlacePolicy for FragAware {
+    fn name(&self) -> &'static str {
+        "frag-aware"
+    }
+
+    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<SlotAddr>> {
+        let k = usize::from(job.gpus);
+        // Whole-drawer placements only: a drawer must fit the entire job.
+        // Among fitting drawers, prefer an exact fit, then the tightest —
+        // large contiguous holes stay whole for the jobs that need them.
+        (0..2)
+            .map(|d| free.in_drawer(d))
+            .filter(|slots| slots.len() >= k)
+            .min_by_key(|slots| (slots.len() != k, slots.len()))
+            .map(|slots| slots[..k].to_vec())
+    }
+}
+
+pub struct TopologyAware;
+
+impl PlacePolicy for TopologyAware {
+    fn name(&self) -> &'static str {
+        "topology-aware"
+    }
+
+    fn place(
+        &self,
+        job: &JobSpec,
+        free: &FreeView,
+        probes: &mut ProbeCache,
+    ) -> Option<Vec<SlotAddr>> {
+        let k = usize::from(job.gpus);
+        if free.total() < k {
+            return None;
+        }
+        let per: Vec<Vec<SlotAddr>> = (0..2).map(|d| free.in_drawer(d)).collect();
+        // Candidates as (slots from `drawer`, drawer): each whole-drawer
+        // fit; failing those, the least-split spill and the balanced
+        // split — the probe decides which split shape hurts less.
+        let mut candidates: Vec<(usize, usize)> = (0..2)
+            .filter(|&d| per[d].len() >= k)
+            .map(|d| (k, d))
+            .collect();
+        if candidates.is_empty() {
+            let fuller = if per[0].len() >= per[1].len() { 0 } else { 1 };
+            let spill = per[fuller].len().min(k);
+            candidates.push((spill, fuller));
+            let balanced = k.div_ceil(2);
+            if balanced < spill && k - balanced <= per[1 - fuller].len() {
+                candidates.push((balanced, fuller));
+            }
+        }
+        // Highest probe score wins; ties resolve to fewer drawers spanned,
+        // then the lower drawer, so the choice is deterministic.
+        let (take, drawer) = candidates
+            .into_iter()
+            .map(|(take, d)| {
+                let shape = Shape::new(take as u8, (k - take) as u8);
+                (probes.price(job.benchmark, shape).score, take, d)
+            })
+            .max_by(|(sa, ta, da), (sb, tb, db)| {
+                sa.partial_cmp(sb)
+                    .expect("finite probe scores")
+                    .then(ta.cmp(tb))
+                    .then(db.cmp(da))
+            })
+            .map(|(_, take, d)| (take, d))?;
+        let mut slots: Vec<SlotAddr> = per[drawer].iter().copied().take(take).collect();
+        slots.extend(per[1 - drawer].iter().copied().take(k - take));
+        debug_assert_eq!(slots.len(), k);
+        Some(slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TenantId;
+    use desim::SimTime;
+    use dlmodels::Benchmark;
+
+    fn job(gpus: u8) -> JobSpec {
+        JobSpec {
+            id: 0,
+            tenant: TenantId(0),
+            benchmark: Benchmark::ResNet50,
+            gpus,
+            min_gpus: gpus,
+            priority: 1,
+            arrival: SimTime::ZERO,
+            iters: 8,
+        }
+    }
+
+    /// d0 has slots {2,3}, d1 has {0,1,2,3} free.
+    fn fragmented() -> FreeView {
+        FreeView::new(vec![
+            SlotAddr::new(0, 2),
+            SlotAddr::new(0, 3),
+            SlotAddr::new(1, 0),
+            SlotAddr::new(1, 1),
+            SlotAddr::new(1, 2),
+            SlotAddr::new(1, 3),
+        ])
+    }
+
+    #[test]
+    fn first_fit_splits_across_drawers() {
+        let got = FifoFirstFit
+            .place(&job(4), &fragmented(), &mut ProbeCache::new(2))
+            .unwrap();
+        assert!(Shape::of(&got).spans(), "first-fit fragments: {got:?}");
+    }
+
+    #[test]
+    fn best_fit_packs_the_tightest_drawer() {
+        let mut probes = ProbeCache::new(2);
+        let got = BestFit.place(&job(2), &fragmented(), &mut probes).unwrap();
+        assert_eq!(got, vec![SlotAddr::new(0, 2), SlotAddr::new(0, 3)]);
+        let got4 = BestFit.place(&job(4), &fragmented(), &mut probes).unwrap();
+        assert!(!Shape::of(&got4).spans(), "d1 fits the 4-GPU job whole");
+    }
+
+    #[test]
+    fn frag_aware_waits_rather_than_split() {
+        let mut probes = ProbeCache::new(2);
+        assert!(FragAware.place(&job(8), &fragmented(), &mut probes).is_none());
+        let got = FragAware.place(&job(4), &fragmented(), &mut probes).unwrap();
+        assert!(!Shape::of(&got).spans());
+    }
+
+    #[test]
+    fn topology_aware_keeps_comm_bound_jobs_whole() {
+        let mut probes = ProbeCache::new(2);
+        let mut j = job(4);
+        j.benchmark = Benchmark::BertLarge;
+        let got = TopologyAware.place(&j, &fragmented(), &mut probes).unwrap();
+        assert!(!Shape::of(&got).spans(), "probe scoring avoids the split");
+        assert!(!probes.is_empty());
+    }
+
+    #[test]
+    fn topology_aware_prices_competing_splits() {
+        // 3 free in each drawer, a 4-GPU job: no whole-drawer fit, so the
+        // policy must price the 3+1 spill against the 2+2 balanced split.
+        let free = FreeView::new(vec![
+            SlotAddr::new(0, 0),
+            SlotAddr::new(0, 1),
+            SlotAddr::new(0, 2),
+            SlotAddr::new(1, 0),
+            SlotAddr::new(1, 1),
+            SlotAddr::new(1, 2),
+        ]);
+        let mut probes = ProbeCache::new(2);
+        let mut j = job(4);
+        j.benchmark = Benchmark::BertLarge;
+        let got = TopologyAware.place(&j, &free, &mut probes).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(Shape::of(&got).spans(), "a split is unavoidable here");
+        assert!(probes.len() >= 2, "both split shapes were priced");
+    }
+
+    #[test]
+    fn all_policies_refuse_impossible_demands() {
+        let mut probes = ProbeCache::new(2);
+        let tiny = FreeView::new(vec![SlotAddr::new(0, 0)]);
+        for p in all_policies() {
+            assert!(p.place(&job(2), &tiny, &mut probes).is_none(), "{}", p.name());
+        }
+        assert!(policy_by_name("best-fit").is_some());
+        assert!(policy_by_name("nope").is_none());
+    }
+}

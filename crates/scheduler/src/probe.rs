@@ -1,0 +1,175 @@
+//! Placement pricing: cached micro-probes of job performance on candidate
+//! slot *shapes*.
+//!
+//! A placement's quality on the Falcon test bed depends on how many
+//! drawers it spans — GPU pairs inside one drawer peer over the drawer's
+//! PCIe switch ASIC, while a split placement routes allreduce traffic
+//! through the host root complex (the paper's §V-B cost). The scheduler
+//! prices a candidate placement by *running* a short probe job on a
+//! canonical composition of that shape via [`composable_core::system::
+//! build_falcon_slots`] and caching the measured mean iteration time.
+//! Slots within a drawer are symmetric, so the cache key is just
+//! `(benchmark, per-drawer slot counts)` — a handful of probes price an
+//! entire trace replay.
+
+use composable_core::recommend::Objective;
+use composable_core::system::build_falcon_slots;
+use desim::Dur;
+use devices::gpu::GpuSpec;
+use dlmodels::Benchmark;
+use falcon::SlotAddr;
+use std::collections::BTreeMap;
+use training::engine::{model_for, run_job};
+use training::{max_feasible_batch, JobConfig};
+
+/// Per-drawer slot counts of a placement, normalized so `d0 >= d1`
+/// (drawers are symmetric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Shape {
+    pub d0: u8,
+    pub d1: u8,
+}
+
+impl Shape {
+    pub fn new(a: u8, b: u8) -> Shape {
+        Shape {
+            d0: a.max(b),
+            d1: a.min(b),
+        }
+    }
+
+    pub fn of(slots: &[SlotAddr]) -> Shape {
+        let in_d0 = slots.iter().filter(|s| s.drawer.0 == 0).count() as u8;
+        Shape::new(in_d0, slots.len() as u8 - in_d0)
+    }
+
+    pub fn n_gpus(&self) -> usize {
+        usize::from(self.d0) + usize::from(self.d1)
+    }
+
+    /// Does the placement span both drawers (pay the root-complex cost)?
+    pub fn spans(&self) -> bool {
+        self.d1 > 0
+    }
+
+    /// A canonical slot list with this shape (lowest slots per drawer).
+    pub fn canonical_slots(&self) -> Vec<SlotAddr> {
+        let mut slots = Vec::with_capacity(self.n_gpus());
+        for s in 0..self.d0 {
+            slots.push(SlotAddr::new(0, s));
+        }
+        for s in 0..self.d1 {
+            slots.push(SlotAddr::new(1, s));
+        }
+        slots
+    }
+}
+
+/// The priced outcome of one probe run.
+#[derive(Debug, Clone, Copy)]
+pub struct Probe {
+    /// Mean time per training iteration with the job alone on the bed.
+    pub mean_iter: Dur,
+    /// [`Objective::TrainingTime`] score (higher is better).
+    pub score: f64,
+}
+
+/// Memoized probe runner. Probes are deterministic (fixed seed), so the
+/// cache never changes an answer — it only avoids re-simulating.
+pub struct ProbeCache {
+    probe_iters: u64,
+    map: BTreeMap<(&'static str, Shape), Probe>,
+}
+
+impl ProbeCache {
+    pub fn new(probe_iters: u64) -> ProbeCache {
+        ProbeCache {
+            probe_iters: probe_iters.max(1),
+            map: BTreeMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Price `benchmark` on a placement of `shape`. Panics only if the
+    /// model cannot fit the bed at batch size 1 — none of the paper's five
+    /// benchmarks hits that on 16 GB V100s.
+    pub fn price(&mut self, benchmark: Benchmark, shape: Shape) -> Probe {
+        let iters = self.probe_iters;
+        *self
+            .map
+            .entry((benchmark.label(), shape))
+            .or_insert_with(|| run_probe(benchmark, shape, iters))
+    }
+}
+
+fn run_probe(benchmark: Benchmark, shape: Shape, iters: u64) -> Probe {
+    let gpu = GpuSpec::v100_pcie_16gb();
+    let composed = build_falcon_slots(&gpu, &shape.canonical_slots());
+    let n = shape.n_gpus();
+    let mut cfg = JobConfig::paper_scaled(benchmark, n, iters);
+    cfg.epochs = 1;
+    cfg.checkpoint_each_epoch = false;
+    cfg.seed = 0x5EED;
+    // Clamp the paper batch to what fits: the global-batch benchmarks
+    // (YOLO, BERT) divide across GPUs, so small placements would OOM a
+    // 16 GB card without this (same gate as `runner::run`'s auto-batch).
+    let model = model_for(benchmark);
+    let fit = max_feasible_batch(&model, gpu.memory_bytes, cfg.precision, cfg.strategy, n);
+    cfg.per_gpu_batch = cfg.per_gpu_batch.min(fit).max(1);
+    let report = run_job(composed.topology, composed.cluster, cfg)
+        .expect("probe fits after batch clamping");
+    Probe {
+        mean_iter: report.mean_iter,
+        score: Objective::TrainingTime.score(&report, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_normalizes_and_classifies() {
+        assert_eq!(Shape::new(1, 3), Shape::new(3, 1));
+        assert!(Shape::new(2, 2).spans());
+        assert!(!Shape::new(4, 0).spans());
+        let s = Shape::of(&[SlotAddr::new(0, 5), SlotAddr::new(1, 0), SlotAddr::new(1, 2)]);
+        assert_eq!(s, Shape { d0: 2, d1: 1 });
+        assert_eq!(Shape::new(3, 1).canonical_slots().len(), 4);
+    }
+
+    #[test]
+    fn split_placement_prices_slower_for_comm_bound_jobs() {
+        let mut cache = ProbeCache::new(3);
+        let whole = cache.price(Benchmark::BertLarge, Shape::new(4, 0));
+        let split = cache.price(Benchmark::BertLarge, Shape::new(2, 2));
+        assert!(
+            split.mean_iter > whole.mean_iter,
+            "cross-drawer allreduce must cost: whole={:?} split={:?}",
+            whole.mean_iter,
+            split.mean_iter
+        );
+        assert!(whole.score > split.score);
+    }
+
+    #[test]
+    fn cache_memoizes_and_stays_deterministic() {
+        let mut a = ProbeCache::new(3);
+        let p1 = a.price(Benchmark::MobileNetV2, Shape::new(2, 0));
+        let p2 = a.price(Benchmark::MobileNetV2, Shape::new(2, 0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(p1.mean_iter, p2.mean_iter);
+        let mut b = ProbeCache::new(3);
+        assert_eq!(
+            b.price(Benchmark::MobileNetV2, Shape::new(2, 0)).mean_iter,
+            p1.mean_iter
+        );
+    }
+}

@@ -32,4 +32,7 @@ cargo test -q --offline --workspace
 echo "== benches compile (smoke run, 1 iteration) =="
 TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 
+echo "== cluster scheduler smoke (repro cluster --quick) =="
+cargo run --release --offline -p bench --bin repro -- cluster --quick
+
 echo "CI OK"
