@@ -1,15 +1,23 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p bench --bin repro            # everything
-//! cargo run --release -p bench --bin repro -- fig11   # one experiment
-//! cargo run --release -p bench --bin repro -- --quick # fast smoke pass
+//! cargo run --release -p bench --bin repro             # everything
+//! cargo run --release -p bench --bin repro -- fig11    # one experiment
+//! cargo run --release -p bench --bin repro -- --quick  # fast smoke pass
+//! cargo run --release -p bench --bin repro -- --jobs 4 # 4 sweep workers
 //! ```
 //!
 //! Output pairs each measured quantity with the paper's published value
 //! where one exists. Absolute times differ (the substrate is a simulator);
 //! the shapes — who wins, by what factor, where the crossovers are — are
 //! the reproduction targets.
+//!
+//! `--jobs N` sets the parsweep worker count for every sweep (grids,
+//! recommendation, policy replays); the default is available parallelism.
+//! Thread count never changes a byte of output — only wall-clock (see
+//! DESIGN §9). The cluster experiment persists its probe cache to
+//! `$PROBE_CACHE` (default `target/probe_cache.json`), so a second run
+//! prices every placement without re-running probe simulations.
 
 use bench::experiments::{self, Scale};
 use bench::paper;
@@ -17,13 +25,24 @@ use composable_core::report::{gbps, pct, sparkline, table};
 use composable_core::HostConfig;
 use dlmodels::Benchmark;
 use fabric::link::comms_requirements;
-use scheduler::{all_policies, compare_policies, comparison_table, trace, SchedulerConfig};
+use scheduler::{
+    all_policies, comparison_table, compare_policies_cached, trace, ProbeCache, SchedulerConfig,
+};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if let Some(n) = jobs_flag(&args) {
+        parsweep::set_default_jobs(n);
+    }
     let scale = if quick { Scale::quick() } else { Scale::standard() };
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !is_jobs_value(&args, a))
+        .map(|s| s.as_str())
+        .collect();
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     if want("table1") {
@@ -77,6 +96,28 @@ fn main() {
     if want("cluster") {
         cluster(quick);
     }
+}
+
+/// Parse `--jobs N` / `--jobs=N`. Invalid or missing values are ignored
+/// (the default — available parallelism — applies).
+fn jobs_flag(args: &[String]) -> Option<usize> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok().filter(|&n| n > 0);
+        }
+        if a == "--jobs" {
+            return args.get(i + 1)?.parse().ok().filter(|&n| n > 0);
+        }
+    }
+    None
+}
+
+/// Is `arg` the value of a space-separated `--jobs N`? (It would otherwise
+/// be mistaken for an experiment name.)
+fn is_jobs_value(args: &[String], arg: &str) -> bool {
+    args.iter()
+        .zip(args.iter().skip(1))
+        .any(|(a, b)| a == "--jobs" && b == arg)
 }
 
 fn heading(title: &str) {
@@ -350,8 +391,25 @@ fn cluster(quick: bool) {
         trace.jobs.len(),
         trace.n_tenants()
     );
-    let reports = compare_policies(&trace, all_policies(), &SchedulerConfig::default())
-        .expect("trace drains under every policy");
+    let cfg = SchedulerConfig::default();
+    let cache_path: PathBuf = std::env::var_os("PROBE_CACHE")
+        .map_or_else(|| PathBuf::from("target/probe_cache.json"), PathBuf::from);
+    let mut cache = ProbeCache::load_file(&cache_path, cfg.probe_iters);
+    let loaded = cache.len();
+    let reports =
+        compare_policies_cached(&trace, all_policies(), &cfg, parsweep::default_jobs(), &mut cache)
+            .expect("trace drains under every policy");
+    println!(
+        "probe cache {}: {} entries loaded, {} probe simulations run, {} entries saved",
+        cache_path.display(),
+        loaded,
+        cache.probes_run(),
+        cache.len()
+    );
+    match cache.save_file(&cache_path) {
+        Ok(()) => {}
+        Err(e) => eprintln!("[cluster] probe cache not saved ({e}); runs stay correct without it"),
+    }
     println!("{}", comparison_table(&reports));
     let fifo = reports
         .iter()

@@ -36,6 +36,6 @@ pub mod runner;
 pub mod system;
 
 pub use config::HostConfig;
-pub use recommend::{recommend, Objective, Recommendation};
-pub use runner::{run, sweep, ExperimentOpts};
+pub use recommend::{recommend, recommend_jobs, Objective, Recommendation};
+pub use runner::{run, sweep, sweep_jobs, ExperimentOpts};
 pub use system::build_config;

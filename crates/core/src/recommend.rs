@@ -9,7 +9,7 @@
 //! attached.
 
 use crate::config::HostConfig;
-use crate::runner::{run, ExperimentOpts};
+use crate::runner::ExperimentOpts;
 use dlmodels::Benchmark;
 use training::RunReport;
 
@@ -49,17 +49,34 @@ pub struct Recommendation {
 
 /// Simulate `benchmark` on every candidate configuration and rank by
 /// `objective`. Candidates that do not fit (OOM) are dropped — that *is*
-/// the recommendation signal for them.
+/// the recommendation signal for them. Candidates are evaluated on
+/// [`parsweep::default_jobs`] workers; the ranking is byte-identical to a
+/// serial evaluation (candidate runs are independent, scores are computed
+/// and stably sorted in candidate order).
 pub fn recommend(
     benchmark: Benchmark,
     candidates: &[HostConfig],
     objective: Objective,
     opts: &ExperimentOpts,
 ) -> Vec<Recommendation> {
-    let mut ranked: Vec<Recommendation> = candidates
-        .iter()
-        .filter_map(|&config| {
-            let report = run(benchmark, config, opts).ok()?;
+    recommend_jobs(benchmark, candidates, objective, opts, parsweep::default_jobs())
+}
+
+/// [`recommend`] with an explicit parsweep worker count.
+pub fn recommend_jobs(
+    benchmark: Benchmark,
+    candidates: &[HostConfig],
+    objective: Objective,
+    opts: &ExperimentOpts,
+    jobs: usize,
+) -> Vec<Recommendation> {
+    let cells: Vec<(Benchmark, HostConfig)> =
+        candidates.iter().map(|&c| (benchmark, c)).collect();
+    let mut ranked: Vec<Recommendation> = crate::runner::sweep_jobs(&cells, opts, jobs)
+        .into_iter()
+        .zip(candidates)
+        .filter_map(|(result, &config)| {
+            let report = result.ok()?;
             let n = 8; // all Table III configs compose 8 GPUs
             Some(Recommendation {
                 config,

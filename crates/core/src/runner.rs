@@ -126,27 +126,36 @@ pub fn run(
     run_job(composed.topology, composed.cluster, cfg)
 }
 
-/// Run a sweep of `(benchmark, config)` cells in parallel on host threads.
-/// Each simulation is single-threaded and deterministic; the sweep is
-/// embarrassingly parallel, so results are identical to running serially.
+/// Run a sweep of `(benchmark, config)` cells on [`parsweep::default_jobs`]
+/// workers. Each simulation is single-threaded and deterministic; the
+/// sweep is embarrassingly parallel and results come back in cell order,
+/// so output is byte-identical to running serially.
 pub fn sweep(
     cells: &[(Benchmark, HostConfig)],
     opts: &ExperimentOpts,
 ) -> Vec<Result<RunReport, TrainError>> {
-    let mut results: Vec<Option<Result<RunReport, TrainError>>> = Vec::new();
-    results.resize_with(cells.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, &(benchmark, config)) in results.iter_mut().zip(cells) {
-            let opts = opts.clone();
-            scope.spawn(move || {
-                *slot = Some(run(benchmark, config, &opts));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("sweep thread completed"))
-        .collect()
+    sweep_jobs(cells, opts, parsweep::default_jobs())
+}
+
+/// [`sweep`] with an explicit worker count (a bounded work-stealing pool,
+/// not one thread per cell — a 25-cell paper grid no longer oversubscribes
+/// a small machine).
+pub fn sweep_jobs(
+    cells: &[(Benchmark, HostConfig)],
+    opts: &ExperimentOpts,
+    jobs: usize,
+) -> Vec<Result<RunReport, TrainError>> {
+    parsweep::run(
+        jobs,
+        cells
+            .iter()
+            .map(|&(benchmark, config)| {
+                parsweep::Job::new(format!("{} on {config:?}", benchmark.label()), move || {
+                    run(benchmark, config, opts)
+                })
+            })
+            .collect(),
+    )
 }
 
 /// Convenience: run every benchmark on every GPU configuration (the

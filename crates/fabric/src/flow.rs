@@ -88,6 +88,34 @@ pub struct FabricState<S> {
     free: Vec<u32>,
     last_settle: SimTime,
     active_count: usize,
+    scratch: Scratch,
+}
+
+/// Reusable buffers for [`FabricState::recompute_and_reschedule`] — the
+/// allocator runs on every flow start/finish/abort (the inner loop of
+/// every probe and replay), so its working vectors and maps are hoisted
+/// here and cleared per call instead of reallocated. Holding stale
+/// contents between calls is fine: every field is rebuilt from scratch
+/// (after `clear`) before it is read.
+#[derive(Default)]
+struct Scratch {
+    active: Vec<u32>,
+    ceiling: Vec<f64>,
+    frozen: Vec<bool>,
+    rate: Vec<f64>,
+    residual: std::collections::HashMap<usize, (f64, u32)>,
+    users: std::collections::HashMap<usize, Vec<usize>>,
+}
+
+impl Scratch {
+    fn clear(&mut self) {
+        self.active.clear();
+        self.ceiling.clear();
+        self.frozen.clear();
+        self.rate.clear();
+        self.residual.clear();
+        self.users.clear();
+    }
 }
 
 /// Bytes/s below which a water-filling increment is considered zero.
@@ -103,6 +131,7 @@ impl<S: FlowWorld> FabricState<S> {
             free: Vec::new(),
             last_settle: SimTime::ZERO,
             active_count: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -332,31 +361,32 @@ impl<S: FlowWorld> FabricState<S> {
     /// Max-min fair allocation by progressive filling, then reschedule every
     /// active flow's completion event.
     fn recompute_and_reschedule(&mut self, sim: &mut Sim<S>) {
-        // Collect active flow indices deterministically (slot order).
-        let active: Vec<u32> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| {
-                s.as_ref()
-                    .filter(|s| s.phase == Phase::Active)
-                    .map(|_| i as u32)
-            })
-            .collect();
-        debug_assert_eq!(active.len(), self.active_count);
-        if active.is_empty() {
+        // Fast path: with no active flows there is nothing to allocate or
+        // reschedule — skip before touching any buffer. Latency-phase
+        // flows carry their own scheduled activation event.
+        if self.active_count == 0 {
             return;
         }
+        let mut sc = std::mem::take(&mut self.scratch);
+        sc.clear();
+
+        // Collect active flow indices deterministically (slot order).
+        sc.active.extend(self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref()
+                .filter(|s| s.phase == Phase::Active)
+                .map(|_| i as u32)
+        }));
+        let active = &sc.active;
+        debug_assert_eq!(active.len(), self.active_count);
 
         // Residual capacity per directed link (dense index), counting only
         // links actually used.
-        let mut residual: std::collections::HashMap<usize, (f64, u32)> =
-            std::collections::HashMap::new();
+        let residual = &mut sc.residual;
         // Per-flow ceiling: bottleneck capacity × path efficiency. Zero-hop
         // flows (src == dst) are unconstrained by links; give them an
         // effectively infinite rate so they complete immediately.
-        let mut ceiling: Vec<f64> = Vec::with_capacity(active.len());
-        for &i in &active {
+        let ceiling = &mut sc.ceiling;
+        for &i in active {
             let st = self.slots[i as usize].as_ref().unwrap();
             let mut bottleneck = f64::INFINITY;
             for &dl in &st.route.hops {
@@ -374,13 +404,14 @@ impl<S: FlowWorld> FabricState<S> {
 
         // Progressive filling: all unfrozen flows share one rising level.
         let n = active.len();
-        let mut frozen = vec![false; n];
-        let mut rate = vec![0.0f64; n];
+        let frozen = &mut sc.frozen;
+        frozen.resize(n, false);
+        let rate = &mut sc.rate;
+        rate.resize(n, 0.0f64);
         let mut level = 0.0f64;
         let mut unfrozen = n;
         // Map dense link index -> list of flow positions using it.
-        let mut users: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
+        let users = &mut sc.users;
         for (pos, &i) in active.iter().enumerate() {
             let st = self.slots[i as usize].as_ref().unwrap();
             for &dl in &st.route.hops {
@@ -391,7 +422,7 @@ impl<S: FlowWorld> FabricState<S> {
         while unfrozen > 0 {
             // Smallest headroom across links and flow ceilings.
             let mut inc = f64::INFINITY;
-            for (idx, &(res, _)) in &residual {
+            for (idx, &(res, _)) in residual.iter() {
                 let live = users[idx].iter().filter(|&&p| !frozen[p]).count() as f64;
                 if live > 0.0 {
                     inc = inc.min(res / live);
@@ -470,6 +501,9 @@ impl<S: FlowWorld> FabricState<S> {
                 Self::on_complete(world, sim, id);
             });
         }
+
+        // Hand the buffers back for the next recompute.
+        self.scratch = sc;
     }
 }
 

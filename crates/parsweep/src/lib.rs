@@ -1,0 +1,311 @@
+//! `parsweep` — deterministic parallel execution of independent jobs.
+//!
+//! Every expensive computation in this workspace is a *sweep*: a batch of
+//! independent seeded simulations (probe pricing, candidate-configuration
+//! ranking, policy replays, table generation) whose individual results are
+//! pure functions of their inputs. This crate runs such a batch across a
+//! work-stealing thread pool and merges the results **in canonical job
+//! order**, so the output of [`run`] is byte-identical to serial execution
+//! regardless of thread count or scheduling interleaving:
+//!
+//! * each job is pure, so *what* it computes cannot depend on *where* or
+//!   *when* it runs;
+//! * results carry their job index and are reassembled by index, so the
+//!   merge order cannot depend on completion order;
+//! * a panic in any job is captured and re-raised (tagged with the job's
+//!   label) after every other job has finished, deterministically for the
+//!   lowest-indexed failing job.
+//!
+//! The pool is std-only (scoped threads, mutex deques, one mpsc channel)
+//! to keep the workspace hermetic. Jobs are distributed round-robin onto
+//! per-worker deques; an idle worker pops from its own queue front and
+//! steals from the *back* of a sibling's queue, so long jobs migrate to
+//! idle cores without a central contended queue.
+//!
+//! ```
+//! let squares = parsweep::map(4, (0u64..8).collect(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Process-wide default worker count override (0 = unset). Set by the
+/// `--jobs N` flags of the repro/bench binaries.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override what [`default_jobs`] returns for the rest of the process
+/// (0 clears the override). How `repro --jobs N` reaches every sweep
+/// call site without threading a parameter through each table.
+pub fn set_default_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Worker count used when the caller does not pass one explicitly:
+/// [`set_default_jobs`] override, else the `PARSWEEP_JOBS` environment
+/// variable, else [`std::thread::available_parallelism`].
+///
+/// Thread count never affects results — only wall-clock — so consulting
+/// ambient configuration here is safe.
+pub fn default_jobs() -> usize {
+    let n = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(v) = std::env::var("PARSWEEP_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One unit of sweep work: a label (for panic attribution) and a closure.
+pub struct Job<'a, R> {
+    label: String,
+    work: Box<dyn FnOnce() -> R + Send + 'a>,
+}
+
+impl<'a, R> Job<'a, R> {
+    pub fn new(label: impl Into<String>, work: impl FnOnce() -> R + Send + 'a) -> Job<'a, R> {
+        Job {
+            label: label.into(),
+            work: Box::new(work),
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Outcome of one executed job, tagged for deterministic reassembly.
+enum Done<R> {
+    Ok(usize, R),
+    Panicked(usize, String, String),
+}
+
+fn payload_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn execute<R>(idx: usize, job: Job<'_, R>) -> Done<R> {
+    let Job { label, work } = job;
+    match catch_unwind(AssertUnwindSafe(work)) {
+        Ok(r) => Done::Ok(idx, r),
+        Err(p) => Done::Panicked(idx, label, payload_text(p.as_ref())),
+    }
+}
+
+/// Run `jobs` on up to `threads` workers and return the results **in job
+/// order**. `threads <= 1` (or a single job) runs inline on the calling
+/// thread; both paths produce identical output.
+///
+/// # Panics
+/// If any job panics, re-panics after all jobs have run, with a message
+/// naming the lowest-indexed failing job's label and original payload.
+pub fn run<R: Send>(threads: usize, jobs: Vec<Job<'_, R>>) -> Vec<R> {
+    let n = jobs.len();
+    let threads = threads.max(1).min(n.max(1));
+
+    let mut done: Vec<Option<Done<R>>> = (0..n).map(|_| None).collect();
+    if threads <= 1 {
+        for (idx, (job, slot)) in jobs.into_iter().zip(done.iter_mut()).enumerate() {
+            *slot = Some(execute(idx, job));
+        }
+        return reassemble(done);
+    }
+
+    // Round-robin deal onto per-worker deques. Worker `w` pops its own
+    // queue front (FIFO in index order, which keeps the common case
+    // cache-friendly) and steals from the back of queue `w+1, w+2, ...`
+    // when its own is dry. Jobs never spawn jobs, so "every queue empty"
+    // is a correct termination condition.
+    let queues: Vec<Mutex<VecDeque<(usize, Job<'_, R>)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (idx, job) in jobs.into_iter().enumerate() {
+        queues[idx % threads].lock().unwrap().push_back((idx, job));
+    }
+
+    let (tx, rx) = mpsc::channel::<Done<R>>();
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let queues = &queues;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let claimed = {
+                    let mut own = queues[me].lock().unwrap();
+                    own.pop_front()
+                }
+                .or_else(|| {
+                    (1..queues.len()).find_map(|k| {
+                        queues[(me + k) % queues.len()].lock().unwrap().pop_back()
+                    })
+                });
+                match claimed {
+                    Some((idx, job)) => {
+                        // A send error means the receiver is gone, which
+                        // only happens if the parent panicked; die quietly.
+                        if tx.send(execute(idx, job)).is_err() {
+                            return;
+                        }
+                    }
+                    None => return,
+                }
+            });
+        }
+        drop(tx);
+        for d in rx {
+            let idx = match &d {
+                Done::Ok(i, _) | Done::Panicked(i, _, _) => *i,
+            };
+            done[idx] = Some(d);
+        }
+    });
+    reassemble(done)
+}
+
+fn reassemble<R>(done: Vec<Option<Done<R>>>) -> Vec<R> {
+    let mut out = Vec::with_capacity(done.len());
+    let mut first_panic: Option<(String, String)> = None;
+    for d in done {
+        match d.expect("every job executes exactly once") {
+            Done::Ok(_, r) => out.push(r),
+            Done::Panicked(_, label, msg) => {
+                if first_panic.is_none() {
+                    first_panic = Some((label, msg));
+                }
+            }
+        }
+    }
+    if let Some((label, msg)) = first_panic {
+        panic!("parsweep job `{label}` panicked: {msg}");
+    }
+    out
+}
+
+/// Map `f` over `items` in parallel, preserving input order. The sweep
+/// workhorse: each item becomes one [`Job`] labeled by its index.
+pub fn map<T: Send, R: Send>(
+    threads: usize,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    let f = &f;
+    run(
+        threads,
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Job::new(format!("map[{i}]"), move || f(t)))
+            .collect(),
+    )
+}
+
+/// Run `jobs` in parallel and fold the results **in job order** (never
+/// completion order) — the reduce a caller writes against serial
+/// execution works unchanged.
+pub fn run_reduce<R: Send, A>(
+    threads: usize,
+    jobs: Vec<Job<'_, R>>,
+    init: A,
+    reduce: impl FnMut(A, R) -> A,
+) -> A {
+    run(threads, jobs).into_iter().fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_arrive_in_job_order() {
+        for threads in [1, 2, 4, 9] {
+            let jobs: Vec<Job<'_, usize>> = (0..23)
+                .map(|i| Job::new(format!("j{i}"), move || i * 10))
+                .collect();
+            let got = run(threads, jobs);
+            assert_eq!(got, (0..23).map(|i| i * 10).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_matches_serial() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        assert_eq!(map(4, items, |x| x * x + 1), serial);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(map(16, vec![7u32], |x| x + 1), vec![8]);
+        assert_eq!(map(16, Vec::<u32>::new(), |x| x + 1), Vec::<u32>::new());
+        assert_eq!(map(0, vec![1u32, 2], |x| x), vec![1, 2], "0 threads clamps to 1");
+    }
+
+    #[test]
+    fn reduce_folds_in_job_order() {
+        let jobs: Vec<Job<'_, String>> = (0..12)
+            .map(|i| Job::new(format!("r{i}"), move || format!("{i},")))
+            .collect();
+        let folded = run_reduce(3, jobs, String::new(), |mut acc, s| {
+            acc.push_str(&s);
+            acc
+        });
+        assert_eq!(folded, "0,1,2,3,4,5,6,7,8,9,10,11,");
+    }
+
+    #[test]
+    fn panic_carries_the_job_label() {
+        let err = std::panic::catch_unwind(|| {
+            run(
+                2,
+                vec![
+                    Job::new("fine", || 1),
+                    Job::new("doomed-job", || -> i32 { panic!("boom {}", 42) }),
+                ],
+            )
+        })
+        .unwrap_err();
+        let msg = payload_text(err.as_ref());
+        assert!(msg.contains("doomed-job"), "{msg}");
+        assert!(msg.contains("boom 42"), "{msg}");
+    }
+
+    #[test]
+    fn every_job_runs_despite_a_panic() {
+        static RAN: AtomicU32 = AtomicU32::new(0);
+        let jobs: Vec<Job<'_, ()>> = (0..8)
+            .map(|i| {
+                Job::new(format!("j{i}"), move || {
+                    RAN.fetch_add(1, Ordering::SeqCst);
+                    if i == 3 {
+                        panic!("job 3 fails");
+                    }
+                })
+            })
+            .collect();
+        assert!(std::panic::catch_unwind(AssertUnwindSafe(|| run(4, jobs))).is_err());
+        assert_eq!(RAN.load(Ordering::SeqCst), 8, "panic must not strand queued jobs");
+    }
+
+    #[test]
+    fn default_jobs_honors_override() {
+        // Touch only the override (the env var would race other tests).
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

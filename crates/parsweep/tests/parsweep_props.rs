@@ -1,0 +1,119 @@
+//! Property suite for the work-stealing sweep executor (testkit):
+//!
+//! * every job runs exactly once, whatever the thread count and however
+//!   job durations interleave;
+//! * results and reductions are merged in canonical (submission) order,
+//!   not completion order — parallel output is byte-identical to serial;
+//! * a worker panic propagates to the caller tagged with the job label,
+//!   after every remaining job has still run.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use testkit::{property, prop_assert, prop_assert_eq, tuple2, u8_in, u64_in, usize_in, vec_of};
+
+/// Burn a few deterministic-but-variable cycles so workers genuinely
+/// interleave and steal from each other.
+fn spin(units: u64) -> u64 {
+    let mut acc = 0x9E3779B97F4A7C15u64;
+    for i in 0..units * 500 {
+        acc = acc.rotate_left(7) ^ i;
+        std::hint::black_box(acc);
+    }
+    acc
+}
+
+property! {
+    /// Exactly-once execution: per-job counters all read 1 afterwards,
+    /// and the result vector is the identity permutation of the inputs.
+    #[cases(24)]
+    fn all_jobs_run_exactly_once(input in tuple2(vec_of(u64_in(0..20), 0..40), usize_in(1..9))) {
+        let (durations, threads) = input;
+        let n = durations.len();
+        let counters: Arc<Vec<AtomicU32>> =
+            Arc::new((0..n).map(|_| AtomicU32::new(0)).collect());
+        let jobs: Vec<parsweep::Job<'_, usize>> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let counters = Arc::clone(&counters);
+                parsweep::Job::new(format!("job{i}"), move || {
+                    spin(d);
+                    counters[i].fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+            })
+            .collect();
+        let results = parsweep::run(threads, jobs);
+        prop_assert_eq!(results, (0..n).collect::<Vec<_>>());
+        for (i, c) in counters.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::SeqCst), 1, "job {} ran {} times", i, c.load(Ordering::SeqCst));
+        }
+    }
+
+    /// Reduce order is canonical under randomized job durations: the fold
+    /// sees results in submission order even when later-submitted jobs
+    /// finish first, so parallel reduction equals the serial reduction.
+    #[cases(24)]
+    fn reduce_order_is_canonical(input in tuple2(vec_of(u64_in(0..20), 1..30), usize_in(1..9))) {
+        let (durations, threads) = input;
+        let mk_jobs = || -> Vec<parsweep::Job<'_, String>> {
+            durations
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    parsweep::Job::new(format!("job{i}"), move || {
+                        spin(d);
+                        format!("{i}:{d};")
+                    })
+                })
+                .collect()
+        };
+        let parallel = parsweep::run_reduce(threads, mk_jobs(), String::new(), |mut a, s| {
+            a.push_str(&s);
+            a
+        });
+        let serial = parsweep::run_reduce(1, mk_jobs(), String::new(), |mut a, s| {
+            a.push_str(&s);
+            a
+        });
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// A panicking job propagates with its label; every other job still
+    /// runs to completion first (no stranded queue entries).
+    #[cases(16)]
+    fn worker_panic_propagates_with_label(
+        input in tuple2(tuple2(usize_in(0..12), u8_in(1..9)), vec_of(u64_in(0..12), 12..13))
+    ) {
+        let ((bad, threads), durations) = input;
+        let ran: Arc<Vec<AtomicU32>> =
+            Arc::new((0..durations.len()).map(|_| AtomicU32::new(0)).collect());
+        let jobs: Vec<parsweep::Job<'_, ()>> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let ran = Arc::clone(&ran);
+                parsweep::Job::new(format!("sweep-unit-{i}"), move || {
+                    spin(d);
+                    ran[i].fetch_add(1, Ordering::SeqCst);
+                    if i == bad {
+                        panic!("injected failure in unit {i}");
+                    }
+                })
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parsweep::run(usize::from(threads), jobs)
+        }))
+        .expect_err("the injected panic must surface");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string payload".into());
+        prop_assert!(msg.contains(&format!("sweep-unit-{bad}")), "label missing from: {}", msg);
+        prop_assert!(msg.contains("injected failure"), "payload missing from: {}", msg);
+        for (i, c) in ran.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::SeqCst), 1, "job {} did not run", i);
+        }
+    }
+}

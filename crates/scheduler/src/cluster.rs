@@ -217,9 +217,29 @@ impl ClusterSim {
         })
     }
 
+    /// [`ClusterSim::new`] with a pre-warmed (or persisted) probe cache.
+    /// Probes are deterministic, so seeding the cache can only skip
+    /// simulations, never change the report.
+    pub fn with_probe_cache(
+        trace: Trace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+        probes: ProbeCache,
+    ) -> Result<ClusterSim, SchedulerError> {
+        let mut sim = ClusterSim::new(trace, policy, cfg)?;
+        sim.probes = probes;
+        Ok(sim)
+    }
+
     /// Replay the trace to completion. Deterministic: equal traces,
     /// policies, and configs yield byte-identical reports.
-    pub fn run(mut self) -> Result<ScheduleReport, SchedulerError> {
+    pub fn run(self) -> Result<ScheduleReport, SchedulerError> {
+        self.run_report().map(|(report, _)| report)
+    }
+
+    /// [`run`](Self::run), also returning the probe cache so callers can
+    /// [`ProbeCache::absorb`] it into a shared cache or persist it.
+    pub fn run_report(mut self) -> Result<(ScheduleReport, ProbeCache), SchedulerError> {
         let jobs = std::mem::take(&mut self.trace.jobs);
         let trace_name = self.trace.name.clone();
         let policy_name = self.policy.name();
@@ -307,7 +327,7 @@ impl ClusterSim {
             });
         }
         let audit = self.mcs.export_audit(ADMIN)?.len() as u64;
-        Ok(ScheduleReport::assemble(
+        let report = ScheduleReport::assemble(
             policy_name,
             trace_name,
             POOL_GPUS as u32,
@@ -317,7 +337,8 @@ impl ClusterSim {
             span_gpu_secs,
             tenant_gpu_secs,
             audit,
-        ))
+        );
+        Ok((report, self.probes))
     }
 
     /// Queue discipline: priority (desc), then arrival, then id. The
@@ -513,16 +534,56 @@ impl ClusterSim {
 }
 
 /// Replay `trace` under each named policy (see [`crate::policy`]) on a
-/// fresh test bed and return the reports in policy order.
+/// fresh test bed and return the reports in policy order. Replays run on
+/// [`parsweep::default_jobs`] workers against a throwaway shared cache;
+/// use [`compare_policies_cached`] to control worker count and keep the
+/// cache.
 pub fn compare_policies(
     trace: &Trace,
     policies: Vec<Box<dyn PlacePolicy>>,
     cfg: &SchedulerConfig,
 ) -> Result<Vec<ScheduleReport>, SchedulerError> {
-    policies
-        .into_iter()
-        .map(|p| ClusterSim::new(trace.clone(), p, cfg.clone())?.run())
-        .collect()
+    let mut cache = ProbeCache::new(cfg.probe_iters);
+    compare_policies_cached(trace, policies, cfg, parsweep::default_jobs(), &mut cache)
+}
+
+/// Replay `trace` under each policy on a fresh test bed, fanning the
+/// replays across `jobs` parsweep workers, and return the reports **in
+/// policy order** (never completion order).
+///
+/// Each replay gets a [`ProbeCache::split`] of the shared `cache` —
+/// pre-warmed with [`crate::probe::warm_set_for_trace`], itself priced in
+/// parallel — and its additions are [`ProbeCache::absorb`]ed back in
+/// policy order afterwards. Probes are pure, so every replay prices a
+/// shape identically whether it hits the shared cache or re-simulates:
+/// reports are byte-identical to the serial path for any `jobs`.
+pub fn compare_policies_cached(
+    trace: &Trace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    cfg: &SchedulerConfig,
+    jobs: usize,
+    cache: &mut ProbeCache,
+) -> Result<Vec<ScheduleReport>, SchedulerError> {
+    cache.warm(&crate::probe::warm_set_for_trace(trace), jobs);
+    let replays: Vec<parsweep::Job<'_, Result<(ScheduleReport, ProbeCache), SchedulerError>>> =
+        policies
+            .into_iter()
+            .map(|p| {
+                let split = cache.split();
+                let label = format!("replay {} under {}", trace.name, p.name());
+                parsweep::Job::new(label, move || {
+                    ClusterSim::with_probe_cache(trace.clone(), p, cfg.clone(), split)?
+                        .run_report()
+                })
+            })
+            .collect();
+    let mut reports = Vec::new();
+    for outcome in parsweep::run(jobs, replays) {
+        let (report, probes) = outcome?;
+        cache.absorb(probes);
+        reports.push(report);
+    }
+    Ok(reports)
 }
 
 #[cfg(test)]

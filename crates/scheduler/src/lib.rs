@@ -30,8 +30,11 @@ pub mod policy;
 pub mod probe;
 pub mod trace;
 
-pub use cluster::{compare_policies, ClusterSim, SchedulerConfig, SchedulerError, POOL_GPUS};
+pub use cluster::{
+    compare_policies, compare_policies_cached, ClusterSim, SchedulerConfig, SchedulerError,
+    POOL_GPUS,
+};
 pub use metrics::{comparison_table, jain_fairness, JobOutcome, ScheduleReport};
 pub use policy::{all_policies, policy_by_name, FreeView, PlacePolicy};
-pub use probe::{Probe, ProbeCache, Shape};
+pub use probe::{warm_set_for_trace, Probe, ProbeCache, Shape};
 pub use trace::{seeded_two_tenant, JobSpec, PoissonMix, TenantId, Trace};

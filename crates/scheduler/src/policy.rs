@@ -53,7 +53,11 @@ impl FreeView {
 /// A slot-selection strategy. Returning `None` means "this job cannot (or
 /// should not) be placed right now"; the cluster loop decides whether that
 /// blocks the queue.
-pub trait PlacePolicy {
+///
+/// `Send` because [`crate::cluster::compare_policies`] ships each policy
+/// to a parsweep worker for its replay; policies are stateless slot
+/// selectors, so the bound costs implementors nothing.
+pub trait PlacePolicy: Send {
     fn name(&self) -> &'static str;
     fn place(&self, job: &JobSpec, free: &FreeView, probes: &mut ProbeCache)
         -> Option<Vec<SlotAddr>>;

@@ -12,15 +12,21 @@
 //! `(benchmark, per-drawer slot counts)` — a handful of probes price an
 //! entire trace replay.
 
+use crate::trace::{benchmark_from_label, Trace};
 use composable_core::recommend::Objective;
 use composable_core::system::build_falcon_slots;
+use desim::json::Value;
 use desim::Dur;
 use devices::gpu::GpuSpec;
 use dlmodels::Benchmark;
 use falcon::SlotAddr;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use training::engine::{model_for, run_job};
 use training::{max_feasible_batch, JobConfig};
+
+/// Version stamp of the persisted cache format; bump on layout changes.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
 
 /// Per-drawer slot counts of a placement, normalized so `d0 >= d1`
 /// (drawers are symmetric).
@@ -75,10 +81,13 @@ pub struct Probe {
 }
 
 /// Memoized probe runner. Probes are deterministic (fixed seed), so the
-/// cache never changes an answer — it only avoids re-simulating.
+/// cache never changes an answer — it only avoids re-simulating. Counting
+/// actual simulations separately from entries makes "the second run probed
+/// nothing" an assertable property.
 pub struct ProbeCache {
     probe_iters: u64,
     map: BTreeMap<(&'static str, Shape), Probe>,
+    probes_run: u64,
 }
 
 impl ProbeCache {
@@ -86,6 +95,7 @@ impl ProbeCache {
         ProbeCache {
             probe_iters: probe_iters.max(1),
             map: BTreeMap::new(),
+            probes_run: 0,
         }
     }
 
@@ -97,16 +107,215 @@ impl ProbeCache {
         self.map.is_empty()
     }
 
+    /// Probe simulations actually executed through this cache (misses in
+    /// [`price`](Self::price) plus keys warmed by [`warm`](Self::warm)).
+    /// Loaded entries never count.
+    pub fn probes_run(&self) -> u64 {
+        self.probes_run
+    }
+
     /// Price `benchmark` on a placement of `shape`. Panics only if the
     /// model cannot fit the bed at batch size 1 — none of the paper's five
     /// benchmarks hits that on 16 GB V100s.
     pub fn price(&mut self, benchmark: Benchmark, shape: Shape) -> Probe {
-        let iters = self.probe_iters;
-        *self
-            .map
-            .entry((benchmark.label(), shape))
-            .or_insert_with(|| run_probe(benchmark, shape, iters))
+        if let Some(&p) = self.map.get(&(benchmark.label(), shape)) {
+            return p;
+        }
+        let p = run_probe(benchmark, shape, self.probe_iters);
+        self.probes_run += 1;
+        self.map.insert((benchmark.label(), shape), p);
+        p
     }
+
+    /// Price every not-yet-cached key across `jobs` parsweep workers.
+    /// Probes are pure functions of `(benchmark, shape, probe_iters)` and
+    /// results are inserted in canonical key order, so the resulting cache
+    /// is byte-identical whatever `jobs` is.
+    pub fn warm(&mut self, keys: &[(Benchmark, Shape)], jobs: usize) {
+        let mut missing: Vec<(Benchmark, Shape)> = Vec::new();
+        let mut seen: BTreeSet<(&'static str, Shape)> = BTreeSet::new();
+        for &(b, s) in keys {
+            if !self.map.contains_key(&(b.label(), s)) && seen.insert((b.label(), s)) {
+                missing.push((b, s));
+            }
+        }
+        let iters = self.probe_iters;
+        let priced = parsweep::run(
+            jobs,
+            missing
+                .iter()
+                .map(|&(b, s)| {
+                    parsweep::Job::new(format!("probe {} {}x{}", b.label(), s.d0, s.d1), move || {
+                        run_probe(b, s, iters)
+                    })
+                })
+                .collect(),
+        );
+        for ((b, s), p) in missing.into_iter().zip(priced) {
+            self.map.insert((b.label(), s), p);
+            self.probes_run += 1;
+        }
+    }
+
+    /// A clone for one parallel replay: same entries and `probe_iters`,
+    /// but a zeroed probe counter so [`absorb`](Self::absorb) can account
+    /// exactly the simulations that replay added.
+    pub fn split(&self) -> ProbeCache {
+        ProbeCache {
+            probe_iters: self.probe_iters,
+            map: self.map.clone(),
+            probes_run: 0,
+        }
+    }
+
+    /// Merge a split cache back: union the entries (probes are
+    /// deterministic, so colliding keys hold equal values — first write
+    /// wins) and add the split's probe count to ours.
+    pub fn absorb(&mut self, other: ProbeCache) {
+        self.probes_run += other.probes_run;
+        for (k, v) in other.map {
+            self.map.entry(k).or_insert(v);
+        }
+    }
+
+    /// Serialize to the versioned JSON persistence format (see DESIGN §9):
+    /// entries in canonical key order under a `(version, probe_iters,
+    /// model_hash)` stamp, so a cache from different model definitions or
+    /// probe settings is rejected at load instead of silently reused.
+    pub fn save_json(&self) -> String {
+        let entries: Vec<Value> = self
+            .map
+            .iter()
+            .map(|(&(label, shape), probe)| {
+                Value::obj(vec![
+                    ("benchmark", Value::str(label)),
+                    ("d0", Value::from_u64(u64::from(shape.d0))),
+                    ("d1", Value::from_u64(u64::from(shape.d1))),
+                    ("mean_iter_ns", Value::from_u64(probe.mean_iter.as_nanos())),
+                    ("score", Value::Num(probe.score)),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("version", Value::from_u64(CACHE_FORMAT_VERSION)),
+            ("probe_iters", Value::from_u64(self.probe_iters)),
+            ("model_hash", Value::str(model_hash())),
+            ("entries", Value::Arr(entries)),
+        ])
+        .emit_pretty()
+    }
+
+    /// Parse a persisted cache. Any mismatch — version, `probe_iters`,
+    /// model hash, unknown benchmark, malformed JSON — yields an **empty**
+    /// cache: persistence is an accelerator, never a correctness input, so
+    /// stale files degrade to re-probing rather than to wrong prices.
+    pub fn load_str(s: &str, probe_iters: u64) -> ProbeCache {
+        let mut cache = ProbeCache::new(probe_iters);
+        let Ok(v) = Value::parse(s) else { return cache };
+        let stamp_ok = v.get("version").and_then(|x| x.as_u64()) == Ok(CACHE_FORMAT_VERSION)
+            && v.get("probe_iters").and_then(|x| x.as_u64()) == Ok(cache.probe_iters)
+            && v.get("model_hash").and_then(|x| x.as_str().map(str::to_string))
+                == Ok(model_hash());
+        if !stamp_ok {
+            return cache;
+        }
+        let Ok(entries) = v.get("entries").and_then(|e| e.as_arr().map(<[Value]>::to_vec))
+        else {
+            return cache;
+        };
+        for e in &entries {
+            let decoded = (|| {
+                let label = e.get("benchmark")?.as_str()?;
+                let b = benchmark_from_label(label)
+                    .ok_or_else(|| desim::json::JsonError::decode("unknown benchmark"))?;
+                let shape = Shape::new(e.get("d0")?.as_u8()?, e.get("d1")?.as_u8()?);
+                let probe = Probe {
+                    mean_iter: Dur::from_nanos(e.get("mean_iter_ns")?.as_u64()?),
+                    score: e.get("score")?.as_f64()?,
+                };
+                Ok::<_, desim::json::JsonError>((b.label(), shape, probe))
+            })();
+            match decoded {
+                Ok((label, shape, probe)) => {
+                    cache.map.insert((label, shape), probe);
+                }
+                Err(_) => return ProbeCache::new(probe_iters),
+            }
+        }
+        cache
+    }
+
+    pub fn save_file(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = self.save_json();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Load from `path`; a missing or stale file yields an empty cache.
+    pub fn load_file(path: &Path, probe_iters: u64) -> ProbeCache {
+        match std::fs::read_to_string(path) {
+            Ok(s) => ProbeCache::load_str(&s, probe_iters),
+            Err(_) => ProbeCache::new(probe_iters),
+        }
+    }
+}
+
+/// Fingerprint of everything a probe's answer depends on besides its key:
+/// the benchmark roster, each model's parameter count, and the probe GPU's
+/// memory (which gates batch clamping). FNV-1a, hex. A persisted cache
+/// whose hash differs was priced against different models and is stale.
+pub fn model_hash() -> String {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for b in Benchmark::all() {
+        eat(b.label().as_bytes());
+        eat(&model_for(b).param_count().to_le_bytes());
+    }
+    eat(&GpuSpec::v100_pcie_16gb().memory_bytes.to_le_bytes());
+    format!("{h:016x}")
+}
+
+/// The placement shapes a trace replay plausibly prices, derived from each
+/// job's requested size and its elastic shrink chain (`g -> max(min_gpus,
+/// g/2)`): the whole-drawer shape, the balanced split, and the one-drawer-
+/// full spill. A heuristic, not a contract — shapes a policy picks that
+/// are missing here are still priced lazily by [`ProbeCache::price`]; the
+/// warm set only moves probing to the parallel phase.
+pub fn warm_set_for_trace(trace: &Trace) -> Vec<(Benchmark, Shape)> {
+    let mut keys: BTreeSet<(&'static str, Shape)> = BTreeSet::new();
+    let mut out: Vec<(Benchmark, Shape)> = Vec::new();
+    let mut add = |b: Benchmark, s: Shape| {
+        if keys.insert((b.label(), s)) {
+            out.push((b, s));
+        }
+    };
+    for j in &trace.jobs {
+        let mut n = usize::from(j.gpus).clamp(1, 16);
+        loop {
+            let n8 = n as u8;
+            if n <= 8 {
+                add(j.benchmark, Shape::new(n8, 0));
+            } else {
+                add(j.benchmark, Shape::new(8, n8 - 8));
+            }
+            if n > 1 {
+                let hi = (n8 + 1) / 2;
+                add(j.benchmark, Shape::new(hi, n8 - hi));
+            }
+            let next = usize::from(j.min_gpus).max(n / 2);
+            if next >= n {
+                break;
+            }
+            n = next;
+        }
+    }
+    out.sort_by_key(|&(b, s)| (b.label(), s));
+    out
 }
 
 fn run_probe(benchmark: Benchmark, shape: Shape, iters: u64) -> Probe {
@@ -165,11 +374,106 @@ mod tests {
         let p1 = a.price(Benchmark::MobileNetV2, Shape::new(2, 0));
         let p2 = a.price(Benchmark::MobileNetV2, Shape::new(2, 0));
         assert_eq!(a.len(), 1);
+        assert_eq!(a.probes_run(), 1, "the second price must be a cache hit");
         assert_eq!(p1.mean_iter, p2.mean_iter);
         let mut b = ProbeCache::new(3);
         assert_eq!(
             b.price(Benchmark::MobileNetV2, Shape::new(2, 0)).mean_iter,
             p1.mean_iter
         );
+    }
+
+    #[test]
+    fn parallel_warm_matches_serial_and_counts_probes() {
+        let keys = [
+            (Benchmark::MobileNetV2, Shape::new(2, 0)),
+            (Benchmark::MobileNetV2, Shape::new(1, 1)),
+            (Benchmark::MobileNetV2, Shape::new(2, 0)), // duplicate: priced once
+            (Benchmark::ResNet50, Shape::new(1, 0)),
+        ];
+        let mut serial = ProbeCache::new(2);
+        serial.warm(&keys, 1);
+        let mut parallel = ProbeCache::new(2);
+        parallel.warm(&keys, 4);
+        assert_eq!(serial.save_json(), parallel.save_json());
+        assert_eq!(parallel.len(), 3);
+        assert_eq!(parallel.probes_run(), 3);
+        // Warmed keys are hits now; a new shape still probes lazily.
+        parallel.price(Benchmark::MobileNetV2, Shape::new(1, 1));
+        assert_eq!(parallel.probes_run(), 3);
+        parallel.price(Benchmark::MobileNetV2, Shape::new(3, 0));
+        assert_eq!(parallel.probes_run(), 4);
+    }
+
+    #[test]
+    fn persistence_round_trips_with_zero_probes() {
+        let mut cache = ProbeCache::new(2);
+        cache.warm(
+            &[
+                (Benchmark::MobileNetV2, Shape::new(2, 0)),
+                (Benchmark::BertBase, Shape::new(1, 1)),
+            ],
+            2,
+        );
+        let text = cache.save_json();
+        let mut loaded = ProbeCache::load_str(&text, 2);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.probes_run(), 0, "loading must not count as probing");
+        assert_eq!(loaded.save_json(), text, "save/load/save is a fixpoint");
+        // Pricing a persisted key runs zero new simulations and returns
+        // exactly the persisted value.
+        let p = loaded.price(Benchmark::MobileNetV2, Shape::new(2, 0));
+        assert_eq!(loaded.probes_run(), 0);
+        assert_eq!(p.mean_iter, cache.price(Benchmark::MobileNetV2, Shape::new(2, 0)).mean_iter);
+    }
+
+    #[test]
+    fn stale_or_malformed_cache_loads_empty() {
+        let mut cache = ProbeCache::new(2);
+        cache.warm(&[(Benchmark::MobileNetV2, Shape::new(1, 0))], 1);
+        let good = cache.save_json();
+        assert!(ProbeCache::load_str("not json", 2).is_empty());
+        assert!(ProbeCache::load_str(&good, 3).is_empty(), "probe_iters mismatch");
+        let bad_version = good.replace("\"version\": 1", "\"version\": 999");
+        assert!(ProbeCache::load_str(&bad_version, 2).is_empty());
+        let bad_hash = good.replace(&model_hash(), "0000000000000000");
+        assert!(ProbeCache::load_str(&bad_hash, 2).is_empty(), "model hash mismatch");
+    }
+
+    #[test]
+    fn split_and_absorb_account_probes_exactly() {
+        let mut shared = ProbeCache::new(2);
+        shared.warm(&[(Benchmark::MobileNetV2, Shape::new(1, 0))], 1);
+        assert_eq!(shared.probes_run(), 1);
+        let mut replay = shared.split();
+        assert_eq!(replay.probes_run(), 0);
+        replay.price(Benchmark::MobileNetV2, Shape::new(1, 0)); // hit
+        replay.price(Benchmark::MobileNetV2, Shape::new(2, 0)); // miss
+        assert_eq!(replay.probes_run(), 1);
+        shared.absorb(replay);
+        assert_eq!(shared.probes_run(), 2);
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn warm_set_covers_requested_and_shrunk_sizes() {
+        let trace = crate::trace::seeded_two_tenant(12, 0xC10D);
+        let set = warm_set_for_trace(&trace);
+        assert!(!set.is_empty());
+        // Canonically ordered and duplicate-free.
+        let mut sorted = set.clone();
+        sorted.sort_by_key(|&(b, s)| (b.label(), s));
+        sorted.dedup_by_key(|&mut (b, s)| (b.label(), s));
+        assert_eq!(set, sorted);
+        // Every job's requested size appears as some shape.
+        for j in &trace.jobs {
+            assert!(
+                set.iter()
+                    .any(|&(b, s)| b == j.benchmark && s.n_gpus() == usize::from(j.gpus)),
+                "no warm shape for job {} ({} GPUs)",
+                j.id,
+                j.gpus
+            );
+        }
     }
 }

@@ -32,7 +32,10 @@ cargo test -q --offline --workspace
 echo "== benches compile (smoke run, 1 iteration) =="
 TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 
-echo "== cluster scheduler smoke (repro cluster --quick) =="
-cargo run --release --offline -p bench --bin repro -- cluster --quick
+echo "== cluster scheduler smoke (repro cluster --quick, 2 parallel workers) =="
+cargo run --release --offline -p bench --bin repro -- cluster --quick --jobs 2
+
+echo "== byte-determinism guard: golden cluster_fifo.json still matches =="
+cargo test -q --offline -p bench --test golden_tables golden_cluster_fifo
 
 echo "CI OK"

@@ -1,0 +1,101 @@
+//! Parallel execution must never change a byte of output: every sweep in
+//! the workspace (cluster policy replays, recommendation ranking, probe
+//! warming) produces identical results at `--jobs 1` and `--jobs 4`, and
+//! across repeated parallel runs. This is the contract `parsweep` exists
+//! to uphold (DESIGN §9) and what lets the golden tables stay valid while
+//! the harness fans out.
+
+use composable_core::{recommend_jobs, ExperimentOpts, HostConfig, Objective};
+use dlmodels::Benchmark;
+use scheduler::{
+    all_policies, compare_policies_cached, trace, warm_set_for_trace, ProbeCache, SchedulerConfig,
+};
+
+fn replay_snapshot(jobs: usize) -> (Vec<String>, String) {
+    let t = trace::seeded_two_tenant(12, 0xBEEF);
+    let cfg = SchedulerConfig::default();
+    let mut cache = ProbeCache::new(cfg.probe_iters);
+    let reports = compare_policies_cached(&t, all_policies(), &cfg, jobs, &mut cache)
+        .expect("trace drains under every policy");
+    let reports: Vec<String> = reports.iter().map(|r| r.to_json_string()).collect();
+    (reports, cache.save_json())
+}
+
+/// Cluster `ScheduleReport`s *and* the resulting probe-cache contents are
+/// byte-identical for 1 vs 4 workers, and across two 4-worker runs
+/// (replays race freely; merge order may not depend on the race).
+#[test]
+fn cluster_replay_identical_across_worker_counts() {
+    let serial = replay_snapshot(1);
+    let parallel = replay_snapshot(4);
+    let parallel_again = replay_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "reports must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel runs must not race");
+}
+
+/// `recommend` ranks identically (same order, same scores, same attached
+/// reports) at 1 and 4 workers.
+#[test]
+fn recommend_identical_across_worker_counts() {
+    let snapshot = |jobs: usize| {
+        recommend_jobs(
+            Benchmark::BertLarge,
+            &HostConfig::gpu_configs(),
+            Objective::TrainingTime,
+            &ExperimentOpts::scaled(3),
+            jobs,
+        )
+        .into_iter()
+        .map(|r| {
+            format!("{:?} {} {}", r.config, r.score, r.report.to_json_string())
+        })
+        .collect::<Vec<_>>()
+    };
+    let serial = snapshot(1);
+    assert_eq!(serial, snapshot(4));
+    assert!(!serial.is_empty());
+}
+
+/// Probe-cache persistence closes the loop: a cache saved by one run and
+/// loaded by the next prices the same portfolio with **zero** probe
+/// simulations and byte-identical reports.
+#[test]
+fn persisted_probe_cache_eliminates_second_run_probes() {
+    let t = trace::seeded_two_tenant(10, 0x5EED5);
+    let cfg = SchedulerConfig::default();
+
+    let mut first = ProbeCache::new(cfg.probe_iters);
+    let reports_a = compare_policies_cached(&t, all_policies(), &cfg, 2, &mut first).unwrap();
+    assert!(first.probes_run() > 0, "the first run must actually probe");
+    let persisted = first.save_json();
+
+    let mut second = ProbeCache::load_str(&persisted, cfg.probe_iters);
+    assert_eq!(second.len(), first.len(), "every entry must round-trip");
+    let reports_b = compare_policies_cached(&t, all_policies(), &cfg, 2, &mut second).unwrap();
+    assert_eq!(
+        second.probes_run(),
+        0,
+        "a warm persisted cache must make the second run probe-free"
+    );
+    let a: Vec<String> = reports_a.iter().map(|r| r.to_json_string()).collect();
+    let b: Vec<String> = reports_b.iter().map(|r| r.to_json_string()).collect();
+    assert_eq!(a, b, "cached pricing must not change a byte of the reports");
+    assert_eq!(second.save_json(), persisted, "save/load/save is a fixpoint");
+}
+
+/// Warming in parallel produces the same cache bytes as warming serially,
+/// for the exact key set a trace replay draws on.
+#[test]
+fn parallel_warm_matches_serial_warm_for_a_trace() {
+    let t = trace::seeded_two_tenant(8, 0xAB);
+    let keys = warm_set_for_trace(&t);
+    assert!(!keys.is_empty());
+    let cfg = SchedulerConfig::default();
+    let mut serial = ProbeCache::new(cfg.probe_iters);
+    serial.warm(&keys, 1);
+    let mut parallel = ProbeCache::new(cfg.probe_iters);
+    parallel.warm(&keys, 4);
+    assert_eq!(serial.save_json(), parallel.save_json());
+    assert_eq!(serial.probes_run(), parallel.probes_run());
+}
