@@ -4,7 +4,10 @@
 //! placement policy that respects the chassis topology must beat naive
 //! FIFO first-fit on mean job-completion time.
 
-use scheduler::{all_policies, compare_policies, trace, SchedulerConfig, ScheduleReport};
+use scheduler::{
+    all_policies, compare_policies, compare_policies_faulty, paper_fault_plan, trace,
+    ProbeCache, SchedulerConfig, ScheduleReport,
+};
 use testkit::bench::{black_box, BenchOpts, Suite};
 
 fn replay_all(n_jobs: usize, seed: u64) -> Vec<ScheduleReport> {
@@ -46,6 +49,42 @@ fn main() {
         assert!(
             smart < fifo,
             "topology-respecting placement must beat FIFO first-fit: smart {smart:.2}s vs fifo {fifo:.2}s"
+        );
+        black_box((fifo, smart))
+    });
+
+    s.bench("cluster_topology_packing_recovers_faster_from_faults", || {
+        let cfg = SchedulerConfig::default();
+        let mut cache = ProbeCache::new(cfg.probe_iters);
+        let pairs = compare_policies_faulty(
+            &trace::seeded_two_tenant(20, 0xC10D),
+            all_policies(),
+            &paper_fault_plan(),
+            &cfg,
+            4,
+            &mut cache,
+        )
+        .expect("faulty trace drains under every policy");
+        let recovery = |name: &str| {
+            pairs
+                .iter()
+                .map(|(_, f)| f)
+                .find(|f| f.policy == name)
+                .expect("policy ran")
+                .recovery
+                .as_ref()
+                .expect("faulty replay carries recovery metrics")
+                .mean_recovery
+                .as_secs_f64()
+        };
+        let fifo = recovery("fifo-first-fit");
+        let smart = recovery("frag-aware").min(recovery("topology-aware"));
+        // First-fit's drawer-spanning gangs straddle the struck drawer, so
+        // it loses more jobs to the outage and queues longer to re-place
+        // them; single-drawer packers contain the blast radius.
+        assert!(
+            smart < fifo,
+            "topology-respecting packing must recover faster: smart {smart:.2}s vs fifo {fifo:.2}s"
         );
         black_box((fifo, smart))
     });

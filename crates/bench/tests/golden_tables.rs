@@ -17,7 +17,7 @@ use composable_core::HostConfig;
 use desim::json::Value;
 use dlmodels::Benchmark;
 use scheduler::policy::FifoFirstFit;
-use scheduler::{trace, ClusterSim, SchedulerConfig};
+use scheduler::{paper_fault_plan, trace, ClusterSim, SchedulerConfig};
 use testkit::check_golden;
 
 fn golden(name: &str) -> String {
@@ -74,6 +74,28 @@ fn golden_cluster_fifo() {
     .run()
     .expect("trace drains");
     check_golden(golden("cluster_fifo.json"), &report.to_json_string());
+}
+
+/// The same seeded 20-job trace replayed under FIFO first-fit with the
+/// pinned 3-event `paper_fault_plan` injected: freezes the fault path
+/// end to end — strike/heal ordering, BMC thermal evacuation, displaced
+/// re-placement, checkpoint rollback, degraded probe pricing, and the
+/// serialized recovery-metrics block.
+#[test]
+fn golden_cluster_faults() {
+    let report = ClusterSim::new(
+        trace::seeded_two_tenant(20, 0xC10D),
+        Box::new(FifoFirstFit),
+        SchedulerConfig::default(),
+    )
+    .expect("valid trace")
+    .with_faults(paper_fault_plan())
+    .expect("valid plan")
+    .run()
+    .expect("faulty trace drains");
+    let recovery = report.recovery.as_ref().expect("recovery block present");
+    assert!(recovery.evacuations > 0, "the pinned plan must displace jobs");
+    check_golden(golden("cluster_faults.json"), &report.to_json_string());
 }
 
 /// One full (scaled) MobileNetV2 run on localGPUs under a pinned seed:

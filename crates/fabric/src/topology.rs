@@ -232,6 +232,16 @@ impl Topology {
         link
     }
 
+    /// Scale a link's effective capacity in place (both directions) — the
+    /// hook for fault injection's PCIe link degradation. The flow
+    /// allocator reads capacities live on every recompute, so in-flight
+    /// transfers are re-shared at the next reschedule. Routing is
+    /// latency-keyed and unaffected, so the route cache stays valid.
+    pub fn scale_link_capacity(&mut self, id: LinkId, factor: f64) {
+        assert!(factor > 0.0, "a degraded link keeps some bandwidth");
+        self.links[id.0 as usize].spec.capacity *= factor;
+    }
+
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id.0 as usize]
     }

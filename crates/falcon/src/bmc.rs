@@ -8,7 +8,7 @@
 //! that emit alert events into a queryable log.
 
 use desim::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Alert severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -55,6 +55,10 @@ pub struct Bmc {
     /// Last reported load per sensor.
     loads: BTreeMap<String, f64>,
     fan_speed: f64,
+    /// Sensors whose cooling fan has failed: they see zero airflow no
+    /// matter what the controller commands, so a loaded drawer runs all
+    /// the way to `ambient + rise` — past the critical threshold.
+    failed_fans: BTreeSet<String>,
     log: Vec<BmcEvent>,
 }
 
@@ -94,6 +98,38 @@ impl Bmc {
         self.fan_speed
     }
 
+    /// Inject or repair a fan failure on one sensor's cooling zone. With
+    /// the fan failed, that sensor cools as if airflow were zero. The
+    /// flip is itself a thermal event: thresholds are re-evaluated at
+    /// `at`, so a loaded drawer losing its fan raises the alert
+    /// immediately rather than at the next load sample.
+    pub fn set_fan_failed(&mut self, at: SimTime, sensor: &str, failed: bool) {
+        if !self.sensors.contains_key(sensor) {
+            return;
+        }
+        let prev_temp = self.temperature(sensor).expect("known sensor");
+        if failed {
+            self.failed_fans.insert(sensor.to_string());
+        } else {
+            self.failed_fans.remove(sensor);
+        }
+        self.settle_fans();
+        self.check_thresholds(at, sensor, prev_temp);
+    }
+
+    pub fn fan_failed(&self, sensor: &str) -> bool {
+        self.failed_fans.contains(sensor)
+    }
+
+    /// The airflow a sensor's zone actually receives.
+    fn effective_fan(&self, sensor: &str) -> f64 {
+        if self.failed_fans.contains(sensor) {
+            0.0
+        } else {
+            self.fan_speed
+        }
+    }
+
     /// Proportional fan control: solve the fan/temperature fixed point
     /// (fan cools, target tracks the hottest sensor) by damped iteration.
     /// The loop gain is < 1 for the Falcon's sensors, so this converges;
@@ -116,12 +152,17 @@ impl Bmc {
         let Some(s) = self.sensors.get(sensor) else {
             return;
         };
-        let prev_temp = s.temperature(self.loads[sensor], self.fan_speed);
+        let prev_temp = s.temperature(self.loads[sensor], self.effective_fan(sensor));
         self.loads.insert(sensor.to_string(), load.clamp(0.0, 1.0));
         self.settle_fans();
+        self.check_thresholds(at, sensor, prev_temp);
+    }
 
+    /// Emit Warning/Critical events on upward threshold crossings from
+    /// `prev_temp` to the sensor's current temperature.
+    fn check_thresholds(&mut self, at: SimTime, sensor: &str, prev_temp: f64) {
         let s = &self.sensors[sensor];
-        let temp = s.temperature(self.loads[sensor], self.fan_speed);
+        let temp = s.temperature(self.loads[sensor], self.effective_fan(sensor));
         if temp >= s.critical_c && prev_temp < s.critical_c {
             self.log.push(BmcEvent {
                 at,
@@ -142,13 +183,13 @@ impl Bmc {
     /// Current temperature of a sensor.
     pub fn temperature(&self, sensor: &str) -> Option<f64> {
         let s = self.sensors.get(sensor)?;
-        Some(s.temperature(self.loads[sensor], self.fan_speed))
+        Some(s.temperature(self.loads[sensor], self.effective_fan(sensor)))
     }
 
     pub fn hottest_temperature(&self) -> f64 {
         self.sensors
             .values()
-            .map(|s| s.temperature(self.loads[&s.name], self.fan_speed))
+            .map(|s| s.temperature(self.loads[&s.name], self.effective_fan(&s.name)))
             .fold(0.0, f64::max)
     }
 
@@ -231,6 +272,24 @@ mod tests {
         assert_eq!(bmc.events().len(), 2);
         assert!(bmc.events()[0].at < bmc.events()[1].at);
         assert!(bmc.events_at_least(Severity::Warning).is_empty());
+    }
+
+    #[test]
+    fn fan_failure_drives_a_loaded_drawer_critical() {
+        let mut bmc = Bmc::falcon_defaults();
+        // A healthy fan keeps full load below critical (≈58.6 C settled).
+        bmc.report_load(t(1), "drawer0", 1.0);
+        assert!(bmc.events_at_least(Severity::Critical).is_empty());
+        // Fan failure at full load: 24 + 46·1.0·(1 − 0) = 70 ≥ critical,
+        // and the flip itself raises the alert.
+        bmc.set_fan_failed(t(2), "drawer0", true);
+        assert!(bmc.fan_failed("drawer0"));
+        assert_eq!(bmc.events_at_least(Severity::Critical).len(), 1);
+        // Only the failed zone overheats; its repair restores cooling.
+        assert!(bmc.temperature("drawer1").unwrap() < 60.0);
+        bmc.set_fan_failed(t(3), "drawer0", false);
+        assert!(bmc.temperature("drawer0").unwrap() < 70.0);
+        assert_eq!(bmc.events_at_least(Severity::Critical).len(), 1, "no re-trip after repair");
     }
 
     #[test]

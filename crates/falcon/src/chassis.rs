@@ -141,6 +141,10 @@ pub enum ChassisError {
     DrawerBusy(DrawerId),
     /// A slot address outside the 2-drawer × 8-slot envelope.
     InvalidSlot { drawer: u8, slot: u8 },
+    /// The slot is marked failed (outage); it cannot be attached until
+    /// repaired. Detach of an already-attached failed slot still works —
+    /// that is the evacuation path.
+    SlotFailed(SlotAddr),
     /// The chassis was already built into a fabric.
     AlreadyMaterialized,
     /// Materialization found a cabled host with no fabric node.
@@ -184,6 +188,7 @@ impl fmt::Display for ChassisError {
                 f,
                 "slot d{drawer}s{slot} is outside the 2-drawer x 8-slot chassis"
             ),
+            ChassisError::SlotFailed(s) => write!(f, "slot {s} is failed; repair before attach"),
             ChassisError::AlreadyMaterialized => write!(f, "chassis already materialized"),
             ChassisError::NoFabricNode(h) => {
                 write!(f, "no fabric node for cabled host {}", h.0)
@@ -211,6 +216,10 @@ pub struct Falcon4016 {
     slots: BTreeMap<SlotAddr, SlotDevice>,
     /// Which host each occupied slot is attached to (if any).
     attachments: BTreeMap<SlotAddr, HostId>,
+    /// Slots in a failed state (drawer outage, slot death). A failed slot
+    /// refuses new attaches but keeps an existing attachment visible so
+    /// the management plane can evacuate (detach) it.
+    failed: std::collections::BTreeSet<SlotAddr>,
     /// Cabling: host port -> (host, drawer it lands in).
     ports: BTreeMap<HostPort, (HostId, DrawerId)>,
     /// Materialized fabric nodes.
@@ -227,6 +236,7 @@ impl Falcon4016 {
             mode,
             slots: BTreeMap::new(),
             attachments: BTreeMap::new(),
+            failed: std::collections::BTreeSet::new(),
             ports: BTreeMap::new(),
             switch_nodes: BTreeMap::new(),
             slot_nodes: BTreeMap::new(),
@@ -322,6 +332,9 @@ impl Falcon4016 {
         if let Some(&owner) = self.attachments.get(&addr) {
             return Err(ChassisError::AlreadyAttached(addr, owner));
         }
+        if self.failed.contains(&addr) {
+            return Err(ChassisError::SlotFailed(addr));
+        }
         if !self.host_connected(host, addr.drawer) {
             return Err(ChassisError::HostNotConnected(host, addr.drawer));
         }
@@ -359,6 +372,26 @@ impl Falcon4016 {
         let from = self.detach(addr)?;
         self.attachments.insert(addr, to);
         Ok(from)
+    }
+
+    /// Mark a slot failed (outage). Idempotent; an attached slot stays
+    /// attached until the management plane evacuates it.
+    pub fn fail_slot(&mut self, addr: SlotAddr) {
+        self.failed.insert(addr);
+    }
+
+    /// Clear a slot's failed state (repair / drawer power-back).
+    pub fn repair_slot(&mut self, addr: SlotAddr) {
+        self.failed.remove(&addr);
+    }
+
+    pub fn is_failed(&self, addr: SlotAddr) -> bool {
+        self.failed.contains(&addr)
+    }
+
+    /// Failed slots, sorted.
+    pub fn failed_slots(&self) -> impl Iterator<Item = SlotAddr> + '_ {
+        self.failed.iter().copied()
     }
 
     pub fn owner_of(&self, addr: SlotAddr) -> Option<HostId> {
@@ -622,6 +655,30 @@ mod tests {
         assert_eq!(c.detach(a), Ok(h));
         assert_eq!(c.detach(a), Err(ChassisError::NotAttached(a)));
         c.remove_device(a).unwrap();
+    }
+
+    #[test]
+    fn failed_slot_refuses_attach_but_allows_evacuation() {
+        let mut c = chassis(Mode::Advanced);
+        let h = HostId(1);
+        c.connect_host(HostPort::H1, h, DrawerId(0)).unwrap();
+        let (a, b) = (SlotAddr::new(0, 0), SlotAddr::new(0, 1));
+        c.insert_device(a, gpu()).unwrap();
+        c.insert_device(b, gpu()).unwrap();
+        c.attach(a, h).unwrap();
+        // Outage hits both slots: the attached one stays visible so it can
+        // be evacuated; the free one refuses composition until repair.
+        c.fail_slot(a);
+        c.fail_slot(b);
+        assert!(c.is_failed(a));
+        assert_eq!(c.attach(b, h), Err(ChassisError::SlotFailed(b)));
+        assert_eq!(c.detach(a), Ok(h), "evacuation must still detach");
+        assert_eq!(c.attach(a, h), Err(ChassisError::SlotFailed(a)));
+        c.repair_slot(a);
+        c.repair_slot(b);
+        assert_eq!(c.failed_slots().count(), 0);
+        c.attach(a, h).unwrap();
+        c.attach(b, h).unwrap();
     }
 
     #[test]

@@ -184,6 +184,75 @@ impl ManagementCenter {
         Ok(st.chassis.detach(slot)?)
     }
 
+    /// Admin-only: mark a slot failed after a hardware event (drawer
+    /// outage, slot death, BMC critical trip). Audited; the chassis keeps
+    /// any existing attachment so [`force_detach`](Self::force_detach) can
+    /// evacuate it.
+    pub fn fail_slot(&self, at: SimTime, admin: UserId, slot: SlotAddr) -> Result<(), McsError> {
+        self.admin_slot_op(at, admin, slot, "fail", |c, s| {
+            c.fail_slot(s);
+            Ok(())
+        })
+    }
+
+    /// Admin-only: clear a slot's failed state (repair / power-back).
+    pub fn repair_slot(&self, at: SimTime, admin: UserId, slot: SlotAddr) -> Result<(), McsError> {
+        self.admin_slot_op(at, admin, slot, "repair", |c, s| {
+            c.repair_slot(s);
+            Ok(())
+        })
+    }
+
+    /// Admin-only forced detach — the evacuation path for failure
+    /// recovery, bypassing per-user grants (the admin acts on behalf of
+    /// whichever tenant held the slot). Returns the host the slot was
+    /// attached to, or `None` if it was already free. Audited as
+    /// "force-detach".
+    pub fn force_detach(
+        &self,
+        at: SimTime,
+        admin: UserId,
+        slot: SlotAddr,
+    ) -> Result<Option<HostId>, McsError> {
+        let mut st = self.state.write().unwrap();
+        let role = Self::role_of(&st, admin)?;
+        let allowed = role == Role::Admin;
+        Self::audit(&mut st, at, admin, format!("force-detach {slot}"), allowed);
+        if !allowed {
+            return Err(McsError::PermissionDenied {
+                user: admin,
+                action: "force-detach resources",
+            });
+        }
+        match st.chassis.detach(slot) {
+            Ok(host) => Ok(Some(host)),
+            Err(ChassisError::NotAttached(_)) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn admin_slot_op(
+        &self,
+        at: SimTime,
+        admin: UserId,
+        slot: SlotAddr,
+        verb: &str,
+        op: impl FnOnce(&mut Falcon4016, SlotAddr) -> Result<(), ChassisError>,
+    ) -> Result<(), McsError> {
+        let mut st = self.state.write().unwrap();
+        let role = Self::role_of(&st, admin)?;
+        let allowed = role == Role::Admin;
+        Self::audit(&mut st, at, admin, format!("{verb} {slot}"), allowed);
+        if !allowed {
+            return Err(McsError::PermissionDenied {
+                user: admin,
+                action: "manage slot health",
+            });
+        }
+        op(&mut st.chassis, slot)?;
+        Ok(())
+    }
+
     /// Dynamically reassign a granted slot (advanced mode only).
     pub fn reassign(
         &self,
@@ -348,6 +417,41 @@ mod tests {
         mcs.attach(t(1), UserId(1), slot, HostId(1)).unwrap();
         assert_eq!(mcs.reassign(t(2), UserId(1), slot, HostId(2)).unwrap(), HostId(1));
         mcs.with_chassis(|c| assert_eq!(c.owner_of(slot), Some(HostId(2))));
+    }
+
+    #[test]
+    fn failure_recovery_is_admin_only_and_audited() {
+        let mcs = setup();
+        let slot = SlotAddr::new(0, 4);
+        mcs.grant(t(0), UserId(0), slot, UserId(1)).unwrap();
+        mcs.attach(t(1), UserId(1), slot, HostId(1)).unwrap();
+        // Non-admins may neither fail nor force-detach.
+        assert!(matches!(
+            mcs.fail_slot(t(2), UserId(1), slot),
+            Err(McsError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            mcs.force_detach(t(2), UserId(2), slot),
+            Err(McsError::PermissionDenied { .. })
+        ));
+        // Admin fails the slot, evacuates it, and the tenant cannot
+        // re-attach until repair.
+        mcs.fail_slot(t(3), UserId(0), slot).unwrap();
+        assert_eq!(mcs.force_detach(t(3), UserId(0), slot).unwrap(), Some(HostId(1)));
+        assert_eq!(mcs.force_detach(t(3), UserId(0), slot).unwrap(), None, "idempotent");
+        assert!(matches!(
+            mcs.attach(t(4), UserId(1), slot, HostId(1)),
+            Err(McsError::Chassis(ChassisError::SlotFailed(_)))
+        ));
+        mcs.repair_slot(t(5), UserId(0), slot).unwrap();
+        mcs.attach(t(6), UserId(1), slot, HostId(1)).unwrap();
+        // Every step — allowed and denied — left an audit trail.
+        let log = mcs.export_audit(UserId(0)).unwrap();
+        let actions: Vec<&str> = log.iter().map(|e| e.action.as_str()).collect();
+        assert!(actions.iter().any(|a| a.starts_with("fail ")));
+        assert!(actions.iter().any(|a| a.starts_with("repair ")));
+        assert_eq!(actions.iter().filter(|a| a.starts_with("force-detach")).count(), 3);
+        assert_eq!(log.iter().filter(|e| !e.allowed).count(), 2);
     }
 
     #[test]

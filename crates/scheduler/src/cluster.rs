@@ -20,18 +20,27 @@
 //! scheduler may *shrink* a running elastic job (e.g. 8 → 4 GPUs) through
 //! the same detach path, stretching the victim's remaining iterations so
 //! total work in GPU-iterations is conserved.
+//!
+//! A replay may also carry a [`FaultPlan`] (see [`crate::fault`]): drawer
+//! outages, slot deaths, link degradation, and BMC thermal trips strike
+//! and heal mid-replay as first-class events. Each strike is an
+//! MCS-audited `fail`/`force-detach`; evacuated jobs roll back to their
+//! last checkpoint, wait out a re-composition latency, and are re-placed
+//! by the same policy — so recovery quality is a measurable property of
+//! the placement policy, reported in [`crate::metrics::RecoveryMetrics`].
 
-use crate::metrics::{JobOutcome, ScheduleReport};
+use crate::fault::{FaultKind, FaultPlan, CHECKPOINT_ITERS, RECOMPOSE_LATENCY};
+use crate::metrics::{JobOutcome, RecoveryMetrics, ScheduleReport};
 use crate::policy::{FreeView, PlacePolicy};
-use crate::probe::{ProbeCache, Shape};
+use crate::probe::{degraded_key, ProbeCache, Shape};
 use crate::trace::{JobSpec, Trace};
 use desim::{Dur, SimTime};
 use devices::gpu::GpuSpec;
 use falcon::{
-    DrawerId, Falcon4016, HostId, HostPort, ManagementCenter, McsError, Mode, Role, SlotAddr,
-    SlotDevice, UserId,
+    Bmc, DrawerId, Falcon4016, HostId, HostPort, ManagementCenter, McsError, Mode, Role, Severity,
+    SlotAddr, SlotDevice, UserId,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// GPUs in the shared pool (2 drawers × 8 slots).
@@ -84,6 +93,8 @@ pub enum SchedulerError {
     ZeroLength { job: u64 },
     /// The policy declined the job even on an otherwise idle pool.
     Unplaceable { job: u64, policy: String },
+    /// The fault plan failed [`FaultPlan::validate`].
+    BadFault { msg: String },
     Mcs(McsError),
 }
 
@@ -107,6 +118,7 @@ impl fmt::Display for SchedulerError {
             SchedulerError::Unplaceable { job, policy } => {
                 write!(f, "policy {policy} never places job {job}; trace cannot drain")
             }
+            SchedulerError::BadFault { msg } => write!(f, "fault plan: {msg}"),
             SchedulerError::Mcs(e) => write!(f, "mcs: {e}"),
         }
     }
@@ -132,8 +144,41 @@ struct Running {
     rate: f64,
     last_progress: SimTime,
     finish_at: SimTime,
+    /// No progress accrues before this instant — the re-composition
+    /// latency after a fault evacuation. Equals `started` for initial
+    /// placements, so fault-free replays are unaffected.
+    resume_at: SimTime,
+    /// Iterations completed on the current placement; evacuation rolls
+    /// the job back to the last [`CHECKPOINT_ITERS`] multiple of this.
+    iters_since_placement: f64,
     ever_spanned: bool,
     shrunk: bool,
+}
+
+/// The one fault-timeline action type: each plan event strikes once and
+/// heals once.
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    Strike(usize),
+    Heal(usize),
+}
+
+/// Mutable failure-injection state of one replay.
+#[derive(Default)]
+struct FaultState {
+    /// Active-fault refcount per slot: a slot is failed while any active
+    /// event covers it, so overlapping outages compose.
+    slot_down: BTreeMap<SlotAddr, u32>,
+    /// Active link degrades, by plan-event index → (drawer, percent).
+    degrades: BTreeMap<usize, (u8, u8)>,
+    /// Slots whose refcount each strike incremented, for its heal.
+    touched_by_event: Vec<Vec<SlotAddr>>,
+    /// Evacuated jobs awaiting re-placement, with their fault times.
+    displaced: Vec<(SimTime, Running)>,
+    recovery_times: Vec<Dur>,
+    evacuations: u32,
+    thermal_trips: u32,
+    work_lost_gpu_secs: f64,
 }
 
 /// One trace replay under one policy on one fresh test bed.
@@ -143,6 +188,9 @@ pub struct ClusterSim {
     cfg: SchedulerConfig,
     trace: Trace,
     probes: ProbeCache,
+    faults: FaultPlan,
+    bmc: Bmc,
+    fstate: FaultState,
 }
 
 impl ClusterSim {
@@ -214,7 +262,19 @@ impl ClusterSim {
             cfg,
             trace: trace.sorted(),
             probes: ProbeCache::new(probe_iters),
+            faults: FaultPlan::none(),
+            bmc: Bmc::falcon_defaults(),
+            fstate: FaultState::default(),
         })
+    }
+
+    /// Inject `plan` into the replay: its events strike and heal as
+    /// first-class events of the loop. Rejects plans outside the chassis
+    /// envelope with [`SchedulerError::BadFault`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Result<ClusterSim, SchedulerError> {
+        plan.validate().map_err(|msg| SchedulerError::BadFault { msg })?;
+        self.faults = plan.sorted();
+        Ok(self)
     }
 
     /// [`ClusterSim::new`] with a pre-warmed (or persisted) probe cache.
@@ -244,6 +304,18 @@ impl ClusterSim {
         let trace_name = self.trace.name.clone();
         let policy_name = self.policy.name();
 
+        // The fault timeline: every plan event strikes once and heals
+        // once, interleaved by (time, plan order) so simultaneous events
+        // apply deterministically.
+        let mut timeline: Vec<(SimTime, u64, FaultAction)> = Vec::new();
+        for (i, e) in self.faults.events.iter().enumerate() {
+            timeline.push((e.at, 2 * i as u64, FaultAction::Strike(i)));
+            timeline.push((e.heals_at(), 2 * i as u64 + 1, FaultAction::Heal(i)));
+        }
+        timeline.sort_by_key(|&(t, seq, _)| (t, seq));
+        let mut next_fault = 0usize;
+        self.fstate.touched_by_event = vec![Vec::new(); self.faults.events.len()];
+
         let mut next_arrival = 0usize;
         let mut pending: Vec<JobSpec> = Vec::new();
         let mut running: BTreeMap<u64, Running> = BTreeMap::new();
@@ -256,14 +328,25 @@ impl ClusterSim {
 
         loop {
             let next_finish = running.values().map(|r| r.finish_at).min();
-            let t = match (jobs.get(next_arrival).map(|j| j.arrival), next_finish) {
-                (Some(a), Some(f)) => a.min(f),
-                (Some(a), None) => a,
-                (None, Some(f)) => f,
-                (None, None) => break,
-            };
+            let next_fault_at = timeline.get(next_fault).map(|&(t, _, _)| t);
+            // Heals are event sources too: a queued or displaced job may be
+            // placeable only once capacity returns, so the loop must keep
+            // advancing through the timeline even with nothing running.
+            let t = [
+                jobs.get(next_arrival).map(|j| j.arrival),
+                next_finish,
+                next_fault_at,
+            ]
+            .into_iter()
+            .flatten()
+            .min();
+            let Some(t) = t else { break };
+            assert!(t >= now, "event time regressed: {t} < {now}");
 
-            // Advance resource accounting and job progress to t.
+            // Advance resource accounting and job progress to t. Held
+            // GPUs count as busy even inside the re-composition window —
+            // the bed is occupied either way — but training progress only
+            // accrues from `resume_at`.
             let dt = t.since(now).as_secs_f64();
             if dt > 0.0 {
                 for r in running.values_mut() {
@@ -273,7 +356,12 @@ impl ClusterSim {
                         span_gpu_secs += g * dt;
                     }
                     tenant_gpu_secs[r.spec.tenant.0 as usize] += g * dt;
-                    r.remaining_iters = (r.remaining_iters - r.rate * dt).max(0.0);
+                    let eff = t.since(now.max(r.resume_at)).as_secs_f64();
+                    if eff > 0.0 {
+                        let done = (r.rate * eff).min(r.remaining_iters);
+                        r.remaining_iters -= done;
+                        r.iters_since_placement += done;
+                    }
                     r.last_progress = t;
                 }
             }
@@ -311,6 +399,16 @@ impl ClusterSim {
                 });
             }
 
+            while next_fault < timeline.len() && timeline[next_fault].0 <= t {
+                let (_, _, action) = timeline[next_fault];
+                next_fault += 1;
+                let changed = match action {
+                    FaultAction::Strike(i) => self.apply_fault(now, i, &mut running)?,
+                    FaultAction::Heal(i) => self.heal_fault(now, i, &mut running)?,
+                };
+                membership_changed |= changed;
+            }
+
             if self.schedule_pass(now, &mut pending, &mut running)? {
                 membership_changed = true;
             }
@@ -320,12 +418,29 @@ impl ClusterSim {
             self.assert_conservation(&running);
         }
 
+        if let Some((_, stuck)) = self.fstate.displaced.first() {
+            return Err(SchedulerError::Unplaceable {
+                job: stuck.spec.id,
+                policy: policy_name.to_string(),
+            });
+        }
         if let Some(stuck) = pending.first() {
             return Err(SchedulerError::Unplaceable {
                 job: stuck.id,
                 policy: policy_name.to_string(),
             });
         }
+        let recovery = if self.faults.is_empty() {
+            None
+        } else {
+            Some(RecoveryMetrics::assemble(
+                self.faults.events.len() as u32,
+                self.fstate.evacuations,
+                self.fstate.thermal_trips,
+                &self.fstate.recovery_times,
+                self.fstate.work_lost_gpu_secs,
+            ))
+        };
         let audit = self.mcs.export_audit(ADMIN)?.len() as u64;
         let report = ScheduleReport::assemble(
             policy_name,
@@ -337,6 +452,7 @@ impl ClusterSim {
             span_gpu_secs,
             tenant_gpu_secs,
             audit,
+            recovery,
         );
         Ok((report, self.probes))
     }
@@ -353,11 +469,147 @@ impl ClusterSim {
         self.mcs.with_chassis(|c| {
             FreeView::new(
                 c.occupied_slots()
-                    .filter(|&(a, d)| matches!(d, SlotDevice::Gpu(_)) && c.owner_of(a).is_none())
+                    .filter(|&(a, d)| {
+                        matches!(d, SlotDevice::Gpu(_))
+                            && c.owner_of(a).is_none()
+                            && !c.is_failed(a)
+                    })
                     .map(|(a, _)| a)
                     .collect(),
             )
         })
+    }
+
+    /// Effective per-drawer link health under the active degrades (the
+    /// minimum over overlapping events; 100 when none).
+    fn link_health(&self) -> (u8, u8) {
+        let mut h = [100u8; 2];
+        for &(d, pct) in self.fstate.degrades.values() {
+            h[usize::from(d)] = h[usize::from(d)].min(pct);
+        }
+        (h[0], h[1])
+    }
+
+    /// Alone-on-bed mean iteration time (s) for a placement under the
+    /// current link health.
+    fn price_base(&mut self, benchmark: dlmodels::Benchmark, slots: &[SlotAddr]) -> f64 {
+        let (h0, h1) = self.link_health();
+        let (shape, health) = degraded_key(slots, h0, h1);
+        self.probes.price_degraded(benchmark, shape, health).mean_iter.as_secs_f64()
+    }
+
+    /// Re-price every running job after a link-health change. Rates are
+    /// rebuilt by the `recompute_rates` the caller triggers.
+    fn reprice_all(&mut self, running: &mut BTreeMap<u64, Running>) {
+        for id in running.keys().copied().collect::<Vec<_>>() {
+            let (benchmark, slots) = {
+                let r = &running[&id];
+                (r.spec.benchmark, r.slots.clone())
+            };
+            let base = self.price_base(benchmark, &slots);
+            running.get_mut(&id).expect("listed id").base_iter_secs = base;
+        }
+    }
+
+    /// Apply plan event `i`: fail hardware, evacuate affected jobs through
+    /// the MCS, and roll them back to their last checkpoint. Returns true
+    /// if rates must be recomputed.
+    fn apply_fault(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let kind = self.faults.events[i].kind;
+        let fail_slots: Vec<SlotAddr> = match kind {
+            FaultKind::DrawerOutage { drawer } => {
+                (0..8).map(|s| SlotAddr::new(drawer, s)).collect()
+            }
+            FaultKind::SlotDeath { drawer, slot } => vec![SlotAddr::new(drawer, slot)],
+            FaultKind::LinkDegrade { drawer, pct } => {
+                self.fstate.degrades.insert(i, (drawer, pct));
+                self.reprice_all(running);
+                return Ok(true);
+            }
+            FaultKind::ThermalTrip { drawer } => {
+                // The genuine BMC path: the drawer's fan fails under full
+                // load, the thermal model crosses its critical threshold,
+                // and the *observed* Critical event drives the evacuation.
+                let sensor = format!("drawer{drawer}");
+                let before = self.bmc.events_at_least(Severity::Critical).len();
+                self.bmc.set_fan_failed(now, &sensor, true);
+                self.bmc.report_load(now, &sensor, 1.0);
+                if self.bmc.events_at_least(Severity::Critical).len() > before {
+                    self.fstate.thermal_trips += 1;
+                    (0..8).map(|s| SlotAddr::new(drawer, s)).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+
+        for &slot in &fail_slots {
+            let count = self.fstate.slot_down.entry(slot).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                self.mcs.fail_slot(now, ADMIN, slot)?;
+            }
+        }
+        self.fstate.touched_by_event[i] = fail_slots;
+
+        // Evacuate every running job touching a failed slot: force-detach
+        // its whole gang (the collective is dead without the lost ranks),
+        // roll back to the last checkpoint, and queue it for re-placement.
+        let failed_now: BTreeSet<SlotAddr> =
+            self.mcs.with_chassis(|c| c.failed_slots().collect());
+        let affected: Vec<u64> = running
+            .iter()
+            .filter(|(_, r)| r.slots.iter().any(|s| failed_now.contains(s)))
+            .map(|(&id, _)| id)
+            .collect();
+        let evacuated = !affected.is_empty();
+        for id in affected {
+            let mut r = running.remove(&id).expect("id from the running set");
+            for &slot in &r.slots {
+                self.mcs.force_detach(now, ADMIN, slot)?;
+            }
+            let lost = r.iters_since_placement % CHECKPOINT_ITERS as f64;
+            r.remaining_iters += lost;
+            self.fstate.work_lost_gpu_secs += lost * r.base_iter_secs * r.slots.len() as f64;
+            self.fstate.evacuations += 1;
+            self.fstate.displaced.push((now, r));
+        }
+        Ok(evacuated)
+    }
+
+    /// Reverse plan event `i`: repair slots whose last covering fault
+    /// ended, restore fans, lift degrades.
+    fn heal_fault(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let kind = self.faults.events[i].kind;
+        if let FaultKind::LinkDegrade { .. } = kind {
+            self.fstate.degrades.remove(&i);
+            self.reprice_all(running);
+            return Ok(true);
+        }
+        if let FaultKind::ThermalTrip { drawer } = kind {
+            let sensor = format!("drawer{drawer}");
+            self.bmc.set_fan_failed(now, &sensor, false);
+            self.bmc.report_load(now, &sensor, 0.0);
+        }
+        for slot in std::mem::take(&mut self.fstate.touched_by_event[i]) {
+            let count = self.fstate.slot_down.get_mut(&slot).expect("refcounted slot");
+            *count -= 1;
+            if *count == 0 {
+                self.fstate.slot_down.remove(&slot);
+                self.mcs.repair_slot(now, ADMIN, slot)?;
+            }
+        }
+        Ok(false)
     }
 
     /// Place as many queued jobs as the policy allows, in strict queue
@@ -371,6 +623,14 @@ impl ClusterSim {
         running: &mut BTreeMap<u64, Running>,
     ) -> Result<bool, SchedulerError> {
         let mut changed = false;
+        if self.replace_displaced(now, running)? {
+            changed = true;
+        }
+        // Displaced jobs were admitted long ago: while any waits, the
+        // pending queue stays blocked behind them (no backfill).
+        if !self.fstate.displaced.is_empty() {
+            return Ok(changed);
+        }
         loop {
             let free = self.free_view();
             let mut used = vec![0usize; MAX_TENANTS as usize];
@@ -405,6 +665,87 @@ impl ClusterSim {
         Ok(changed)
     }
 
+    /// Re-place fault-evacuated jobs, in admission order (priority desc,
+    /// arrival, id). A re-placed job pays [`RECOMPOSE_LATENCY`] before
+    /// progressing; its recovery time runs fault → resume. When capacity
+    /// is genuinely gone, a displaced elastic job shrinks itself (then
+    /// claws back other elastic jobs) before giving up until the next
+    /// event.
+    fn replace_displaced(
+        &mut self,
+        now: SimTime,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let mut changed = false;
+        self.fstate
+            .displaced
+            .sort_by_key(|(_, r)| (std::cmp::Reverse(r.spec.priority), r.spec.arrival, r.spec.id));
+        let mut i = 0;
+        while i < self.fstate.displaced.len() {
+            let free = self.free_view();
+            let mut used = vec![0usize; MAX_TENANTS as usize];
+            for r in running.values() {
+                used[r.spec.tenant.0 as usize] += r.slots.len();
+            }
+            let (want, tenant, min_gpus, probe_spec) = {
+                let (_, r) = &self.fstate.displaced[i];
+                (
+                    r.slots.len(),
+                    r.spec.tenant.0,
+                    usize::from(r.spec.min_gpus),
+                    JobSpec { gpus: r.slots.len() as u8, ..r.spec.clone() },
+                )
+            };
+            if used[tenant as usize] + want > self.cfg.quota_gpus_per_tenant {
+                // Pending jobs of this tenant may have filled the quota
+                // while the job was displaced; step over, retry on the
+                // next completion.
+                i += 1;
+                continue;
+            }
+            match self.policy.place(&probe_spec, &free, &mut self.probes) {
+                Some(slots) => {
+                    debug_assert_eq!(slots.len(), want);
+                    let (fault_at, mut r) = self.fstate.displaced.remove(i);
+                    let user = tenant_user(tenant);
+                    let host = tenant_host(tenant);
+                    for &slot in &slots {
+                        self.mcs.grant(now, ADMIN, slot, user)?;
+                        self.mcs.attach(now, user, slot, host)?;
+                    }
+                    r.slots = slots;
+                    r.base_iter_secs = self.price_base(r.spec.benchmark, &r.slots);
+                    r.resume_at = now + RECOMPOSE_LATENCY;
+                    r.iters_since_placement = 0.0;
+                    r.last_progress = now;
+                    r.ever_spanned |= Shape::of(&r.slots).spans();
+                    self.fstate.recovery_times.push(r.resume_at.since(fault_at));
+                    running.insert(r.spec.id, r);
+                    changed = true;
+                }
+                None => {
+                    let shortage = free.total() < want;
+                    if self.cfg.elastic && shortage && want > min_gpus {
+                        // Surviving capacity cannot hold the old gang:
+                        // resume smaller, conserving GPU-iterations.
+                        let r = &mut self.fstate.displaced[i].1;
+                        let new = min_gpus.max(want / 2);
+                        r.remaining_iters *= want as f64 / new as f64;
+                        r.slots.truncate(new);
+                        r.shrunk = true;
+                        continue;
+                    }
+                    if self.cfg.elastic && shortage && self.try_shrink(now, running)? {
+                        changed = true;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
     fn start_job(
         &mut self,
         now: SimTime,
@@ -419,7 +760,7 @@ impl ClusterSim {
             self.mcs.attach(now, user, slot, host)?;
         }
         let shape = Shape::of(&slots);
-        let base = self.probes.price(spec.benchmark, shape).mean_iter.as_secs_f64();
+        let base = self.price_base(spec.benchmark, &slots);
         running.insert(
             spec.id,
             Running {
@@ -429,6 +770,8 @@ impl ClusterSim {
                 last_progress: now,
                 finish_at: SimTime::MAX, // recompute_rates sets the real value
                 started: now,
+                resume_at: now,
+                iters_since_placement: 0.0,
                 ever_spanned: shape.spans(),
                 shrunk: false,
                 slots,
@@ -467,11 +810,10 @@ impl ClusterSim {
         // Constant total work in GPU-iterations: fewer GPUs, more
         // remaining iterations at the new (cheaper per-iteration) shape.
         r.remaining_iters *= old as f64 / new as f64;
-        r.base_iter_secs = self
-            .probes
-            .price(r.spec.benchmark, Shape::of(&r.slots))
-            .mean_iter
-            .as_secs_f64();
+        let (benchmark, slots) = (r.spec.benchmark, r.slots.clone());
+        let base = self.price_base(benchmark, &slots);
+        let r = running.get_mut(&id).expect("victim is running");
+        r.base_iter_secs = base;
         r.shrunk = true;
         Ok(true)
     }
@@ -502,6 +844,17 @@ impl ClusterSim {
             "scheduler view diverged from chassis attachments"
         );
         assert!(attached.iter().all(|a| booked.contains(a)));
+        // Degraded-state invariants: no job runs on failed hardware, and
+        // the chassis's failed set matches the fault refcounts exactly.
+        let failed: Vec<SlotAddr> = self.mcs.with_chassis(|c| c.failed_slots().collect());
+        for slot in &failed {
+            assert!(!booked.contains(slot), "job occupies failed slot {slot}");
+        }
+        assert_eq!(
+            failed,
+            self.fstate.slot_down.keys().copied().collect::<Vec<_>>(),
+            "chassis failed set diverged from fault refcounts"
+        );
     }
 
     /// Rates are piecewise constant between events: every membership or
@@ -528,7 +881,9 @@ impl ClusterSim {
                 .count();
             let dilation = 1.0 + self.cfg.interference * neighbors as f64;
             r.rate = 1.0 / (r.base_iter_secs * dilation);
-            r.finish_at = r.last_progress + Dur::from_secs_f64(r.remaining_iters / r.rate);
+            // Progress resumes only after any re-composition window.
+            r.finish_at = r.last_progress.max(r.resume_at)
+                + Dur::from_secs_f64(r.remaining_iters / r.rate);
         }
     }
 }
@@ -582,6 +937,60 @@ pub fn compare_policies_cached(
         let (report, probes) = outcome?;
         cache.absorb(probes);
         reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Replay `trace` under each policy twice — fault-free, then with `plan`
+/// injected — across `jobs` parsweep workers, returning `(baseline,
+/// faulty)` report pairs **in policy order**. Each faulty report's
+/// [`RecoveryMetrics::jct_inflation`] is filled from its own baseline.
+/// Both replays of a policy run in one worker (the faulty one reuses the
+/// baseline's probe cache), so results are byte-identical for any `jobs`.
+pub fn compare_policies_faulty(
+    trace: &Trace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    plan: &FaultPlan,
+    cfg: &SchedulerConfig,
+    jobs: usize,
+    cache: &mut ProbeCache,
+) -> Result<Vec<(ScheduleReport, ScheduleReport)>, SchedulerError> {
+    plan.validate().map_err(|msg| SchedulerError::BadFault { msg })?;
+    cache.warm(&crate::probe::warm_set_for_trace(trace), jobs);
+    type Pair = (ScheduleReport, ScheduleReport, ProbeCache);
+    let replays: Vec<parsweep::Job<'_, Result<Pair, SchedulerError>>> = policies
+        .into_iter()
+        .map(|p| {
+            let split = cache.split();
+            let name = p.name();
+            let plan = plan.clone();
+            let label = format!("faulty replay {} under {name}", trace.name);
+            parsweep::Job::new(label, move || {
+                let (baseline, probes) =
+                    ClusterSim::with_probe_cache(trace.clone(), p, cfg.clone(), split)?
+                        .run_report()?;
+                let faulty_policy =
+                    crate::policy::policy_by_name(name).expect("policy is registered");
+                let (mut faulty, probes) =
+                    ClusterSim::with_probe_cache(trace.clone(), faulty_policy, cfg.clone(), probes)?
+                        .with_faults(plan)?
+                        .run_report()?;
+                if let Some(rec) = faulty.recovery.as_mut() {
+                    let base_jct = baseline.mean_jct.as_secs_f64();
+                    if base_jct > 0.0 {
+                        let inflation = faulty.mean_jct.as_secs_f64() / base_jct;
+                        rec.jct_inflation = (inflation * 1e4).round() / 1e4;
+                    }
+                }
+                Ok((baseline, faulty, probes))
+            })
+        })
+        .collect();
+    let mut reports = Vec::new();
+    for outcome in parsweep::run(jobs, replays) {
+        let (baseline, faulty, probes) = outcome?;
+        cache.absorb(probes);
+        reports.push((baseline, faulty));
     }
     Ok(reports)
 }
@@ -726,5 +1135,198 @@ mod tests {
             assert_eq!(r.n_jobs, n, "{} lost jobs", r.policy);
             assert!((0.0..=1.0).contains(&r.fairness));
         }
+    }
+
+    use crate::fault::{paper_fault_plan, FaultEvent, FaultKind, FaultPlan};
+
+    fn faulty_report(trace: Trace, plan: FaultPlan) -> ScheduleReport {
+        ClusterSim::new(trace, Box::new(FifoFirstFit), SchedulerConfig::default())
+            .unwrap()
+            .with_faults(plan)
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn drawer_outage_evacuates_and_recovers() {
+        // One 8-GPU job starts at t=0 (fifo-first-fit fills drawer 0
+        // first); drawer 0 dies mid-run and heals later.
+        let trace = || Trace {
+            name: "one-big".into(),
+            jobs: vec![JobSpec {
+                id: 0,
+                tenant: TenantId(0),
+                benchmark: Benchmark::ResNet50,
+                gpus: 8,
+                min_gpus: 4,
+                priority: 1,
+                arrival: SimTime::ZERO,
+                iters: 64,
+            }],
+        };
+        let plan = FaultPlan {
+            name: "outage".into(),
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::DrawerOutage { drawer: 0 },
+                duration: Dur::from_secs(5),
+            }],
+        };
+        let report = faulty_report(trace(), plan);
+        assert_eq!(report.n_jobs, 1, "the job survives the outage");
+        let rec = report.recovery.expect("faulty replay reports recovery");
+        assert_eq!(rec.fault_events, 1);
+        assert_eq!(rec.evacuations, 1);
+        // Recovery includes the re-composition latency by construction.
+        assert!(rec.mean_recovery >= RECOMPOSE_LATENCY, "{:?}", rec.mean_recovery);
+        // The outage struck at 2 s ≈ several iterations in, so some work
+        // rolled back to the last checkpoint.
+        assert!(rec.work_lost_gpu_secs > 0.0);
+        // The faulty JCT strictly exceeds the fault-free one.
+        let baseline =
+            ClusterSim::new(trace(), Box::new(FifoFirstFit), SchedulerConfig::default())
+                .unwrap()
+                .run()
+                .unwrap();
+        assert!(report.mean_jct > baseline.mean_jct);
+    }
+
+    #[test]
+    fn thermal_trip_drives_evacuation_through_the_bmc() {
+        let trace = Trace {
+            name: "hot".into(),
+            jobs: vec![JobSpec {
+                id: 0,
+                tenant: TenantId(0),
+                benchmark: Benchmark::MobileNetV2,
+                gpus: 4,
+                min_gpus: 4,
+                priority: 1,
+                arrival: SimTime::ZERO,
+                iters: 64,
+            }],
+        };
+        let plan = FaultPlan {
+            name: "trip".into(),
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::ThermalTrip { drawer: 0 },
+                duration: Dur::from_secs(3),
+            }],
+        };
+        let rec = faulty_report(trace, plan).recovery.unwrap();
+        assert_eq!(rec.thermal_trips, 1, "the BMC critical event must fire");
+        assert_eq!(rec.evacuations, 1);
+    }
+
+    #[test]
+    fn link_degrade_slows_jobs_without_evacuating() {
+        let trace = Trace {
+            name: "degraded".into(),
+            jobs: vec![JobSpec {
+                id: 0,
+                tenant: TenantId(0),
+                benchmark: Benchmark::BertLarge,
+                gpus: 4,
+                min_gpus: 4,
+                priority: 1,
+                arrival: SimTime::ZERO,
+                iters: 32,
+            }],
+        };
+        let clean = ClusterSim::new(
+            trace.clone(),
+            Box::new(FifoFirstFit),
+            SchedulerConfig::default(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let plan = FaultPlan {
+            name: "slow-links".into(),
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::LinkDegrade { drawer: 0, pct: 50 },
+                duration: Dur::from_secs(1_000),
+            }],
+        };
+        let report = faulty_report(trace, plan);
+        let rec = report.recovery.as_ref().unwrap();
+        assert_eq!(rec.evacuations, 0, "degrade keeps the placement");
+        assert_eq!(rec.mean_recovery, Dur::ZERO);
+        assert!(
+            report.mean_jct > clean.mean_jct,
+            "half-bandwidth links must stretch the job: {:?} vs {:?}",
+            report.mean_jct,
+            clean.mean_jct
+        );
+    }
+
+    #[test]
+    fn faulty_replay_is_deterministic_and_fault_free_report_is_unchanged() {
+        let cfg = SchedulerConfig::default();
+        let a = ClusterSim::new(tiny_trace(), Box::new(FragAware), cfg.clone())
+            .unwrap()
+            .with_faults(paper_fault_plan())
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = ClusterSim::new(tiny_trace(), Box::new(FragAware), cfg.clone())
+            .unwrap()
+            .with_faults(paper_fault_plan())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        // An empty plan leaves the report byte-identical to no plan at
+        // all: the recovery block only serializes when faults ran.
+        let none = ClusterSim::new(tiny_trace(), Box::new(FragAware), cfg.clone())
+            .unwrap()
+            .with_faults(FaultPlan::none())
+            .unwrap()
+            .run()
+            .unwrap();
+        let plain = ClusterSim::new(tiny_trace(), Box::new(FragAware), cfg).unwrap().run().unwrap();
+        assert_eq!(none.to_json_string(), plain.to_json_string());
+        assert!(!plain.to_json_string().contains("\"recovery\""));
+    }
+
+    #[test]
+    fn bad_fault_plans_are_rejected() {
+        let plan = FaultPlan {
+            name: "bad".into(),
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::DrawerOutage { drawer: 7 },
+                duration: Dur::from_secs(1),
+            }],
+        };
+        let r = ClusterSim::new(tiny_trace(), Box::new(FifoFirstFit), SchedulerConfig::default())
+            .unwrap()
+            .with_faults(plan);
+        assert!(matches!(r, Err(SchedulerError::BadFault { .. })));
+    }
+
+    #[test]
+    fn compare_policies_faulty_fills_inflation_and_is_parallel_deterministic() {
+        let trace = tiny_trace();
+        let cfg = SchedulerConfig::default();
+        let plan = paper_fault_plan();
+        let mut c1 = ProbeCache::new(cfg.probe_iters);
+        let serial = compare_policies_faulty(&trace, all_policies(), &plan, &cfg, 1, &mut c1)
+            .unwrap();
+        let mut c4 = ProbeCache::new(cfg.probe_iters);
+        let parallel = compare_policies_faulty(&trace, all_policies(), &plan, &cfg, 4, &mut c4)
+            .unwrap();
+        assert_eq!(serial.len(), 4);
+        for ((sb, sf), (pb, pf)) in serial.iter().zip(&parallel) {
+            assert_eq!(sb.to_json_string(), pb.to_json_string());
+            assert_eq!(sf.to_json_string(), pf.to_json_string());
+            assert!(sb.recovery.is_none());
+            let rec = sf.recovery.as_ref().expect("faulty run reports recovery");
+            assert!(rec.jct_inflation >= 1.0, "{}: {}", sf.policy, rec.jct_inflation);
+        }
+        assert_eq!(c1.save_json(), c4.save_json());
     }
 }

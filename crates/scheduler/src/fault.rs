@@ -1,0 +1,334 @@
+//! Failure injection: seeded, JSON-serializable schedules of hardware
+//! events applied mid-replay inside [`crate::cluster`]'s event loop.
+//!
+//! The composable pitch (paper §I, GigaIO's scale-out study) is that the
+//! management plane can re-compose resources *around* hardware events;
+//! the Alibaba-PAI characterization shows shared GPU clusters spend real
+//! time in degraded states. A [`FaultPlan`] makes those states simulable
+//! and measurable: drawer outages, single-slot deaths, PCIe link
+//! degradation to a fraction of bandwidth, and BMC thermal-threshold
+//! trips that force a drawer evacuation. Every fault heals after its
+//! `duration`, so any finite plan leaves a finite trace drainable — the
+//! chaos property suite leans on that.
+//!
+//! Recovery semantics (DESIGN §10): each fault is an MCS-audited
+//! `fail`/`force-detach` sequence; evacuated jobs are re-placed by the
+//! active policy, pay [`RECOMPOSE_LATENCY`], lose the iterations since
+//! their last checkpoint ([`CHECKPOINT_ITERS`]), and may be elastically
+//! shrunk when the surviving capacity cannot hold their old allocation.
+
+use desim::json::{FromJson, JsonError, ToJson, Value};
+use desim::{Dur, SimRng, SimTime};
+use std::fmt;
+
+/// Re-composition latency a fault-displaced job pays before it resumes
+/// making progress: the attach/rescan/NCCL-re-init cost of composing a
+/// replacement placement. Charged only on fault recovery — initial
+/// placements model steady-state composition, which the paper's
+/// scheduler-level metrics already absorb into queue delay.
+pub const RECOMPOSE_LATENCY: Dur = Dur::from_millis(2_000);
+
+/// Jobs checkpoint every this many iterations (counted from their current
+/// placement). An evacuation loses the iterations since the last
+/// checkpoint; they are re-run on the replacement placement.
+pub const CHECKPOINT_ITERS: u64 = 8;
+
+/// Version stamp of the fault model itself — how link degradation maps to
+/// capacity scaling, which links a drawer degrade touches, the recompose
+/// and checkpoint constants. Folded into the probe cache's `model_hash`
+/// so persisted probe prices invalidate when the fault model changes.
+pub const FAULT_MODEL_VERSION: u64 = 1;
+
+/// The hardware event kinds the plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Every slot in the drawer fails at once (power/midplane outage).
+    DrawerOutage { drawer: u8 },
+    /// One slot dies (GPU falls off the bus).
+    SlotDeath { drawer: u8, slot: u8 },
+    /// The drawer's PCIe fabric degrades to `pct` percent of its
+    /// bandwidth (flaky retimer, lane downtraining). Jobs keep their
+    /// slots but run at degraded-fabric iteration rates.
+    LinkDegrade { drawer: u8, pct: u8 },
+    /// The drawer's cooling fan fails; the BMC trips its critical
+    /// threshold under load and the management plane evacuates the
+    /// drawer. Same capacity loss as an outage, but *triggered through*
+    /// the BMC thermal model rather than asserted directly.
+    ThermalTrip { drawer: u8 },
+}
+
+impl FaultKind {
+    /// The drawer the event lands in.
+    pub fn drawer(&self) -> u8 {
+        match *self {
+            FaultKind::DrawerOutage { drawer }
+            | FaultKind::SlotDeath { drawer, .. }
+            | FaultKind::LinkDegrade { drawer, .. }
+            | FaultKind::ThermalTrip { drawer } => drawer,
+        }
+    }
+
+    fn kind_label(&self) -> &'static str {
+        match self {
+            FaultKind::DrawerOutage { .. } => "drawer-outage",
+            FaultKind::SlotDeath { .. } => "slot-death",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::ThermalTrip { .. } => "thermal-trip",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultKind::DrawerOutage { drawer } => write!(f, "drawer-outage d{drawer}"),
+            FaultKind::SlotDeath { drawer, slot } => write!(f, "slot-death d{drawer}s{slot}"),
+            FaultKind::LinkDegrade { drawer, pct } => {
+                write!(f, "link-degrade d{drawer} to {pct}%")
+            }
+            FaultKind::ThermalTrip { drawer } => write!(f, "thermal-trip d{drawer}"),
+        }
+    }
+}
+
+/// One injected event: a fault that strikes at `at` and heals (repair,
+/// power-back, retimer reseat) at `at + duration`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub kind: FaultKind,
+    pub duration: Dur,
+}
+
+impl FaultEvent {
+    pub fn heals_at(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// A named, ordered schedule of injected events. Overlapping events
+/// compose: a slot is failed while *any* active fault covers it, and a
+/// drawer's link health is the minimum over its active degrades.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    pub name: String,
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan — the fault-free replay.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events in strike order (stable on ties), the order the event loop
+    /// consumes them in.
+    pub fn sorted(mut self) -> FaultPlan {
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Validate the plan against the 2-drawer × 8-slot envelope. `Err` is
+    /// the first offending event's description.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            if e.kind.drawer() >= 2 {
+                return Err(format!("event {i}: drawer {} outside the chassis", e.kind.drawer()));
+            }
+            if let FaultKind::SlotDeath { slot, .. } = e.kind {
+                if slot >= 8 {
+                    return Err(format!("event {i}: slot {slot} outside the drawer"));
+                }
+            }
+            if let FaultKind::LinkDegrade { pct, .. } = e.kind {
+                if pct == 0 || pct >= 100 {
+                    return Err(format!("event {i}: degrade to {pct}% is not a degrade"));
+                }
+            }
+            if e.duration.is_zero() {
+                return Err(format!("event {i}: zero-duration fault has no effect"));
+            }
+        }
+        Ok(())
+    }
+
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    pub fn from_json_str(s: &str) -> Result<FaultPlan, JsonError> {
+        FaultPlan::from_json(&Value::parse(s)?)
+    }
+}
+
+impl ToJson for FaultEvent {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("at_ns", self.at.to_json()),
+            ("kind", Value::str(self.kind.kind_label())),
+            ("drawer", Value::from_u64(u64::from(self.kind.drawer()))),
+        ];
+        if let FaultKind::SlotDeath { slot, .. } = self.kind {
+            fields.push(("slot", Value::from_u64(u64::from(slot))));
+        }
+        if let FaultKind::LinkDegrade { pct, .. } = self.kind {
+            fields.push(("pct", Value::from_u64(u64::from(pct))));
+        }
+        fields.push(("duration_ns", self.duration.to_json()));
+        Value::obj(fields)
+    }
+}
+
+impl FromJson for FaultEvent {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let drawer = v.get("drawer")?.as_u8()?;
+        let kind = match v.get("kind")?.as_str()? {
+            "drawer-outage" => FaultKind::DrawerOutage { drawer },
+            "slot-death" => FaultKind::SlotDeath { drawer, slot: v.get("slot")?.as_u8()? },
+            "link-degrade" => FaultKind::LinkDegrade { drawer, pct: v.get("pct")?.as_u8()? },
+            "thermal-trip" => FaultKind::ThermalTrip { drawer },
+            other => return Err(JsonError::decode(format!("unknown fault kind \"{other}\""))),
+        };
+        Ok(FaultEvent {
+            at: SimTime::from_json(v.get("at_ns")?)?,
+            kind,
+            duration: Dur::from_json(v.get("duration_ns")?)?,
+        })
+    }
+}
+
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(self.name.clone())),
+            ("events", self.events.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FaultPlan {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(FaultPlan {
+            name: String::from_json(v.get("name")?)?,
+            events: Vec::<FaultEvent>::from_json(v.get("events")?)?,
+        })
+    }
+}
+
+/// Degrade levels the seeded generator draws from. A small discrete set
+/// keeps the probe cache bounded: every (benchmark, shape, health) triple
+/// a replay prices comes from these levels.
+pub const DEGRADE_LEVELS: [u8; 3] = [25, 50, 75];
+
+/// A seeded random plan of `n_events` faults striking within
+/// `horizon` and healing within a quarter of it — the generator the chaos
+/// harness and `repro faults` sweeps build on. Pure function of its
+/// arguments.
+pub fn seeded_fault_plan(n_events: usize, horizon: Dur, seed: u64) -> FaultPlan {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xFA17);
+    let events = (0..n_events)
+        .map(|_| {
+            let drawer = rng.index(2) as u8;
+            let kind = match rng.index(4) {
+                0 => FaultKind::DrawerOutage { drawer },
+                1 => FaultKind::SlotDeath { drawer, slot: rng.index(8) as u8 },
+                2 => FaultKind::LinkDegrade {
+                    drawer,
+                    pct: DEGRADE_LEVELS[rng.index(DEGRADE_LEVELS.len())],
+                },
+                _ => FaultKind::ThermalTrip { drawer },
+            };
+            let at = SimTime::from_secs_f64(rng.unit() * horizon.as_secs_f64());
+            let duration =
+                Dur::from_secs_f64((0.05 + 0.2 * rng.unit()) * horizon.as_secs_f64());
+            FaultEvent { at, kind, duration }
+        })
+        .collect();
+    FaultPlan { name: format!("seeded-{n_events}x{seed:#x}"), events }.sorted()
+}
+
+/// The pinned 3-event plan behind `repro faults`, the `cluster_faults`
+/// golden, and the recovery bench replay: a drawer-1 outage mid-trace
+/// (fifo-first-fit's drawer-spanning gangs straddle it, so the sloppy
+/// packer loses more jobs and queues longer to recover than the
+/// single-drawer packers), a half-bandwidth degrade of drawer 0 while the
+/// survivors crowd onto it (running jobs slow down but keep their slots),
+/// and a thermal trip of drawer 0 late (the BMC path). Times sit inside
+/// the active window of both the 8-job quick trace and the 20-job
+/// standard trace.
+pub fn paper_fault_plan() -> FaultPlan {
+    FaultPlan {
+        name: "paper-3ev".into(),
+        events: vec![
+            FaultEvent {
+                at: SimTime::from_secs(16),
+                kind: FaultKind::DrawerOutage { drawer: 1 },
+                duration: Dur::from_secs(10),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(18),
+                kind: FaultKind::LinkDegrade { drawer: 0, pct: 50 },
+                duration: Dur::from_secs(12),
+            },
+            FaultEvent {
+                at: SimTime::from_secs(28),
+                kind: FaultKind::ThermalTrip { drawer: 0 },
+                duration: Dur::from_secs(8),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_json_round_trips() {
+        let plan = seeded_fault_plan(5, Dur::from_secs(60), 0xABCD);
+        let back = FaultPlan::from_json_str(&plan.to_json_string()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json_string(), plan.to_json_string());
+    }
+
+    #[test]
+    fn generator_is_seeded_and_sorted() {
+        let a = seeded_fault_plan(8, Dur::from_secs(40), 1);
+        assert_eq!(a, seeded_fault_plan(8, Dur::from_secs(40), 1));
+        assert_ne!(a, seeded_fault_plan(8, Dur::from_secs(40), 2));
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_envelope_events() {
+        let bad = |kind| FaultPlan {
+            name: "bad".into(),
+            events: vec![FaultEvent { at: SimTime::ZERO, kind, duration: Dur::from_secs(1) }],
+        };
+        assert!(bad(FaultKind::DrawerOutage { drawer: 2 }).validate().is_err());
+        assert!(bad(FaultKind::SlotDeath { drawer: 0, slot: 8 }).validate().is_err());
+        assert!(bad(FaultKind::LinkDegrade { drawer: 0, pct: 0 }).validate().is_err());
+        assert!(bad(FaultKind::LinkDegrade { drawer: 0, pct: 100 }).validate().is_err());
+        let zero_dur = FaultPlan {
+            name: "z".into(),
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::SlotDeath { drawer: 0, slot: 0 },
+                duration: Dur::ZERO,
+            }],
+        };
+        assert!(zero_dur.validate().is_err());
+        assert!(paper_fault_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn unknown_kind_rejected_at_parse() {
+        let text = paper_fault_plan().to_json_string().replace("drawer-outage", "meteor-strike");
+        assert!(FaultPlan::from_json_str(&text).is_err());
+    }
+}

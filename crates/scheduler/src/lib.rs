@@ -21,20 +21,27 @@
 //!   with [`composable_core::Objective`]).
 //! * [`cluster`] — the event loop: shared-chassis co-simulation,
 //!   MCS-audited recomposition, elastic shrink, per-tenant quotas.
+//! * [`fault`] — failure injection: seeded `FaultPlan`s of drawer/slot
+//!   outages, link degradation, and BMC thermal trips replayed mid-trace.
 //! * [`metrics`] — JCT / queueing / makespan / utilization /
 //!   fragmentation / fairness reporting and the policy-comparison table.
 
 pub mod cluster;
+pub mod fault;
 pub mod metrics;
 pub mod policy;
 pub mod probe;
 pub mod trace;
 
 pub use cluster::{
-    compare_policies, compare_policies_cached, ClusterSim, SchedulerConfig, SchedulerError,
-    POOL_GPUS,
+    compare_policies, compare_policies_cached, compare_policies_faulty, ClusterSim,
+    SchedulerConfig, SchedulerError, POOL_GPUS,
 };
-pub use metrics::{comparison_table, jain_fairness, JobOutcome, ScheduleReport};
+pub use fault::{
+    paper_fault_plan, seeded_fault_plan, FaultEvent, FaultKind, FaultPlan, CHECKPOINT_ITERS,
+    RECOMPOSE_LATENCY,
+};
+pub use metrics::{comparison_table, jain_fairness, JobOutcome, RecoveryMetrics, ScheduleReport};
 pub use policy::{all_policies, policy_by_name, FreeView, PlacePolicy};
 pub use probe::{warm_set_for_trace, Probe, ProbeCache, Shape};
 pub use trace::{seeded_two_tenant, JobSpec, PoissonMix, TenantId, Trace};

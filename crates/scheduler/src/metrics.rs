@@ -73,6 +73,84 @@ impl FromJson for JobOutcome {
     }
 }
 
+/// Fault-recovery accounting for a replay under an injected
+/// [`crate::fault::FaultPlan`]. Absent (`None` on [`ScheduleReport`]) for
+/// fault-free replays, so their serialized reports are byte-identical to
+/// pre-fault-model ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryMetrics {
+    /// Fault events applied (strikes, not heals).
+    pub fault_events: u32,
+    /// Job displacements: each time a running job lost its slots to a
+    /// fault and had to be re-placed. One job can count several times.
+    pub evacuations: u32,
+    /// Drawer evacuations triggered through the BMC thermal path.
+    pub thermal_trips: u32,
+    /// Mean time from a fault striking a job to that job making progress
+    /// again on its replacement placement (including re-composition).
+    pub mean_recovery: Dur,
+    pub p95_recovery: Dur,
+    /// GPU-seconds of training redone because evacuation rolled jobs back
+    /// to their last checkpoint.
+    pub work_lost_gpu_secs: f64,
+    /// Faulty-replay mean JCT over the fault-free baseline's (1.0 = no
+    /// slowdown). Filled by [`crate::cluster::compare_policies_faulty`];
+    /// 0.0 when no baseline was run.
+    pub jct_inflation: f64,
+}
+
+impl RecoveryMetrics {
+    /// Fold per-evacuation recovery durations into the summary.
+    pub fn assemble(
+        fault_events: u32,
+        evacuations: u32,
+        thermal_trips: u32,
+        recovery_times: &[Dur],
+        work_lost_gpu_secs: f64,
+    ) -> RecoveryMetrics {
+        RecoveryMetrics {
+            fault_events,
+            evacuations,
+            thermal_trips,
+            mean_recovery: mean_dur(recovery_times.iter().copied()),
+            p95_recovery: percentile_dur(
+                recovery_times.iter().map(|d| d.as_nanos()).collect(),
+                0.95,
+            ),
+            work_lost_gpu_secs: round4(work_lost_gpu_secs),
+            jct_inflation: 0.0,
+        }
+    }
+}
+
+impl ToJson for RecoveryMetrics {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("fault_events", Value::from_u64(u64::from(self.fault_events))),
+            ("evacuations", Value::from_u64(u64::from(self.evacuations))),
+            ("thermal_trips", Value::from_u64(u64::from(self.thermal_trips))),
+            ("mean_recovery_ns", self.mean_recovery.to_json()),
+            ("p95_recovery_ns", self.p95_recovery.to_json()),
+            ("work_lost_gpu_secs", Value::Num(self.work_lost_gpu_secs)),
+            ("jct_inflation", Value::Num(self.jct_inflation)),
+        ])
+    }
+}
+
+impl FromJson for RecoveryMetrics {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(RecoveryMetrics {
+            fault_events: v.get("fault_events")?.as_u32()?,
+            evacuations: v.get("evacuations")?.as_u32()?,
+            thermal_trips: v.get("thermal_trips")?.as_u32()?,
+            mean_recovery: Dur::from_json(v.get("mean_recovery_ns")?)?,
+            p95_recovery: Dur::from_json(v.get("p95_recovery_ns")?)?,
+            work_lost_gpu_secs: v.get("work_lost_gpu_secs")?.as_f64()?,
+            jct_inflation: v.get("jct_inflation")?.as_f64()?,
+        })
+    }
+}
+
 /// Jain's fairness index over per-tenant shares: 1.0 when every tenant
 /// received the same amount, approaching `1/n` under total capture.
 pub fn jain_fairness(shares: &[f64]) -> f64 {
@@ -106,6 +184,8 @@ pub struct ScheduleReport {
     /// MCS audit-log length: every grant/attach/detach of the replay.
     pub audit_entries: u64,
     pub tenant_gpu_secs: Vec<f64>,
+    /// Present only when the replay injected faults.
+    pub recovery: Option<RecoveryMetrics>,
     pub jobs: Vec<JobOutcome>,
 }
 
@@ -148,6 +228,7 @@ impl ScheduleReport {
         span_gpu_secs: f64,
         tenant_gpu_secs: Vec<f64>,
         audit_entries: u64,
+        recovery: Option<RecoveryMetrics>,
     ) -> ScheduleReport {
         outcomes.sort_by_key(|o| o.id);
         let cap = pool_gpus as f64 * makespan.as_secs_f64();
@@ -170,6 +251,7 @@ impl ScheduleReport {
             shrunk_jobs: outcomes.iter().filter(|o| o.shrunk).count() as u32,
             audit_entries,
             tenant_gpu_secs: tenant_gpu_secs.into_iter().map(round4).collect(),
+            recovery,
             jobs: outcomes,
         }
     }
@@ -185,7 +267,7 @@ impl ScheduleReport {
 
 impl ToJson for ScheduleReport {
     fn to_json(&self) -> Value {
-        Value::obj(vec![
+        let mut fields = vec![
             ("policy", Value::str(self.policy.clone())),
             ("trace", Value::str(self.trace.clone())),
             ("pool_gpus", Value::from_u64(u64::from(self.pool_gpus))),
@@ -203,8 +285,14 @@ impl ToJson for ScheduleReport {
                 "tenant_gpu_secs",
                 Value::Arr(self.tenant_gpu_secs.iter().map(|s| Value::Num(*s)).collect()),
             ),
-            ("jobs", self.jobs.to_json()),
-        ])
+        ];
+        // Serialized only for faulty replays: fault-free reports keep
+        // their pre-fault-model bytes (the cluster_fifo golden).
+        if let Some(r) = &self.recovery {
+            fields.push(("recovery", r.to_json()));
+        }
+        fields.push(("jobs", self.jobs.to_json()));
+        Value::obj(fields)
     }
 }
 
@@ -225,6 +313,10 @@ impl FromJson for ScheduleReport {
             shrunk_jobs: v.get("shrunk_jobs")?.as_u32()?,
             audit_entries: v.get("audit_entries")?.as_u64()?,
             tenant_gpu_secs: Vec::<f64>::from_json(v.get("tenant_gpu_secs")?)?,
+            recovery: match v.get("recovery") {
+                Ok(rv) => Some(RecoveryMetrics::from_json(rv)?),
+                Err(_) => None,
+            },
             jobs: Vec::<JobOutcome>::from_json(v.get("jobs")?)?,
         })
     }
@@ -310,6 +402,7 @@ mod tests {
             8.0,
             vec![12.0, 12.0],
             42,
+            None,
         );
         assert_eq!(r.jobs[0].id, 0, "stored by id");
         assert_eq!(r.n_jobs, 2);
@@ -334,9 +427,46 @@ mod tests {
             0.0,
             vec![4.0, 0.0],
             7,
+            None,
         );
         let t = comparison_table(&[r]);
         assert!(t.contains("fifo-first-fit"));
         assert!(t.contains("mean JCT (s)"));
+    }
+
+    #[test]
+    fn recovery_block_round_trips_and_stays_absent_when_fault_free() {
+        let base = ScheduleReport::assemble(
+            "best-fit",
+            "t",
+            16,
+            vec![outcome(0, 0, 1, 3)],
+            Dur::from_secs(3),
+            4.0,
+            0.0,
+            vec![4.0, 0.0],
+            7,
+            None,
+        );
+        assert!(
+            !base.to_json_string().contains("recovery"),
+            "fault-free reports must keep their pre-fault-model bytes"
+        );
+        let mut faulty = base.clone();
+        let mut rec = RecoveryMetrics::assemble(
+            3,
+            2,
+            1,
+            &[Dur::from_secs(2), Dur::from_secs(6)],
+            12.345678,
+        );
+        rec.jct_inflation = 1.25;
+        assert_eq!(rec.mean_recovery, Dur::from_secs(4));
+        assert_eq!(rec.p95_recovery, Dur::from_secs(6));
+        assert_eq!(rec.work_lost_gpu_secs, 12.3457, "round4 keeps bytes stable");
+        faulty.recovery = Some(rec);
+        let back = ScheduleReport::from_json_str(&faulty.to_json_string()).unwrap();
+        assert_eq!(back, faulty);
+        assert_eq!(back.recovery.as_ref().unwrap().evacuations, 2);
     }
 }

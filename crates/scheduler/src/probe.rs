@@ -9,9 +9,11 @@
 //! canonical composition of that shape via [`composable_core::system::
 //! build_falcon_slots`] and caching the measured mean iteration time.
 //! Slots within a drawer are symmetric, so the cache key is just
-//! `(benchmark, per-drawer slot counts)` — a handful of probes price an
-//! entire trace replay.
+//! `(benchmark, per-drawer slot counts, per-drawer link health)` — a
+//! handful of probes price an entire trace replay, including replays under
+//! injected PCIe link degradation (see [`crate::fault`]).
 
+use crate::fault::{CHECKPOINT_ITERS, FAULT_MODEL_VERSION, RECOMPOSE_LATENCY};
 use crate::trace::{benchmark_from_label, Trace};
 use composable_core::recommend::Objective;
 use composable_core::system::build_falcon_slots;
@@ -26,7 +28,9 @@ use training::engine::{model_for, run_job};
 use training::{max_feasible_batch, JobConfig};
 
 /// Version stamp of the persisted cache format; bump on layout changes.
-pub const CACHE_FORMAT_VERSION: u64 = 1;
+/// Version 2 added the per-drawer link-health key dimension, so version-1
+/// caches (priced before the fault model existed) load empty.
+pub const CACHE_FORMAT_VERSION: u64 = 2;
 
 /// Per-drawer slot counts of a placement, normalized so `d0 >= d1`
 /// (drawers are symmetric).
@@ -71,6 +75,43 @@ impl Shape {
     }
 }
 
+/// Effective PCIe bandwidth of each drawer's switch fabric, in percent,
+/// aligned with [`Shape`]'s drawer order (`h0` is the health of the drawer
+/// holding `d0` slots). Only values a fault plan can produce occur here —
+/// 100 or one of [`crate::fault::DEGRADE_LEVELS`] — which bounds the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkHealth {
+    pub h0: u8,
+    pub h1: u8,
+}
+
+impl LinkHealth {
+    /// Both drawers at full bandwidth — the fault-free key.
+    pub const FULL: LinkHealth = LinkHealth { h0: 100, h1: 100 };
+
+    pub fn is_full(&self) -> bool {
+        *self == LinkHealth::FULL
+    }
+}
+
+/// The canonical `(Shape, LinkHealth)` cache key for a placement on
+/// drawers with health `h0`/`h1` percent. Drawers are symmetric, so the
+/// pair is normalized jointly: the fuller drawer leads (health breaking
+/// count ties), and a drawer the placement doesn't touch contributes
+/// `100` — its links carry none of this job's traffic.
+pub fn degraded_key(slots: &[SlotAddr], health0: u8, health1: u8) -> (Shape, LinkHealth) {
+    let c0 = slots.iter().filter(|s| s.drawer.0 == 0).count() as u8;
+    let c1 = slots.len() as u8 - c0;
+    let ((c0, h0), (c1, h1)) = if c1 > c0 || (c1 == c0 && health1 > health0) {
+        ((c1, health1), (c0, health0))
+    } else {
+        ((c0, health0), (c1, health1))
+    };
+    let h0 = if c0 == 0 { 100 } else { h0 };
+    let h1 = if c1 == 0 { 100 } else { h1 };
+    (Shape { d0: c0, d1: c1 }, LinkHealth { h0, h1 })
+}
+
 /// The priced outcome of one probe run.
 #[derive(Debug, Clone, Copy)]
 pub struct Probe {
@@ -86,7 +127,7 @@ pub struct Probe {
 /// nothing" an assertable property.
 pub struct ProbeCache {
     probe_iters: u64,
-    map: BTreeMap<(&'static str, Shape), Probe>,
+    map: BTreeMap<(&'static str, Shape, LinkHealth), Probe>,
     probes_run: u64,
 }
 
@@ -114,16 +155,24 @@ impl ProbeCache {
         self.probes_run
     }
 
-    /// Price `benchmark` on a placement of `shape`. Panics only if the
-    /// model cannot fit the bed at batch size 1 — none of the paper's five
-    /// benchmarks hits that on 16 GB V100s.
+    /// Price `benchmark` on a placement of `shape` at full link health.
+    /// Panics only if the model cannot fit the bed at batch size 1 — none
+    /// of the paper's five benchmarks hits that on 16 GB V100s.
     pub fn price(&mut self, benchmark: Benchmark, shape: Shape) -> Probe {
-        if let Some(&p) = self.map.get(&(benchmark.label(), shape)) {
+        self.price_degraded(benchmark, shape, LinkHealth::FULL)
+    }
+
+    /// Price `benchmark` on `shape` with each drawer's switch fabric at
+    /// `health` percent bandwidth. The `(shape, health)` pair must be
+    /// canonical (see [`degraded_key`]); shapes from [`Shape::new`]/
+    /// [`Shape::of`] with [`LinkHealth::FULL`] always are.
+    pub fn price_degraded(&mut self, benchmark: Benchmark, shape: Shape, health: LinkHealth) -> Probe {
+        if let Some(&p) = self.map.get(&(benchmark.label(), shape, health)) {
             return p;
         }
-        let p = run_probe(benchmark, shape, self.probe_iters);
+        let p = run_probe(benchmark, shape, health, self.probe_iters);
         self.probes_run += 1;
-        self.map.insert((benchmark.label(), shape), p);
+        self.map.insert((benchmark.label(), shape, health), p);
         p
     }
 
@@ -135,7 +184,8 @@ impl ProbeCache {
         let mut missing: Vec<(Benchmark, Shape)> = Vec::new();
         let mut seen: BTreeSet<(&'static str, Shape)> = BTreeSet::new();
         for &(b, s) in keys {
-            if !self.map.contains_key(&(b.label(), s)) && seen.insert((b.label(), s)) {
+            if !self.map.contains_key(&(b.label(), s, LinkHealth::FULL)) && seen.insert((b.label(), s))
+            {
                 missing.push((b, s));
             }
         }
@@ -146,13 +196,13 @@ impl ProbeCache {
                 .iter()
                 .map(|&(b, s)| {
                     parsweep::Job::new(format!("probe {} {}x{}", b.label(), s.d0, s.d1), move || {
-                        run_probe(b, s, iters)
+                        run_probe(b, s, LinkHealth::FULL, iters)
                     })
                 })
                 .collect(),
         );
         for ((b, s), p) in missing.into_iter().zip(priced) {
-            self.map.insert((b.label(), s), p);
+            self.map.insert((b.label(), s, LinkHealth::FULL), p);
             self.probes_run += 1;
         }
     }
@@ -186,11 +236,13 @@ impl ProbeCache {
         let entries: Vec<Value> = self
             .map
             .iter()
-            .map(|(&(label, shape), probe)| {
+            .map(|(&(label, shape, health), probe)| {
                 Value::obj(vec![
                     ("benchmark", Value::str(label)),
                     ("d0", Value::from_u64(u64::from(shape.d0))),
                     ("d1", Value::from_u64(u64::from(shape.d1))),
+                    ("h0", Value::from_u64(u64::from(health.h0))),
+                    ("h1", Value::from_u64(u64::from(health.h1))),
                     ("mean_iter_ns", Value::from_u64(probe.mean_iter.as_nanos())),
                     ("score", Value::Num(probe.score)),
                 ])
@@ -229,15 +281,19 @@ impl ProbeCache {
                 let b = benchmark_from_label(label)
                     .ok_or_else(|| desim::json::JsonError::decode("unknown benchmark"))?;
                 let shape = Shape::new(e.get("d0")?.as_u8()?, e.get("d1")?.as_u8()?);
+                let health = LinkHealth {
+                    h0: e.get("h0")?.as_u8()?,
+                    h1: e.get("h1")?.as_u8()?,
+                };
                 let probe = Probe {
                     mean_iter: Dur::from_nanos(e.get("mean_iter_ns")?.as_u64()?),
                     score: e.get("score")?.as_f64()?,
                 };
-                Ok::<_, desim::json::JsonError>((b.label(), shape, probe))
+                Ok::<_, desim::json::JsonError>((b.label(), shape, health, probe))
             })();
             match decoded {
-                Ok((label, shape, probe)) => {
-                    cache.map.insert((label, shape), probe);
+                Ok((label, shape, health, probe)) => {
+                    cache.map.insert((label, shape, health), probe);
                 }
                 Err(_) => return ProbeCache::new(probe_iters),
             }
@@ -261,10 +317,26 @@ impl ProbeCache {
 }
 
 /// Fingerprint of everything a probe's answer depends on besides its key:
-/// the benchmark roster, each model's parameter count, and the probe GPU's
-/// memory (which gates batch clamping). FNV-1a, hex. A persisted cache
-/// whose hash differs was priced against different models and is stale.
+/// the benchmark roster, each model's parameter count, the probe GPU's
+/// memory (which gates batch clamping), and the fault model's parameters
+/// (degrade levels, recompose/checkpoint constants, model version) — a
+/// degraded probe's price depends on how degradation maps to link
+/// capacity, so a cache priced under a different fault model is stale.
+/// FNV-1a, hex.
 pub fn model_hash() -> String {
+    model_hash_with(&fault_model_fingerprint())
+}
+
+fn fault_model_fingerprint() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&FAULT_MODEL_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&RECOMPOSE_LATENCY.as_nanos().to_le_bytes());
+    bytes.extend_from_slice(&CHECKPOINT_ITERS.to_le_bytes());
+    bytes.extend_from_slice(&crate::fault::DEGRADE_LEVELS);
+    bytes
+}
+
+fn model_hash_with(fault_fingerprint: &[u8]) -> String {
     let mut h = 0xcbf29ce484222325u64;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -277,6 +349,7 @@ pub fn model_hash() -> String {
         eat(&model_for(b).param_count().to_le_bytes());
     }
     eat(&GpuSpec::v100_pcie_16gb().memory_bytes.to_le_bytes());
+    eat(fault_fingerprint);
     format!("{h:016x}")
 }
 
@@ -318,9 +391,32 @@ pub fn warm_set_for_trace(trace: &Trace) -> Vec<(Benchmark, Shape)> {
     out
 }
 
-fn run_probe(benchmark: Benchmark, shape: Shape, iters: u64) -> Probe {
+fn run_probe(benchmark: Benchmark, shape: Shape, health: LinkHealth, iters: u64) -> Probe {
     let gpu = GpuSpec::v100_pcie_16gb();
-    let composed = build_falcon_slots(&gpu, &shape.canonical_slots());
+    let mut composed = build_falcon_slots(&gpu, &shape.canonical_slots());
+    // Injected link degradation: scale every link on the affected drawer's
+    // switch ASIC. The flow allocator reads capacities live, so degraded
+    // bandwidth shows up in the probe's allreduce time directly.
+    for (drawer, pct) in [(0u8, health.h0), (1u8, health.h1)] {
+        if pct >= 100 {
+            continue;
+        }
+        let switch = composed
+            .topology
+            .find_node(&format!("falcon0.drawer{drawer}.switch"))
+            .expect("canonical composition names its drawer switches");
+        let mut seen = BTreeSet::new();
+        let links: Vec<_> = composed
+            .topology
+            .links_of(switch)
+            .iter()
+            .map(|dl| dl.link)
+            .filter(|&l| seen.insert(l))
+            .collect();
+        for l in links {
+            composed.topology.scale_link_capacity(l, f64::from(pct) / 100.0);
+        }
+    }
     let n = shape.n_gpus();
     let mut cfg = JobConfig::paper_scaled(benchmark, n, iters);
     cfg.epochs = 1;
@@ -434,10 +530,68 @@ mod tests {
         let good = cache.save_json();
         assert!(ProbeCache::load_str("not json", 2).is_empty());
         assert!(ProbeCache::load_str(&good, 3).is_empty(), "probe_iters mismatch");
-        let bad_version = good.replace("\"version\": 1", "\"version\": 999");
-        assert!(ProbeCache::load_str(&bad_version, 2).is_empty());
+        let bad_version = good.replace("\"version\": 2", "\"version\": 1");
+        assert!(
+            ProbeCache::load_str(&bad_version, 2).is_empty(),
+            "pre-fault-model caches are stale"
+        );
         let bad_hash = good.replace(&model_hash(), "0000000000000000");
         assert!(ProbeCache::load_str(&bad_hash, 2).is_empty(), "model hash mismatch");
+    }
+
+    #[test]
+    fn model_hash_covers_fault_model_parameters() {
+        // A cache priced under different degrade factors / recovery
+        // constants must hash differently, so persisted prices invalidate
+        // when the fault model changes.
+        assert_ne!(model_hash(), model_hash_with(b""));
+        assert_ne!(model_hash(), model_hash_with(&[0u8; 27]));
+        assert_eq!(model_hash(), model_hash_with(&fault_model_fingerprint()));
+    }
+
+    #[test]
+    fn degraded_key_normalizes_jointly() {
+        let d0 = falcon::SlotAddr::new(0, 0);
+        let d1 = falcon::SlotAddr::new(1, 0);
+        // Larger drawer leads, carrying its own health with it.
+        assert_eq!(
+            degraded_key(&[d1, SlotAddr::new(1, 1)], 50, 75),
+            (Shape { d0: 2, d1: 0 }, LinkHealth { h0: 75, h1: 100 })
+        );
+        // Count ties break toward the healthier drawer.
+        assert_eq!(
+            degraded_key(&[d0, d1], 25, 75),
+            (Shape { d0: 1, d1: 1 }, LinkHealth { h0: 75, h1: 25 })
+        );
+        // Untouched drawers always read full health.
+        assert_eq!(
+            degraded_key(&[d0], 50, 25),
+            (Shape { d0: 1, d1: 0 }, LinkHealth { h0: 50, h1: 100 })
+        );
+        // Fault-free keys coincide with the plain price() key.
+        assert_eq!(degraded_key(&[d0, d1], 100, 100).1, LinkHealth::FULL);
+    }
+
+    #[test]
+    fn degraded_links_price_slower_for_comm_bound_jobs() {
+        let mut cache = ProbeCache::new(3);
+        let full = cache.price(Benchmark::BertLarge, Shape::new(2, 0));
+        let degraded = cache.price_degraded(
+            Benchmark::BertLarge,
+            Shape::new(2, 0),
+            LinkHealth { h0: 50, h1: 100 },
+        );
+        assert!(
+            degraded.mean_iter > full.mean_iter,
+            "half-bandwidth switch must slow allreduce: full={:?} degraded={:?}",
+            full.mean_iter,
+            degraded.mean_iter
+        );
+        // Distinct keys: both entries coexist and the degraded one persists.
+        assert_eq!(cache.len(), 2);
+        let loaded = ProbeCache::load_str(&cache.save_json(), 3);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.save_json(), cache.save_json());
     }
 
     #[test]

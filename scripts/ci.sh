@@ -35,7 +35,13 @@ TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 echo "== cluster scheduler smoke (repro cluster --quick, 2 parallel workers) =="
 cargo run --release --offline -p bench --bin repro -- cluster --quick --jobs 2
 
+echo "== failure-injection smoke (repro faults --jobs 2; asserts recovery clock > 0) =="
+cargo run --release --offline -p bench --bin repro -- faults --quick --jobs 2
+
 echo "== byte-determinism guard: golden cluster_fifo.json still matches =="
 cargo test -q --offline -p bench --test golden_tables golden_cluster_fifo
+
+echo "== byte-determinism guard: golden cluster_faults.json still matches =="
+cargo test -q --offline -p bench --test golden_tables golden_cluster_faults
 
 echo "CI OK"

@@ -8,7 +8,8 @@
 use composable_core::{recommend_jobs, ExperimentOpts, HostConfig, Objective};
 use dlmodels::Benchmark;
 use scheduler::{
-    all_policies, compare_policies_cached, trace, warm_set_for_trace, ProbeCache, SchedulerConfig,
+    all_policies, compare_policies_cached, compare_policies_faulty, paper_fault_plan, trace,
+    warm_set_for_trace, ProbeCache, SchedulerConfig,
 };
 
 fn replay_snapshot(jobs: usize) -> (Vec<String>, String) {
@@ -32,6 +33,41 @@ fn cluster_replay_identical_across_worker_counts() {
     assert_eq!(serial.0, parallel.0, "reports must not depend on worker count");
     assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
     assert_eq!(parallel, parallel_again, "parallel runs must not race");
+}
+
+fn faulty_snapshot(jobs: usize) -> (Vec<String>, String) {
+    let t = trace::seeded_two_tenant(12, 0xBEEF);
+    let plan = paper_fault_plan();
+    let cfg = SchedulerConfig::default();
+    let mut cache = ProbeCache::new(cfg.probe_iters);
+    let pairs = compare_policies_faulty(&t, all_policies(), &plan, &cfg, jobs, &mut cache)
+        .expect("faulty trace drains under every policy");
+    let reports: Vec<String> = pairs
+        .iter()
+        .flat_map(|(base, faulty)| [base.to_json_string(), faulty.to_json_string()])
+        .collect();
+    (reports, cache.save_json())
+}
+
+/// Failure injection keeps the contract: a seeded fault plan replayed at
+/// `--jobs 1` and `--jobs 4` (and across repeated parallel runs) yields
+/// byte-identical baseline and faulty reports — recovery-metrics block
+/// included — and byte-identical probe caches.
+#[test]
+fn faulty_replay_identical_across_worker_counts() {
+    let serial = faulty_snapshot(1);
+    let parallel = faulty_snapshot(4);
+    let parallel_again = faulty_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "faulty reports must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel faulty runs must not race");
+    // The determinism we just certified covers the recovery block: every
+    // faulty report carries one, no baseline report does.
+    for pair in serial.0.chunks(2) {
+        assert!(!pair[0].contains("\"recovery\""), "baseline stays fault-free");
+        assert!(pair[1].contains("\"recovery\""), "faulty replay reports recovery");
+        assert!(pair[1].contains("\"mean_recovery_ns\""));
+    }
 }
 
 /// `recommend` ranks identically (same order, same scores, same attached
