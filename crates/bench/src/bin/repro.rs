@@ -27,7 +27,8 @@ use dlmodels::Benchmark;
 use fabric::link::comms_requirements;
 use scheduler::{
     all_policies, comparison_table, compare_policies_cached, compare_policies_faulty,
-    paper_fault_plan, trace, ProbeCache, SchedulerConfig,
+    compare_policies_mixed, paper_fault_plan, seeded_pai_mix, serve_comparison_table,
+    serving_policies, trace, ProbeCache, SchedulerConfig,
 };
 use std::path::PathBuf;
 
@@ -99,6 +100,9 @@ fn main() {
     }
     if want("faults") {
         faults(quick);
+    }
+    if want("serve") {
+        serve(quick);
     }
 }
 
@@ -515,4 +519,63 @@ fn faults(quick: bool) {
         assert!(r.jct_inflation >= 1.0, "{}: faults sped the trace up", faulty.policy);
     }
     println!("recovery metrics sane under every policy (evacuations > 0, recovery clock > 0).");
+}
+
+fn serve(quick: bool) {
+    heading("SERVE — latency-SLO inference co-scheduled with training");
+    let (n_jobs, n_services) = if quick { (8, 4) } else { (16, 8) };
+    let mix = seeded_pai_mix(n_jobs, n_services, 0xC10D);
+    println!(
+        "mix {}: {} training jobs + {} services (MIG-style 1/7..7/7 slices,",
+        mix.name,
+        mix.jobs.len(),
+        mix.services.len()
+    );
+    println!("Poisson/diurnal arrivals, per-service p99 SLOs) on the 16-GPU test bed\n");
+    let cfg = SchedulerConfig::default();
+    let cache_path: PathBuf = std::env::var_os("PROBE_CACHE")
+        .map_or_else(|| PathBuf::from("target/probe_cache.json"), PathBuf::from);
+    let mut cache = ProbeCache::load_file(&cache_path, cfg.probe_iters);
+    let reports = compare_policies_mixed(
+        &mix,
+        serving_policies(),
+        &cfg,
+        parsweep::default_jobs(),
+        &mut cache,
+    )
+    .expect("mixed trace drains under every policy");
+    match cache.save_file(&cache_path) {
+        Ok(()) => {}
+        Err(e) => eprintln!("[serve] probe cache not saved ({e}); runs stay correct without it"),
+    }
+    println!("{}", serve_comparison_table(&reports));
+    let get = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.policy == name)
+            .expect("policy present in comparison")
+    };
+    let fifo = get("fifo-first-fit");
+    let pack = get("slo-aware-pack");
+    let att = |r: &scheduler::ScheduleReport| r.serve.as_ref().expect("serving block").attainment;
+    println!(
+        "\nslo-aware-pack attainment {:.4} vs fifo-first-fit {:.4}; training mean JCT {:.1}s vs {:.1}s",
+        att(pack),
+        att(fifo),
+        pack.mean_jct.as_secs_f64(),
+        fifo.mean_jct.as_secs_f64()
+    );
+    // The smoke contract (scripts/ci.sh): request conservation under every
+    // policy; in the standard mix the SLO-aware packer must clear 95%
+    // attainment where the training-first baseline does not.
+    for r in &reports {
+        let s = r.serve.as_ref().expect("serving block present");
+        assert_eq!(s.generated, s.completed + s.dropped, "{}: leaked requests", r.policy);
+        assert!(s.generated > 0, "{}: services saw no traffic", r.policy);
+    }
+    if !quick {
+        assert!(att(pack) >= 0.95, "slo-aware-pack must clear 95% attainment");
+        assert!(att(fifo) < 0.95, "baseline should violate SLOs under contention");
+    }
+    println!("request conservation holds under every policy (generated = completed + dropped).");
 }

@@ -17,7 +17,9 @@ use composable_core::HostConfig;
 use desim::json::Value;
 use dlmodels::Benchmark;
 use scheduler::policy::FifoFirstFit;
-use scheduler::{paper_fault_plan, trace, ClusterSim, SchedulerConfig};
+use scheduler::{
+    paper_fault_plan, seeded_pai_mix, trace, ClusterSim, SchedulerConfig, SloAwarePack,
+};
 use testkit::check_golden;
 
 fn golden(name: &str) -> String {
@@ -96,6 +98,26 @@ fn golden_cluster_faults() {
     let recovery = report.recovery.as_ref().expect("recovery block present");
     assert!(recovery.evacuations > 0, "the pinned plan must displace jobs");
     check_golden(golden("cluster_faults.json"), &report.to_json_string());
+}
+
+/// The `repro serve` mixed trace (16 training jobs + 8 latency-SLO
+/// services, seed 0xC10D) replayed under slo-aware-pack: freezes the
+/// serving subsystem's whole report surface — per-service SLO attainment,
+/// latency percentiles, replica GPU-seconds, autoscale/failover counts —
+/// alongside the training-side metrics it is co-scheduled with.
+#[test]
+fn golden_cluster_serve() {
+    let report = ClusterSim::new_mixed(
+        seeded_pai_mix(16, 8, 0xC10D),
+        Box::new(SloAwarePack),
+        SchedulerConfig::default(),
+    )
+    .expect("valid mixed trace")
+    .run()
+    .expect("mixed trace drains");
+    let serve = report.serve.as_ref().expect("serve block present");
+    assert!(serve.attainment >= 0.95, "pack must meet SLOs on the pinned mix");
+    check_golden(golden("cluster_serve.json"), &report.to_json_string());
 }
 
 /// One full (scaled) MobileNetV2 run on localGPUs under a pinned seed:

@@ -22,6 +22,7 @@
 //! training step must do; `devices` + `training` decide how long it takes.
 
 pub mod data;
+pub mod inference;
 pub mod layer;
 pub mod model;
 pub mod nlp;
@@ -29,6 +30,7 @@ pub mod precision;
 pub mod vision;
 
 pub use data::DatasetSpec;
+pub use inference::InferenceProfile;
 pub use layer::{Layer, LayerKind};
 pub use model::{Benchmark, Domain, ModelDesc};
 pub use precision::{Precision, OPTIMIZER_BYTES_PER_PARAM_AMP, OPTIMIZER_BYTES_PER_PARAM_FP32};

@@ -33,6 +33,7 @@ use crate::fault::{FaultKind, FaultPlan, CHECKPOINT_ITERS, RECOMPOSE_LATENCY};
 use crate::metrics::{JobOutcome, RecoveryMetrics, ScheduleReport};
 use crate::policy::{FreeView, PlacePolicy};
 use crate::probe::{degraded_key, ProbeCache, Shape};
+use crate::serve::{MixedTrace, ServeState, SLICES_PER_GPU};
 use crate::trace::{JobSpec, Trace};
 use desim::{Dur, SimTime};
 use devices::gpu::GpuSpec;
@@ -48,9 +49,9 @@ pub const POOL_GPUS: usize = 16;
 /// The chassis has four host ports; two per tenant means two tenants.
 pub const MAX_TENANTS: u32 = 2;
 
-const ADMIN: UserId = UserId(0);
+pub(crate) const ADMIN: UserId = UserId(0);
 
-fn tenant_user(t: u32) -> UserId {
+pub(crate) fn tenant_user(t: u32) -> UserId {
     UserId(t + 1)
 }
 
@@ -91,6 +92,11 @@ pub enum SchedulerError {
     QuotaUnsatisfiable { job: u64, gpus: u8, quota: usize },
     BadElasticRange { job: u64, min_gpus: u8, gpus: u8 },
     ZeroLength { job: u64 },
+    /// Two jobs in one trace share an id; completion accounting would
+    /// silently merge them.
+    DuplicateJobId { id: u64 },
+    /// A service spec in a mixed trace is outside the serving envelope.
+    BadService { id: u64, msg: String },
     /// The policy declined the job even on an otherwise idle pool.
     Unplaceable { job: u64, policy: String },
     /// The fault plan failed [`FaultPlan::validate`].
@@ -115,6 +121,10 @@ impl fmt::Display for SchedulerError {
                 write!(f, "job {job}: min_gpus {min_gpus} outside 1..={gpus}")
             }
             SchedulerError::ZeroLength { job } => write!(f, "job {job}: zero iterations"),
+            SchedulerError::DuplicateJobId { id } => {
+                write!(f, "job id {id} appears more than once in the trace")
+            }
+            SchedulerError::BadService { id, msg } => write!(f, "service {id}: {msg}"),
             SchedulerError::Unplaceable { job, policy } => {
                 write!(f, "policy {policy} never places job {job}; trace cannot drain")
             }
@@ -191,6 +201,7 @@ pub struct ClusterSim {
     faults: FaultPlan,
     bmc: Bmc,
     fstate: FaultState,
+    serve: ServeState,
 }
 
 impl ClusterSim {
@@ -201,6 +212,21 @@ impl ClusterSim {
     ) -> Result<ClusterSim, SchedulerError> {
         if trace.jobs.is_empty() {
             return Err(SchedulerError::EmptyTrace);
+        }
+        Self::build(trace, policy, cfg)
+    }
+
+    /// Admission + test-bed construction shared by the training-only and
+    /// mixed entry points (only the latter may have zero jobs).
+    fn build(
+        trace: Trace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+    ) -> Result<ClusterSim, SchedulerError> {
+        let mut ids: Vec<u64> = trace.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(SchedulerError::DuplicateJobId { id: w[0] });
         }
         for j in &trace.jobs {
             if j.tenant.0 >= MAX_TENANTS {
@@ -265,7 +291,70 @@ impl ClusterSim {
             faults: FaultPlan::none(),
             bmc: Bmc::falcon_defaults(),
             fstate: FaultState::default(),
+            serve: ServeState::empty(),
         })
+    }
+
+    /// Admit a mixed workload: training jobs plus latency-SLO inference
+    /// services sharing the bed. Service-only traces are legal; a trace
+    /// with neither jobs nor services is not.
+    pub fn new_mixed(
+        mixed: MixedTrace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+    ) -> Result<ClusterSim, SchedulerError> {
+        let mixed = mixed.sorted();
+        if mixed.jobs.is_empty() && mixed.services.is_empty() {
+            return Err(SchedulerError::EmptyTrace);
+        }
+        let mut sids: Vec<u64> = mixed.services.iter().map(|s| s.id).collect();
+        sids.sort_unstable();
+        if let Some(w) = sids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(SchedulerError::BadService {
+                id: w[0],
+                msg: "service id appears more than once".to_string(),
+            });
+        }
+        for s in &mixed.services {
+            let bad = |msg: &str| SchedulerError::BadService { id: s.id, msg: msg.to_string() };
+            if s.tenant.0 >= MAX_TENANTS {
+                return Err(bad("tenant outside the two-tenant test bed"));
+            }
+            if !matches!(s.slice, 1 | 2 | 4 | 7) {
+                return Err(bad("slice must be 1, 2, 4, or 7 sevenths"));
+            }
+            debug_assert_eq!(SLICES_PER_GPU, 7);
+            if !(s.rate_rps > 0.0 && s.rate_rps.is_finite()) {
+                return Err(bad("rate must be positive and finite"));
+            }
+            if s.duration == Dur::ZERO {
+                return Err(bad("zero-length service window"));
+            }
+            if s.slo == Dur::ZERO {
+                return Err(bad("zero SLO"));
+            }
+            if s.max_batch == 0 {
+                return Err(bad("max_batch must be at least 1"));
+            }
+            if s.min_replicas == 0 || s.min_replicas > s.max_replicas {
+                return Err(bad("replica range must satisfy 1 <= min <= max"));
+            }
+        }
+        let mut sim = Self::build(mixed.training(), policy, cfg)?;
+        sim.serve = ServeState::new(mixed.services);
+        Ok(sim)
+    }
+
+    /// [`ClusterSim::new_mixed`] with a pre-warmed probe cache.
+    pub fn with_probe_cache_mixed(
+        mixed: MixedTrace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+        probes: ProbeCache,
+    ) -> Result<ClusterSim, SchedulerError> {
+        let mut sim = ClusterSim::new_mixed(mixed, policy, cfg)?;
+        sim.probes = probes;
+        Ok(sim)
     }
 
     /// Inject `plan` into the replay: its events strike and heal as
@@ -336,6 +425,7 @@ impl ClusterSim {
                 jobs.get(next_arrival).map(|j| j.arrival),
                 next_finish,
                 next_fault_at,
+                self.serve.next_event(),
             ]
             .into_iter()
             .flatten()
@@ -364,6 +454,7 @@ impl ClusterSim {
                     }
                     r.last_progress = t;
                 }
+                self.serve.accrue(now, t, &mut busy_gpu_secs, &mut tenant_gpu_secs);
             }
             now = t;
 
@@ -409,6 +500,15 @@ impl ClusterSim {
                 membership_changed |= changed;
             }
 
+            if self.serve.has_services() {
+                let tod = Self::training_on_drawer(&running);
+                if self.serve.step(now, &self.mcs, self.cfg.interference, tod)? {
+                    membership_changed = true;
+                }
+                if self.serve_place_pass(now, &mut running)? {
+                    membership_changed = true;
+                }
+            }
             if self.schedule_pass(now, &mut pending, &mut running)? {
                 membership_changed = true;
             }
@@ -418,6 +518,8 @@ impl ClusterSim {
             self.assert_conservation(&running);
         }
 
+        self.serve.assert_drained();
+        makespan = makespan.max(self.serve.last_activity());
         if let Some((_, stuck)) = self.fstate.displaced.first() {
             return Err(SchedulerError::Unplaceable {
                 job: stuck.spec.id,
@@ -453,6 +555,7 @@ impl ClusterSim {
             tenant_gpu_secs,
             audit,
             recovery,
+            self.serve.assemble(),
         );
         Ok((report, self.probes))
     }
@@ -562,6 +665,9 @@ impl ClusterSim {
         // roll back to the last checkpoint, and queue it for re-placement.
         let failed_now: BTreeSet<SlotAddr> =
             self.mcs.with_chassis(|c| c.failed_slots().collect());
+        // Serving replicas on failed slots fail over: their requests
+        // re-queue onto survivors and the placement pass re-composes.
+        let serve_evacuated = self.serve.evacuate_failed(now, &self.mcs, &failed_now)?;
         let affected: Vec<u64> = running
             .iter()
             .filter(|(_, r)| r.slots.iter().any(|s| failed_now.contains(s)))
@@ -579,7 +685,7 @@ impl ClusterSim {
             self.fstate.evacuations += 1;
             self.fstate.displaced.push((now, r));
         }
-        Ok(evacuated)
+        Ok(evacuated || serve_evacuated)
     }
 
     /// Reverse plan event `i`: repair slots whose last covering fault
@@ -637,6 +743,9 @@ impl ClusterSim {
             for r in running.values() {
                 used[r.spec.tenant.0 as usize] += r.slots.len();
             }
+            for (t, n) in self.serve.slots_per_tenant().into_iter().enumerate() {
+                used[t] += n;
+            }
             let head = pending.iter().enumerate().find(|(_, j)| {
                 used[j.tenant.0 as usize] + usize::from(j.gpus) <= self.cfg.quota_gpus_per_tenant
             });
@@ -655,7 +764,7 @@ impl ClusterSim {
                     if !self.cfg.elastic || free.total() >= usize::from(job.gpus) {
                         break;
                     }
-                    if !self.try_shrink(now, running)? {
+                    if !self.try_shrink(now, running, false)? {
                         break;
                     }
                     changed = true;
@@ -686,6 +795,9 @@ impl ClusterSim {
             let mut used = vec![0usize; MAX_TENANTS as usize];
             for r in running.values() {
                 used[r.spec.tenant.0 as usize] += r.slots.len();
+            }
+            for (t, n) in self.serve.slots_per_tenant().into_iter().enumerate() {
+                used[t] += n;
             }
             let (want, tenant, min_gpus, probe_spec) = {
                 let (_, r) = &self.fstate.displaced[i];
@@ -735,13 +847,108 @@ impl ClusterSim {
                         r.shrunk = true;
                         continue;
                     }
-                    if self.cfg.elastic && shortage && self.try_shrink(now, running)? {
+                    if self.cfg.elastic && shortage && self.try_shrink(now, running, false)? {
                         changed = true;
                         continue;
                     }
                     break;
                 }
             }
+        }
+        Ok(changed)
+    }
+
+    /// Running training jobs touching each drawer — the serving side's
+    /// interference neighbors.
+    fn training_on_drawer(running: &BTreeMap<u64, Running>) -> [usize; 2] {
+        let mut c = [0usize; 2];
+        for r in running.values() {
+            for d in 0..2 {
+                if r.slots.iter().any(|s| usize::from(s.drawer.0) == d) {
+                    c[d] += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Compose replicas for every service below its replica target. The
+    /// policy picks a fractional slot from the tenant's partially-used
+    /// serving slots plus (under quota) wholly free slots; fresh slots go
+    /// through the full MCS grant/attach path. Policies with
+    /// [`PlacePolicy::evict_for_slo`] may claw back elastic training
+    /// capacity when a pressured service cannot place otherwise.
+    fn serve_place_pass(
+        &mut self,
+        now: SimTime,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let mut changed = false;
+        loop {
+            let wants = self.serve.placement_wants();
+            if wants.is_empty() {
+                break;
+            }
+            let mut progressed = false;
+            for (i, tenant, slice, start) in wants {
+                loop {
+                    let free = self.free_view();
+                    let mut free_gpus = [0usize; 2];
+                    for s in free.slots() {
+                        free_gpus[usize::from(s.drawer.0)] += 1;
+                    }
+                    let mut used = vec![0usize; MAX_TENANTS as usize];
+                    for r in running.values() {
+                        used[r.spec.tenant.0 as usize] += r.slots.len();
+                    }
+                    for (t, n) in self.serve.slots_per_tenant().into_iter().enumerate() {
+                        used[t] += n;
+                    }
+                    let at_quota =
+                        used[tenant as usize] + 1 > self.cfg.quota_gpus_per_tenant;
+                    let view =
+                        self.serve.slice_view(tenant, free.slots(), free_gpus, at_quota);
+                    match self.policy.place_replica(slice, &view) {
+                        Some(slot) => {
+                            if !self.serve.uses_slot(slot) {
+                                let user = tenant_user(tenant);
+                                self.mcs.grant(now, ADMIN, slot, user)?;
+                                self.mcs.attach(now, user, slot, tenant_host(tenant))?;
+                            }
+                            // The initial composition at the service start
+                            // is pre-planned; scale-ups and failovers pay
+                            // the re-composition latency.
+                            let ready_at = if now == start {
+                                now
+                            } else {
+                                now + RECOMPOSE_LATENCY
+                            };
+                            self.serve.add_replica(i, slot, ready_at);
+                            progressed = true;
+                            changed = true;
+                            break;
+                        }
+                        None => {
+                            if self.cfg.elastic
+                                && self.policy.evict_for_slo()
+                                && self.serve.under_pressure(i, now)
+                                && self.try_shrink(now, running, true)?
+                            {
+                                changed = true;
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        if changed {
+            let tod = Self::training_on_drawer(running);
+            self.serve.try_launch_all(now, self.cfg.interference, tod);
         }
         Ok(changed)
     }
@@ -783,10 +990,15 @@ impl ClusterSim {
 
     /// Claw back GPUs from the running elastic job holding the most slots
     /// (ties to the lowest id), releasing whole-drawer remainders first.
+    ///
+    /// Training-side pressure halves the victim's gang (the displaced job
+    /// needs a real allocation); SLO-side pressure (`gentle`) releases a
+    /// single slot, since an inference replica only ever needs one GPU.
     fn try_shrink(
         &mut self,
         now: SimTime,
         running: &mut BTreeMap<u64, Running>,
+        gentle: bool,
     ) -> Result<bool, SchedulerError> {
         let victim = running
             .values()
@@ -796,7 +1008,8 @@ impl ClusterSim {
         let Some(id) = victim else { return Ok(false) };
         let r = running.get_mut(&id).expect("victim is running");
         let old = r.slots.len();
-        let new = usize::from(r.spec.min_gpus).max(old / 2);
+        let floor = if gentle { old - 1 } else { old / 2 };
+        let new = usize::from(r.spec.min_gpus).max(floor);
         debug_assert!(new < old);
         // Keep the drawer where the job holds more slots; release the rest
         // (highest slots first) so the freed hole is as whole as possible.
@@ -832,23 +1045,36 @@ impl ClusterSim {
             }
             used[r.spec.tenant.0 as usize] += r.slots.len();
         }
-        assert!(booked.len() <= POOL_GPUS, "pool oversubscribed");
+        // Serving slots are disjoint from training slots and count toward
+        // the holding tenant's quota (a sliced slot occupies the whole
+        // slot as far as composition goes).
+        let serve_slots = self.serve.slots();
+        for slot in &serve_slots {
+            assert!(!booked.contains(slot), "slot {slot} booked by training and serving");
+        }
+        let serve_used = self.serve.slots_per_tenant();
+        assert!(booked.len() + serve_slots.len() <= POOL_GPUS, "pool oversubscribed");
         for (t, &u) in used.iter().enumerate() {
-            assert!(u <= self.cfg.quota_gpus_per_tenant, "tenant {t} over quota: {u}");
+            assert!(
+                u + serve_used[t] <= self.cfg.quota_gpus_per_tenant,
+                "tenant {t} over quota: {u} training + {} serving",
+                serve_used[t]
+            );
         }
         let attached: Vec<SlotAddr> =
             self.mcs.with_chassis(|c| c.attachments().map(|(a, _)| a).collect());
         assert_eq!(
             attached.len(),
-            booked.len(),
+            booked.len() + serve_slots.len(),
             "scheduler view diverged from chassis attachments"
         );
-        assert!(attached.iter().all(|a| booked.contains(a)));
+        assert!(attached.iter().all(|a| booked.contains(a) || serve_slots.contains(a)));
         // Degraded-state invariants: no job runs on failed hardware, and
         // the chassis's failed set matches the fault refcounts exactly.
         let failed: Vec<SlotAddr> = self.mcs.with_chassis(|c| c.failed_slots().collect());
         for slot in &failed {
             assert!(!booked.contains(slot), "job occupies failed slot {slot}");
+            assert!(!serve_slots.contains(slot), "replica occupies failed slot {slot}");
         }
         assert_eq!(
             failed,
@@ -869,6 +1095,10 @@ impl ClusterSim {
                 (r.spec.id, [d0, d1])
             })
             .collect();
+        // Each live service counts once as a neighbor to training jobs
+        // sharing its drawer(s) — co-location costs both sides. Empty for
+        // training-only replays, leaving their float math bit-identical.
+        let service_drawers = self.serve.live_service_drawers();
         for r in running.values_mut() {
             let mine = drawers
                 .iter()
@@ -878,7 +1108,11 @@ impl ClusterSim {
             let neighbors = drawers
                 .iter()
                 .filter(|(id, d)| *id != r.spec.id && ((d[0] && mine[0]) || (d[1] && mine[1])))
-                .count();
+                .count()
+                + service_drawers
+                    .iter()
+                    .filter(|d| (d[0] && mine[0]) || (d[1] && mine[1]))
+                    .count();
             let dilation = 1.0 + self.cfg.interference * neighbors as f64;
             r.rate = 1.0 / (r.base_iter_secs * dilation);
             // Progress resumes only after any re-composition window.
@@ -928,6 +1162,41 @@ pub fn compare_policies_cached(
                 let label = format!("replay {} under {}", trace.name, p.name());
                 parsweep::Job::new(label, move || {
                     ClusterSim::with_probe_cache(trace.clone(), p, cfg.clone(), split)?
+                        .run_report()
+                })
+            })
+            .collect();
+    let mut reports = Vec::new();
+    for outcome in parsweep::run(jobs, replays) {
+        let (report, probes) = outcome?;
+        cache.absorb(probes);
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+/// Replay a mixed (training + serving) workload under each policy on a
+/// fresh test bed, fanning across `jobs` parsweep workers, and return the
+/// reports **in policy order**. The probe cache is warmed from the
+/// training side only — serving latencies are closed-form, not probed —
+/// so reports are byte-identical to the serial path for any `jobs`.
+pub fn compare_policies_mixed(
+    mixed: &MixedTrace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    cfg: &SchedulerConfig,
+    jobs: usize,
+    cache: &mut ProbeCache,
+) -> Result<Vec<ScheduleReport>, SchedulerError> {
+    let training = mixed.training();
+    cache.warm(&crate::probe::warm_set_for_trace(&training), jobs);
+    let replays: Vec<parsweep::Job<'_, Result<(ScheduleReport, ProbeCache), SchedulerError>>> =
+        policies
+            .into_iter()
+            .map(|p| {
+                let split = cache.split();
+                let label = format!("mixed replay {} under {}", mixed.name, p.name());
+                parsweep::Job::new(label, move || {
+                    ClusterSim::with_probe_cache_mixed(mixed.clone(), p, cfg.clone(), split)?
                         .run_report()
                 })
             })
@@ -1306,6 +1575,165 @@ mod tests {
             .unwrap()
             .with_faults(plan);
         assert!(matches!(r, Err(SchedulerError::BadFault { .. })));
+    }
+
+    use crate::policy::{serving_policies, SloAwarePack};
+    use crate::serve::{seeded_pai_mix, MixedTrace, ServiceSpec};
+
+    fn tiny_mix() -> MixedTrace {
+        seeded_pai_mix(6, 4, 0x11)
+    }
+
+    #[test]
+    fn mixed_replay_drains_jobs_and_services() {
+        let mix = tiny_mix();
+        let n = mix.jobs.len() as u32;
+        let n_svcs = mix.services.len() as u32;
+        let report = ClusterSim::new_mixed(mix, Box::new(SloAwarePack), SchedulerConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.n_jobs, n);
+        let serve = report.serve.expect("mixed replay reports serving metrics");
+        assert_eq!(serve.n_services, n_svcs);
+        assert!(serve.generated > 0, "services saw traffic");
+        assert_eq!(serve.generated, serve.completed + serve.dropped, "request conservation");
+        assert!(serve.p99_latency >= serve.p50_latency);
+        assert!((0.0..=1.0).contains(&serve.attainment));
+        assert!(serve.replica_secs > 0.0);
+        for s in &serve.services {
+            assert_eq!(s.generated, s.completed + s.dropped, "service {}", s.id);
+        }
+    }
+
+    #[test]
+    fn mixed_replay_is_deterministic() {
+        let cfg = SchedulerConfig::default();
+        let a = ClusterSim::new_mixed(tiny_mix(), Box::new(SloAwarePack), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = ClusterSim::new_mixed(tiny_mix(), Box::new(SloAwarePack), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+
+    #[test]
+    fn training_only_replays_never_serialize_a_serve_block() {
+        let report = ClusterSim::new(tiny_trace(), Box::new(FifoFirstFit), SchedulerConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.serve.is_none());
+        assert!(!report.to_json_string().contains("\"serve\""));
+        // A mixed trace with zero services replays exactly like the plain
+        // trace (the serving engine is a strict no-op when empty).
+        let mix = MixedTrace {
+            name: tiny_trace().name,
+            jobs: tiny_trace().jobs,
+            services: vec![],
+        };
+        let via_mixed =
+            ClusterSim::new_mixed(mix, Box::new(FifoFirstFit), SchedulerConfig::default())
+                .unwrap()
+                .run()
+                .unwrap();
+        assert_eq!(via_mixed.to_json_string(), report.to_json_string());
+    }
+
+    #[test]
+    fn mixed_admission_rejects_bad_specs() {
+        let mut m = tiny_mix();
+        m.services[0].slice = 3;
+        let r = ClusterSim::new_mixed(m, Box::new(SloAwarePack), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::BadService { .. })));
+
+        let mut m = tiny_mix();
+        m.services[1].id = m.services[0].id;
+        let r = ClusterSim::new_mixed(m, Box::new(SloAwarePack), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::BadService { .. })));
+
+        let mut m = tiny_mix();
+        m.jobs[1].id = m.jobs[0].id;
+        let r = ClusterSim::new_mixed(m, Box::new(SloAwarePack), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::DuplicateJobId { .. })));
+
+        let empty = MixedTrace { name: "void".into(), jobs: vec![], services: vec![] };
+        let r = ClusterSim::new_mixed(empty, Box::new(SloAwarePack), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::EmptyTrace)));
+    }
+
+    #[test]
+    fn duplicate_job_ids_rejected_at_admission() {
+        let mut t = tiny_trace();
+        t.jobs[1].id = t.jobs[0].id;
+        let r = ClusterSim::new(t, Box::new(FifoFirstFit), SchedulerConfig::default());
+        assert!(matches!(r, Err(SchedulerError::DuplicateJobId { .. })));
+    }
+
+    #[test]
+    fn drawer_outage_fails_over_serving_replicas() {
+        // A service-only mix: one long-lived service starts at t=0.
+        // slo-aware-pack packs replicas at the highest address (drawer 1),
+        // so that drawer dies mid-window and heals; replicas must fail
+        // over to drawer 0.
+        let mix = MixedTrace {
+            name: "serve-outage".into(),
+            jobs: vec![],
+            services: vec![ServiceSpec {
+                id: 0,
+                tenant: TenantId(0),
+                benchmark: Benchmark::MobileNetV2,
+                slice: 1,
+                slo: Dur::from_millis(60),
+                rate_rps: 12.0,
+                arrivals: crate::serve::ArrivalKind::Poisson,
+                start: SimTime::ZERO,
+                duration: Dur::from_secs(20),
+                max_batch: 8,
+                max_wait: Dur::from_millis(20),
+                min_replicas: 1,
+                max_replicas: 2,
+            }],
+        };
+        let plan = FaultPlan {
+            name: "serve-outage".into(),
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(5),
+                kind: FaultKind::DrawerOutage { drawer: 1 },
+                duration: Dur::from_secs(4),
+            }],
+        };
+        let report =
+            ClusterSim::new_mixed(mix, Box::new(SloAwarePack), SchedulerConfig::default())
+                .unwrap()
+                .with_faults(plan)
+                .unwrap()
+                .run()
+                .unwrap();
+        let serve = report.serve.expect("serving metrics present");
+        assert_eq!(serve.failovers, 1, "the outage must displace the replica");
+        assert_eq!(serve.generated, serve.completed + serve.dropped);
+        assert!(serve.completed > 0, "service keeps serving on the other drawer");
+    }
+
+    #[test]
+    fn compare_policies_mixed_is_parallel_deterministic() {
+        let mix = tiny_mix();
+        let cfg = SchedulerConfig::default();
+        let mut c1 = ProbeCache::new(cfg.probe_iters);
+        let serial =
+            compare_policies_mixed(&mix, serving_policies(), &cfg, 1, &mut c1).unwrap();
+        let mut c4 = ProbeCache::new(cfg.probe_iters);
+        let parallel =
+            compare_policies_mixed(&mix, serving_policies(), &cfg, 4, &mut c4).unwrap();
+        assert_eq!(serial.len(), 5);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.to_json_string(), p.to_json_string());
+        }
+        assert_eq!(c1.save_json(), c4.save_json());
     }
 
     #[test]

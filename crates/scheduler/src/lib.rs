@@ -23,25 +23,40 @@
 //!   MCS-audited recomposition, elastic shrink, per-tenant quotas.
 //! * [`fault`] — failure injection: seeded `FaultPlan`s of drawer/slot
 //!   outages, link degradation, and BMC thermal trips replayed mid-trace.
+//! * [`serve`] — latency-SLO inference serving: fractional-GPU (MIG-style)
+//!   replica sets with dynamic batching and autoscaling, co-scheduled
+//!   with training through the same event loop and MCS paths.
 //! * [`metrics`] — JCT / queueing / makespan / utilization /
-//!   fragmentation / fairness reporting and the policy-comparison table.
+//!   fragmentation / fairness / SLO-attainment reporting and the
+//!   policy-comparison tables.
 
 pub mod cluster;
 pub mod fault;
 pub mod metrics;
 pub mod policy;
 pub mod probe;
+pub mod serve;
 pub mod trace;
 
 pub use cluster::{
-    compare_policies, compare_policies_cached, compare_policies_faulty, ClusterSim,
-    SchedulerConfig, SchedulerError, POOL_GPUS,
+    compare_policies, compare_policies_cached, compare_policies_faulty, compare_policies_mixed,
+    ClusterSim, SchedulerConfig, SchedulerError, POOL_GPUS,
 };
 pub use fault::{
     paper_fault_plan, seeded_fault_plan, FaultEvent, FaultKind, FaultPlan, CHECKPOINT_ITERS,
     RECOMPOSE_LATENCY,
 };
-pub use metrics::{comparison_table, jain_fairness, JobOutcome, RecoveryMetrics, ScheduleReport};
-pub use policy::{all_policies, policy_by_name, FreeView, PlacePolicy};
+pub use metrics::{
+    comparison_table, jain_fairness, serve_comparison_table, JobOutcome, RecoveryMetrics,
+    ScheduleReport, ServeMetrics, ServiceOutcome,
+};
+pub use policy::{
+    all_policies, policy_by_name, serving_policies, FreeView, PlacePolicy, SliceSlot, SliceView,
+    SloAwarePack,
+};
 pub use probe::{warm_set_for_trace, Probe, ProbeCache, Shape};
+pub use serve::{
+    batch_latency, request_times, seeded_pai_mix, ArrivalKind, MixedTrace, ServeState,
+    ServiceSpec, SERVE_COMPUTE_EFF, SLICES_PER_GPU,
+};
 pub use trace::{seeded_two_tenant, JobSpec, PoissonMix, TenantId, Trace};

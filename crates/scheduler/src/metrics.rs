@@ -151,6 +151,165 @@ impl FromJson for RecoveryMetrics {
     }
 }
 
+/// The lifecycle record of one inference service over its whole window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutcome {
+    pub id: u64,
+    pub tenant: u32,
+    pub benchmark: String,
+    /// MIG-style slice size in sevenths of a GPU.
+    pub slice: u8,
+    pub generated: u64,
+    pub completed: u64,
+    pub dropped: u64,
+    /// Completed requests that finished within the SLO.
+    pub within_slo: u64,
+    pub p50_latency: Dur,
+    pub p99_latency: Dur,
+    pub slo: Dur,
+    /// within_slo / generated (1.0 when no requests were generated).
+    pub attainment: f64,
+    /// Within-SLO completions per second of the service window.
+    pub goodput_rps: f64,
+    /// Replica-seconds held, weighted by slice fraction (GPU-seconds).
+    pub replica_secs: f64,
+    pub peak_replicas: u8,
+    /// Replicas lost to drawer faults and re-placed.
+    pub failovers: u32,
+}
+
+impl ToJson for ServiceOutcome {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("id", Value::from_u64(self.id)),
+            ("tenant", Value::from_u64(u64::from(self.tenant))),
+            ("benchmark", Value::str(self.benchmark.clone())),
+            ("slice", Value::from_u64(u64::from(self.slice))),
+            ("generated", Value::from_u64(self.generated)),
+            ("completed", Value::from_u64(self.completed)),
+            ("dropped", Value::from_u64(self.dropped)),
+            ("within_slo", Value::from_u64(self.within_slo)),
+            ("p50_latency_ns", self.p50_latency.to_json()),
+            ("p99_latency_ns", self.p99_latency.to_json()),
+            ("slo_ns", self.slo.to_json()),
+            ("attainment", Value::Num(self.attainment)),
+            ("goodput_rps", Value::Num(self.goodput_rps)),
+            ("replica_secs", Value::Num(self.replica_secs)),
+            ("peak_replicas", Value::from_u64(u64::from(self.peak_replicas))),
+            ("failovers", Value::from_u64(u64::from(self.failovers))),
+        ])
+    }
+}
+
+impl FromJson for ServiceOutcome {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ServiceOutcome {
+            id: v.get("id")?.as_u64()?,
+            tenant: v.get("tenant")?.as_u32()?,
+            benchmark: String::from_json(v.get("benchmark")?)?,
+            slice: v.get("slice")?.as_u8()?,
+            generated: v.get("generated")?.as_u64()?,
+            completed: v.get("completed")?.as_u64()?,
+            dropped: v.get("dropped")?.as_u64()?,
+            within_slo: v.get("within_slo")?.as_u64()?,
+            p50_latency: Dur::from_json(v.get("p50_latency_ns")?)?,
+            p99_latency: Dur::from_json(v.get("p99_latency_ns")?)?,
+            slo: Dur::from_json(v.get("slo_ns")?)?,
+            attainment: v.get("attainment")?.as_f64()?,
+            goodput_rps: v.get("goodput_rps")?.as_f64()?,
+            replica_secs: v.get("replica_secs")?.as_f64()?,
+            peak_replicas: v.get("peak_replicas")?.as_u8()?,
+            failovers: v.get("failovers")?.as_u32()?,
+        })
+    }
+}
+
+/// Serving-side accounting for a mixed replay. Absent (`None` on
+/// [`ScheduleReport`]) for training-only replays, so their serialized
+/// reports stay byte-identical to pre-serving ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    pub n_services: u32,
+    pub generated: u64,
+    pub completed: u64,
+    pub dropped: u64,
+    /// Pooled request-latency percentiles across every service.
+    pub p50_latency: Dur,
+    pub p99_latency: Dur,
+    /// Pooled SLO attainment: Σ within_slo / Σ generated.
+    pub attainment: f64,
+    /// Pooled goodput: Σ per-service goodput (each over its own window).
+    pub goodput_rps: f64,
+    /// Slice-weighted GPU-seconds held by replicas.
+    pub replica_secs: f64,
+    pub failovers: u32,
+    pub services: Vec<ServiceOutcome>,
+}
+
+impl ServeMetrics {
+    /// Fold per-service outcomes and the pooled latency samples into the
+    /// summary. `services` may arrive in any order; the report stores
+    /// them by id.
+    pub fn assemble(mut services: Vec<ServiceOutcome>, all_latencies_ns: Vec<u64>) -> ServeMetrics {
+        services.sort_by_key(|s| s.id);
+        let generated: u64 = services.iter().map(|s| s.generated).sum();
+        let within: u64 = services.iter().map(|s| s.within_slo).sum();
+        ServeMetrics {
+            n_services: services.len() as u32,
+            generated,
+            completed: services.iter().map(|s| s.completed).sum(),
+            dropped: services.iter().map(|s| s.dropped).sum(),
+            p50_latency: percentile_dur(all_latencies_ns.clone(), 0.50),
+            p99_latency: percentile_dur(all_latencies_ns, 0.99),
+            attainment: round4(if generated > 0 {
+                within as f64 / generated as f64
+            } else {
+                1.0
+            }),
+            goodput_rps: round4(services.iter().map(|s| s.goodput_rps).sum()),
+            replica_secs: round4(services.iter().map(|s| s.replica_secs).sum()),
+            failovers: services.iter().map(|s| s.failovers).sum(),
+            services,
+        }
+    }
+}
+
+impl ToJson for ServeMetrics {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("n_services", Value::from_u64(u64::from(self.n_services))),
+            ("generated", Value::from_u64(self.generated)),
+            ("completed", Value::from_u64(self.completed)),
+            ("dropped", Value::from_u64(self.dropped)),
+            ("p50_latency_ns", self.p50_latency.to_json()),
+            ("p99_latency_ns", self.p99_latency.to_json()),
+            ("attainment", Value::Num(self.attainment)),
+            ("goodput_rps", Value::Num(self.goodput_rps)),
+            ("replica_secs", Value::Num(self.replica_secs)),
+            ("failovers", Value::from_u64(u64::from(self.failovers))),
+            ("services", self.services.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServeMetrics {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ServeMetrics {
+            n_services: v.get("n_services")?.as_u32()?,
+            generated: v.get("generated")?.as_u64()?,
+            completed: v.get("completed")?.as_u64()?,
+            dropped: v.get("dropped")?.as_u64()?,
+            p50_latency: Dur::from_json(v.get("p50_latency_ns")?)?,
+            p99_latency: Dur::from_json(v.get("p99_latency_ns")?)?,
+            attainment: v.get("attainment")?.as_f64()?,
+            goodput_rps: v.get("goodput_rps")?.as_f64()?,
+            replica_secs: v.get("replica_secs")?.as_f64()?,
+            failovers: v.get("failovers")?.as_u32()?,
+            services: Vec::<ServiceOutcome>::from_json(v.get("services")?)?,
+        })
+    }
+}
+
 /// Jain's fairness index over per-tenant shares: 1.0 when every tenant
 /// received the same amount, approaching `1/n` under total capture.
 pub fn jain_fairness(shares: &[f64]) -> f64 {
@@ -186,10 +345,12 @@ pub struct ScheduleReport {
     pub tenant_gpu_secs: Vec<f64>,
     /// Present only when the replay injected faults.
     pub recovery: Option<RecoveryMetrics>,
+    /// Present only when the trace carried inference services.
+    pub serve: Option<ServeMetrics>,
     pub jobs: Vec<JobOutcome>,
 }
 
-fn mean_dur(ds: impl Iterator<Item = Dur>) -> Dur {
+pub(crate) fn mean_dur(ds: impl Iterator<Item = Dur>) -> Dur {
     let v: Vec<Dur> = ds.collect();
     if v.is_empty() {
         return Dur::ZERO;
@@ -198,7 +359,7 @@ fn mean_dur(ds: impl Iterator<Item = Dur>) -> Dur {
     Dur::from_nanos(total / v.len() as u64)
 }
 
-fn percentile_dur(mut ns: Vec<u64>, p: f64) -> Dur {
+pub(crate) fn percentile_dur(mut ns: Vec<u64>, p: f64) -> Dur {
     if ns.is_empty() {
         return Dur::ZERO;
     }
@@ -209,7 +370,7 @@ fn percentile_dur(mut ns: Vec<u64>, p: f64) -> Dur {
 
 /// Round a share/ratio to a stable number of decimals so reports (and the
 /// golden files built from them) don't encode float noise.
-fn round4(x: f64) -> f64 {
+pub(crate) fn round4(x: f64) -> f64 {
     (x * 1e4).round() / 1e4
 }
 
@@ -229,6 +390,7 @@ impl ScheduleReport {
         tenant_gpu_secs: Vec<f64>,
         audit_entries: u64,
         recovery: Option<RecoveryMetrics>,
+        serve: Option<ServeMetrics>,
     ) -> ScheduleReport {
         outcomes.sort_by_key(|o| o.id);
         let cap = pool_gpus as f64 * makespan.as_secs_f64();
@@ -252,6 +414,7 @@ impl ScheduleReport {
             audit_entries,
             tenant_gpu_secs: tenant_gpu_secs.into_iter().map(round4).collect(),
             recovery,
+            serve,
             jobs: outcomes,
         }
     }
@@ -291,6 +454,11 @@ impl ToJson for ScheduleReport {
         if let Some(r) = &self.recovery {
             fields.push(("recovery", r.to_json()));
         }
+        // Same contract for serving: training-only reports (the
+        // cluster_fifo / cluster_faults goldens) keep their bytes.
+        if let Some(s) = &self.serve {
+            fields.push(("serve", s.to_json()));
+        }
         fields.push(("jobs", self.jobs.to_json()));
         Value::obj(fields)
     }
@@ -315,6 +483,10 @@ impl FromJson for ScheduleReport {
             tenant_gpu_secs: Vec::<f64>::from_json(v.get("tenant_gpu_secs")?)?,
             recovery: match v.get("recovery") {
                 Ok(rv) => Some(RecoveryMetrics::from_json(rv)?),
+                Err(_) => None,
+            },
+            serve: match v.get("serve") {
+                Ok(sv) => Some(ServeMetrics::from_json(sv)?),
                 Err(_) => None,
             },
             jobs: Vec::<JobOutcome>::from_json(v.get("jobs")?)?,
@@ -350,6 +522,40 @@ pub fn comparison_table(reports: &[ScheduleReport]) -> String {
             "GPU util %",
             "split %",
             "fairness",
+            "shrunk",
+        ],
+        &rows,
+    )
+}
+
+/// Render the `repro serve` policy-comparison table: serving quality on
+/// the left, the training-side cost of achieving it on the right.
+pub fn serve_comparison_table(reports: &[ScheduleReport]) -> String {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let s = r.serve.as_ref();
+            vec![
+                r.policy.clone(),
+                s.map_or_else(|| "-".into(), |s| format!("{:.1}", s.p99_latency.as_secs_f64() * 1e3)),
+                s.map_or_else(|| "-".into(), |s| format!("{:.4}", s.attainment)),
+                s.map_or_else(|| "-".into(), |s| format!("{:.1}", s.goodput_rps)),
+                s.map_or_else(|| "-".into(), |s| format!("{}", s.dropped)),
+                s.map_or_else(|| "-".into(), |s| format!("{:.1}", s.replica_secs)),
+                format!("{:.1}", r.mean_jct.as_secs_f64()),
+                format!("{}", r.shrunk_jobs),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "policy",
+            "p99 (ms)",
+            "attainment",
+            "goodput (req/s)",
+            "drops",
+            "replica GPU-s",
+            "train mean JCT (s)",
             "shrunk",
         ],
         &rows,
@@ -403,6 +609,7 @@ mod tests {
             vec![12.0, 12.0],
             42,
             None,
+            None,
         );
         assert_eq!(r.jobs[0].id, 0, "stored by id");
         assert_eq!(r.n_jobs, 2);
@@ -428,6 +635,7 @@ mod tests {
             vec![4.0, 0.0],
             7,
             None,
+            None,
         );
         let t = comparison_table(&[r]);
         assert!(t.contains("fifo-first-fit"));
@@ -446,6 +654,7 @@ mod tests {
             0.0,
             vec![4.0, 0.0],
             7,
+            None,
             None,
         );
         assert!(
@@ -468,5 +677,74 @@ mod tests {
         let back = ScheduleReport::from_json_str(&faulty.to_json_string()).unwrap();
         assert_eq!(back, faulty);
         assert_eq!(back.recovery.as_ref().unwrap().evacuations, 2);
+    }
+
+    fn service(id: u64, generated: u64, within: u64) -> ServiceOutcome {
+        ServiceOutcome {
+            id,
+            tenant: (id % 2) as u32,
+            benchmark: "MobileNetV2".to_string(),
+            slice: 1,
+            generated,
+            completed: generated,
+            dropped: 0,
+            within_slo: within,
+            p50_latency: Dur::from_millis(12),
+            p99_latency: Dur::from_millis(40),
+            slo: Dur::from_millis(60),
+            attainment: round4(within as f64 / generated as f64),
+            goodput_rps: 10.0,
+            replica_secs: 6.0,
+            peak_replicas: 2,
+            failovers: 0,
+        }
+    }
+
+    #[test]
+    fn serve_block_round_trips_and_stays_absent_when_training_only() {
+        let base = ScheduleReport::assemble(
+            "slo-aware-pack",
+            "t",
+            16,
+            vec![outcome(0, 0, 1, 3)],
+            Dur::from_secs(3),
+            4.0,
+            0.0,
+            vec![4.0, 0.0],
+            7,
+            None,
+            None,
+        );
+        assert!(
+            !base.to_json_string().contains("serve"),
+            "training-only reports must keep their pre-serving bytes"
+        );
+        let pooled = ServeMetrics::assemble(
+            vec![service(3, 100, 90), service(2, 100, 100)],
+            vec![5_000_000, 1_000_000, 9_000_000, 2_000_000],
+        );
+        assert_eq!(pooled.services[0].id, 2, "stored by id");
+        assert_eq!(pooled.n_services, 2);
+        assert_eq!(pooled.generated, 200);
+        assert_eq!(pooled.attainment, 0.95, "pooled, not averaged");
+        assert_eq!(pooled.goodput_rps, 20.0);
+        assert_eq!(pooled.p50_latency, Dur::from_millis(2));
+        assert_eq!(pooled.p99_latency, Dur::from_millis(9));
+        let mut mixed = base.clone();
+        mixed.serve = Some(pooled);
+        let back = ScheduleReport::from_json_str(&mixed.to_json_string()).unwrap();
+        assert_eq!(back, mixed);
+        let t = serve_comparison_table(&[mixed, base]);
+        assert!(t.contains("slo-aware-pack"));
+        assert!(t.contains("attainment"));
+        assert!(t.contains('-'), "serve-less rows render placeholders");
+    }
+
+    #[test]
+    fn empty_serve_metrics_are_well_defined() {
+        let m = ServeMetrics::assemble(vec![], vec![]);
+        assert_eq!(m.attainment, 1.0);
+        assert_eq!(m.p99_latency, Dur::ZERO);
+        assert_eq!(m.generated, 0);
     }
 }

@@ -50,6 +50,27 @@ impl FreeView {
     }
 }
 
+/// One slot a serving replica could land on: a partially-used serving
+/// slot of the same tenant (`shared`), or a wholly free slot.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSlot {
+    pub addr: SlotAddr,
+    /// Unclaimed sevenths of the slot's compute.
+    pub free_sevenths: u8,
+    /// Already attached for serving this tenant (placing here costs no
+    /// new whole slot).
+    pub shared: bool,
+}
+
+/// The fractional-capacity view a replica placement chooses from, in
+/// global slot order, plus the per-drawer wholly-free GPU counts (so
+/// packing policies can keep training's contiguous holes whole).
+#[derive(Debug, Clone)]
+pub struct SliceView {
+    pub slots: Vec<SliceSlot>,
+    pub free_gpus: [usize; 2],
+}
+
 /// A slot-selection strategy. Returning `None` means "this job cannot (or
 /// should not) be placed right now"; the cluster loop decides whether that
 /// blocks the queue.
@@ -61,9 +82,23 @@ pub trait PlacePolicy: Send {
     fn name(&self) -> &'static str;
     fn place(&self, job: &JobSpec, free: &FreeView, probes: &mut ProbeCache)
         -> Option<Vec<SlotAddr>>;
+
+    /// Pick the slot for one serving replica of `slice`/7 of a GPU. The
+    /// default mirrors [`FifoFirstFit`]: the first slot that fits, in
+    /// global order, blind to fragmentation.
+    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<SlotAddr> {
+        view.slots.iter().find(|s| s.free_sevenths >= slice).map(|s| s.addr)
+    }
+
+    /// May the cluster shrink elastic training jobs to compose a replica
+    /// for a service at risk of violating its SLO?
+    fn evict_for_slo(&self) -> bool {
+        false
+    }
 }
 
-/// Every built-in policy, in the order the comparison tables print them.
+/// Every built-in training policy, in the order the comparison tables
+/// print them. ([`serving_policies`] appends the serving-aware one.)
 pub fn all_policies() -> Vec<Box<dyn PlacePolicy>> {
     vec![
         Box::new(FifoFirstFit),
@@ -73,9 +108,17 @@ pub fn all_policies() -> Vec<Box<dyn PlacePolicy>> {
     ]
 }
 
-/// Look a policy up by its `name()`.
+/// The policies mixed (training + serving) comparisons run:
+/// [`all_policies`] plus [`SloAwarePack`].
+pub fn serving_policies() -> Vec<Box<dyn PlacePolicy>> {
+    let mut v = all_policies();
+    v.push(Box::new(SloAwarePack));
+    v
+}
+
+/// Look a policy up by its `name()` (searches the serving superset).
 pub fn policy_by_name(name: &str) -> Option<Box<dyn PlacePolicy>> {
-    all_policies().into_iter().find(|p| p.name() == name)
+    serving_policies().into_iter().find(|p| p.name() == name)
 }
 
 pub struct FifoFirstFit;
@@ -199,6 +242,42 @@ impl PlacePolicy for TopologyAware {
     }
 }
 
+/// The serving-aware policy: training places best-fit (tightest drawer),
+/// replicas pack onto fragmented fractional capacity training can't use —
+/// partially-used serving slots first, then the tightest drawer's highest
+/// slot, keeping low-address contiguous runs whole for training gangs —
+/// and SLO pressure may evict (elastically shrink) training.
+pub struct SloAwarePack;
+
+impl PlacePolicy for SloAwarePack {
+    fn name(&self) -> &'static str {
+        "slo-aware-pack"
+    }
+
+    fn place(&self, job: &JobSpec, free: &FreeView, probes: &mut ProbeCache)
+        -> Option<Vec<SlotAddr>> {
+        BestFit.place(job, free, probes)
+    }
+
+    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<SlotAddr> {
+        view.slots
+            .iter()
+            .filter(|s| s.free_sevenths >= slice)
+            .min_by_key(|s| {
+                (
+                    !s.shared,
+                    view.free_gpus[usize::from(s.addr.drawer.0)],
+                    std::cmp::Reverse(s.addr),
+                )
+            })
+            .map(|s| s.addr)
+    }
+
+    fn evict_for_slo(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +374,48 @@ mod tests {
             assert!(p.place(&job(2), &tiny, &mut probes).is_none(), "{}", p.name());
         }
         assert!(policy_by_name("best-fit").is_some());
+        assert!(policy_by_name("slo-aware-pack").is_some());
         assert!(policy_by_name("nope").is_none());
+    }
+
+    fn slice_view() -> SliceView {
+        SliceView {
+            slots: vec![
+                SliceSlot { addr: SlotAddr::new(0, 1), free_sevenths: 7, shared: false },
+                SliceSlot { addr: SlotAddr::new(0, 6), free_sevenths: 3, shared: true },
+                SliceSlot { addr: SlotAddr::new(1, 2), free_sevenths: 7, shared: false },
+            ],
+            free_gpus: [5, 2],
+        }
+    }
+
+    #[test]
+    fn default_replica_placement_is_first_fit() {
+        let got = FifoFirstFit.place_replica(2, &slice_view()).unwrap();
+        assert_eq!(got, SlotAddr::new(0, 1), "first slot in global order");
+        assert!(!FifoFirstFit.evict_for_slo());
+    }
+
+    #[test]
+    fn slo_aware_pack_fills_shared_slots_first() {
+        let got = SloAwarePack.place_replica(2, &slice_view()).unwrap();
+        assert_eq!(got, SlotAddr::new(0, 6), "partial serving slot wins");
+        // Too big for the shared slot: falls to the tightest drawer's
+        // free slot, not the global first fit.
+        let got4 = SloAwarePack.place_replica(4, &slice_view()).unwrap();
+        assert_eq!(got4, SlotAddr::new(1, 2), "tightest drawer, high slot");
+        assert!(SloAwarePack.evict_for_slo());
+        assert!(SloAwarePack.place_replica(4, &SliceView { slots: vec![], free_gpus: [0, 0] })
+            .is_none());
+    }
+
+    #[test]
+    fn serving_policies_superset() {
+        let names: Vec<&str> = serving_policies().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            ["fifo-first-fit", "best-fit", "frag-aware", "topology-aware", "slo-aware-pack"]
+        );
+        assert_eq!(all_policies().len(), 4, "training tables keep their four rows");
     }
 }

@@ -1,0 +1,1056 @@
+//! Latency-SLO inference serving co-scheduled with training on the
+//! composable test bed.
+//!
+//! A [`ServiceSpec`] is a long-lived service: a fractional-GPU (MIG-style
+//! 1/7, 2/7, 4/7, or full-slot) replica set serving an open-loop seeded
+//! arrival stream ([`ArrivalKind::Poisson`] or diurnal) under a p99
+//! latency SLO. [`MixedTrace`] interleaves services with the existing
+//! training [`JobSpec`]s; the cluster event loop runs both on one chassis.
+//!
+//! The serving data path per request: arrival → per-replica queue →
+//! dynamic batch (launch when `max_batch` requests wait or the head has
+//! waited `max_wait`, whichever first) → one fwd pass priced by
+//! [`batch_latency`] against the V100 roofline scaled to the slice →
+//! reply at batch completion. Replicas autoscale between `min_replicas`
+//! and `max_replicas`: scale-ups and fault failovers pay
+//! [`crate::fault::RECOMPOSE_LATENCY`] through the MCS attach path,
+//! idle replicas above the floor are reclaimed after
+//! [`SERVE_IDLE_SCALE_DOWN`]. Co-location is symmetric: training jobs
+//! dilate serving batches and live services dilate training rates via the
+//! same per-drawer interference model.
+
+use crate::cluster::{tenant_user, ADMIN, MAX_TENANTS};
+use crate::metrics::{percentile_dur, round4, ServeMetrics, ServiceOutcome};
+use crate::policy::{SliceSlot, SliceView};
+use crate::trace::{benchmark_from_label, JobSpec, PoissonMix, TenantId, Trace};
+use desim::json::{FromJson, JsonError, ToJson, Value};
+use desim::{Dur, SimRng, SimTime};
+use devices::gpu::GpuSpec;
+use dlmodels::{Benchmark, InferenceProfile};
+use falcon::{ManagementCenter, McsError, SlotAddr};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// MIG-style slicing granularity of one GPU slot (V100 stands in for the
+/// A100's 7 compute slices).
+pub const SLICES_PER_GPU: u8 = 7;
+/// Achievable fraction of peak tensor throughput for small serving
+/// batches (far below training's large-batch efficiency).
+pub const SERVE_COMPUTE_EFF: f64 = 0.35;
+/// An idle replica above the service's floor is reclaimed after this.
+pub const SERVE_IDLE_SCALE_DOWN: Dur = Dur::from_secs(4);
+/// Per-replica queue cap, in batches: arrivals beyond it are dropped.
+pub const SERVE_QUEUE_CAP_BATCHES: usize = 8;
+/// Scale up when the backlog exceeds this many full batches per replica.
+pub const SERVE_BACKLOG_SCALE_UP: usize = 2;
+/// Hard cap on generated requests per service (seeded streams are finite).
+const MAX_REQUESTS: usize = 200_000;
+
+/// The open-loop arrival process of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Constant-rate Poisson arrivals.
+    Poisson,
+    /// Poisson thinned by a one-cycle sinusoid over the service window
+    /// (peak 1.6× the mean rate) — a compressed day of traffic.
+    Diurnal,
+}
+
+impl ArrivalKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Diurnal => "diurnal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ArrivalKind> {
+        match s {
+            "poisson" => Some(ArrivalKind::Poisson),
+            "diurnal" => Some(ArrivalKind::Diurnal),
+            _ => None,
+        }
+    }
+}
+
+/// One latency-SLO inference service in a mixed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    pub id: u64,
+    pub tenant: TenantId,
+    pub benchmark: Benchmark,
+    /// Replica size in sevenths of a GPU slot: 1, 2, 4, or 7.
+    pub slice: u8,
+    /// p99 latency target per request.
+    pub slo: Dur,
+    /// Mean request rate (req/s) over the service window.
+    pub rate_rps: f64,
+    pub arrivals: ArrivalKind,
+    /// The service goes live here; its first replicas compose at start.
+    pub start: SimTime,
+    /// Arrivals stop at `start + duration`; queued requests still drain.
+    pub duration: Dur,
+    /// Dynamic-batching knobs: launch a batch when `max_batch` requests
+    /// wait, or when the oldest has waited `max_wait`.
+    pub max_batch: u32,
+    pub max_wait: Dur,
+    pub min_replicas: u8,
+    pub max_replicas: u8,
+}
+
+impl ServiceSpec {
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+impl ToJson for ServiceSpec {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("id", Value::from_u64(self.id)),
+            ("tenant", Value::from_u64(u64::from(self.tenant.0))),
+            ("benchmark", Value::str(self.benchmark.label())),
+            ("slice", Value::from_u64(u64::from(self.slice))),
+            ("slo_ns", self.slo.to_json()),
+            ("rate_rps", Value::Num(self.rate_rps)),
+            ("arrivals", Value::str(self.arrivals.as_str())),
+            ("start_ns", self.start.to_json()),
+            ("duration_ns", self.duration.to_json()),
+            ("max_batch", Value::from_u64(u64::from(self.max_batch))),
+            ("max_wait_ns", self.max_wait.to_json()),
+            ("min_replicas", Value::from_u64(u64::from(self.min_replicas))),
+            ("max_replicas", Value::from_u64(u64::from(self.max_replicas))),
+        ])
+    }
+}
+
+impl FromJson for ServiceSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let label = v.get("benchmark")?.as_str()?;
+        let benchmark = benchmark_from_label(label)
+            .ok_or_else(|| JsonError::decode(format!("unknown benchmark \"{label}\"")))?;
+        let arrivals_str = v.get("arrivals")?.as_str()?;
+        let arrivals = ArrivalKind::from_str(arrivals_str)
+            .ok_or_else(|| JsonError::decode(format!("unknown arrivals \"{arrivals_str}\"")))?;
+        Ok(ServiceSpec {
+            id: v.get("id")?.as_u64()?,
+            tenant: TenantId(v.get("tenant")?.as_u32()?),
+            benchmark,
+            slice: v.get("slice")?.as_u8()?,
+            slo: Dur::from_json(v.get("slo_ns")?)?,
+            rate_rps: v.get("rate_rps")?.as_f64()?,
+            arrivals,
+            start: SimTime::from_json(v.get("start_ns")?)?,
+            duration: Dur::from_json(v.get("duration_ns")?)?,
+            max_batch: v.get("max_batch")?.as_u32()?,
+            max_wait: Dur::from_json(v.get("max_wait_ns")?)?,
+            min_replicas: v.get("min_replicas")?.as_u8()?,
+            max_replicas: v.get("max_replicas")?.as_u8()?,
+        })
+    }
+}
+
+/// A workload of training jobs and inference services sharing the bed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedTrace {
+    pub name: String,
+    pub jobs: Vec<JobSpec>,
+    pub services: Vec<ServiceSpec>,
+}
+
+impl MixedTrace {
+    /// The training side as a plain [`Trace`] (for probe warming and for
+    /// replaying the same jobs without services).
+    pub fn training(&self) -> Trace {
+        Trace { name: self.name.clone(), jobs: self.jobs.clone() }
+    }
+
+    /// Jobs by (arrival, id), services by (start, id).
+    pub fn sorted(mut self) -> MixedTrace {
+        self.jobs.sort_by_key(|j| (j.arrival, j.id));
+        self.services.sort_by_key(|s| (s.start, s.id));
+        self
+    }
+
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Parse a mixed trace; duplicate job or service ids are rejected and
+    /// both streams arrive sorted regardless of file order.
+    pub fn from_json_str(s: &str) -> Result<MixedTrace, JsonError> {
+        let t = MixedTrace::from_json(&Value::parse(s)?)?;
+        let mut ids: Vec<u64> = t.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        if let Some(d) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(JsonError::decode(format!("duplicate job id {}", d[0])));
+        }
+        let mut sids: Vec<u64> = t.services.iter().map(|s| s.id).collect();
+        sids.sort_unstable();
+        if let Some(d) = sids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(JsonError::decode(format!("duplicate service id {}", d[0])));
+        }
+        Ok(t.sorted())
+    }
+}
+
+impl ToJson for MixedTrace {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("name", Value::str(self.name.clone())),
+            ("jobs", self.jobs.to_json()),
+            ("services", self.services.to_json()),
+        ])
+    }
+}
+
+impl FromJson for MixedTrace {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(MixedTrace {
+            name: String::from_json(v.get("name")?)?,
+            jobs: Vec::<JobSpec>::from_json(v.get("jobs")?)?,
+            services: Vec::<ServiceSpec>::from_json(v.get("services")?)?,
+        })
+    }
+}
+
+/// The seeded PAI-style mixed workload `repro serve` replays: the
+/// two-tenant Poisson training mix plus `n_services` services drawn from
+/// a per-benchmark serving envelope (small models at high rates on thin
+/// slices, BERT-class models at low rates on fat slices).
+pub fn seeded_pai_mix(n_jobs: usize, n_services: usize, seed: u64) -> MixedTrace {
+    let name = format!("pai-mix-{n_jobs}j{n_services}s-{seed:#x}");
+    // A denser arrival process than the training-only traces: the PAI
+    // clusters this mix imitates run near saturation, which is exactly
+    // the regime where serving and training fight over composition.
+    let mut jobs = PoissonMix {
+        seed,
+        n_jobs,
+        tenants: MAX_TENANTS,
+        mean_interarrival: Dur::from_millis(500),
+    }
+    .generate(name.clone())
+    .jobs;
+    // PAI-style elasticity: every multi-GPU training job tolerates a
+    // half-gang shrink, so SLO-triggered eviction has victims to claw.
+    for j in &mut jobs {
+        if j.gpus >= 4 {
+            j.min_gpus = j.gpus / 2;
+        }
+    }
+
+    // (benchmark, slice, rate lo..hi req/s, slo ms, max_batch, max_wait ms),
+    // weighted toward the small vision models like the training mix.
+    type Row = (Benchmark, u8, f64, f64, u64, u32, u64);
+    const ENVELOPE: [(Row, u32); 5] = [
+        ((Benchmark::MobileNetV2, 1, 10.0, 18.0, 60, 8, 20), 3),
+        ((Benchmark::ResNet50, 2, 6.0, 12.0, 120, 8, 30), 2),
+        ((Benchmark::YoloV5L, 4, 3.0, 6.0, 250, 4, 50), 2),
+        ((Benchmark::BertBase, 2, 4.0, 8.0, 200, 8, 40), 2),
+        ((Benchmark::BertLarge, 4, 1.5, 3.0, 500, 4, 80), 1),
+    ];
+
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5E2E_C0DE);
+    let services = (0..n_services as u64)
+        .map(|id| {
+            let total: u32 = ENVELOPE.iter().map(|&(_, w)| w).sum();
+            let mut pick = rng.index(total as usize) as u32;
+            let mut row = ENVELOPE[ENVELOPE.len() - 1].0;
+            for &(r, w) in &ENVELOPE {
+                if pick < w {
+                    row = r;
+                    break;
+                }
+                pick -= w;
+            }
+            let (benchmark, slice, lo, hi, slo_ms, max_batch, wait_ms) = row;
+            let rate_rps = (rng.uniform(lo, hi) * 100.0).round() / 100.0;
+            ServiceSpec {
+                id,
+                tenant: TenantId(id as u32 % MAX_TENANTS),
+                benchmark,
+                slice,
+                slo: Dur::from_millis(slo_ms),
+                rate_rps,
+                arrivals: if id % 2 == 0 { ArrivalKind::Poisson } else { ArrivalKind::Diurnal },
+                // Services go live while the training wave holds the bed
+                // (4-14 s in), so every initial composition is contested.
+                start: SimTime::from_millis(4_000 + rng.index(10_001) as u64),
+                duration: Dur::from_millis(22_000 + rng.index(12_001) as u64),
+                max_batch,
+                max_wait: Dur::from_millis(wait_ms),
+                min_replicas: 1,
+                max_replicas: if slice == 1 { 3 } else { 2 },
+            }
+        })
+        .collect();
+    MixedTrace { name, jobs, services }.sorted()
+}
+
+/// The seeded request arrival stream of one service — a pure function of
+/// the spec, so replays are byte-identical at any worker count.
+pub fn request_times(spec: &ServiceSpec) -> Vec<SimTime> {
+    let mut rng = SimRng::seed_from_u64(0x5E27E ^ spec.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let end = spec.end();
+    let peak = match spec.arrivals {
+        ArrivalKind::Poisson => spec.rate_rps,
+        ArrivalKind::Diurnal => spec.rate_rps * 1.6,
+    };
+    let mut out = Vec::new();
+    let mut t = spec.start;
+    while out.len() < MAX_REQUESTS {
+        let gap = -(1.0 - rng.unit()).ln() / peak;
+        t = t + Dur::from_secs_f64(gap);
+        if t >= end {
+            break;
+        }
+        // Diurnal streams thin the peak-rate Poisson process by the
+        // instantaneous rate: one sinusoidal cycle across the window.
+        let accept = match spec.arrivals {
+            ArrivalKind::Poisson => true,
+            ArrivalKind::Diurnal => {
+                let phase = t.since(spec.start).as_secs_f64() / spec.duration.as_secs_f64();
+                let rate = spec.rate_rps * (1.0 + 0.6 * (std::f64::consts::TAU * phase).sin());
+                rng.unit() < rate / peak
+            }
+        };
+        if accept {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Forward-pass latency of one batch on a `slice`/7 slot share: kernel
+/// launches and H2D are fixed costs, the roofline term is the max of
+/// compute and HBM time with both throughputs scaled to the slice, and
+/// `dilation` applies the per-drawer co-residence interference.
+pub fn batch_latency(
+    profile: &InferenceProfile,
+    gpu: &GpuSpec,
+    slice: u8,
+    batch: u32,
+    dilation: f64,
+) -> Dur {
+    let frac = f64::from(slice) / f64::from(SLICES_PER_GPU);
+    let compute = profile.flops(batch) / (gpu.fp16_flops * SERVE_COMPUTE_EFF * frac);
+    let mem = profile.bytes(batch) / (gpu.hbm_bandwidth * gpu.hbm_efficiency * frac);
+    let h2d = f64::from(batch) * profile.h2d_bytes_per_sample / gpu.dma_bandwidth;
+    let launch = gpu.launch_overhead.as_secs_f64() * f64::from(profile.weighted_layers);
+    Dur::from_secs_f64(dilation * (launch + h2d + compute.max(mem)))
+}
+
+/// One replica: a `slice`/7 share of one slot with its own request queue.
+struct Replica {
+    id: u32,
+    slot: SlotAddr,
+    /// Usable from here (scale-ups pay the re-composition latency).
+    ready_at: SimTime,
+    /// Waiting requests, by arrival time.
+    queue: VecDeque<SimTime>,
+    /// The in-flight batch's request arrival times.
+    batch: Vec<SimTime>,
+    busy_until: Option<SimTime>,
+    /// Pending idle-reclaim check, cleared by new work.
+    idle_check: Option<SimTime>,
+}
+
+impl Replica {
+    fn next_event(&self, svc_ended: bool, max_batch: u32, max_wait: Dur) -> Option<SimTime> {
+        if let Some(b) = self.busy_until {
+            return Some(b);
+        }
+        if let Some(&head) = self.queue.front() {
+            let due = if svc_ended || self.queue.len() >= max_batch as usize {
+                self.ready_at
+            } else {
+                self.ready_at.max(head + max_wait)
+            };
+            return Some(due);
+        }
+        self.idle_check
+    }
+}
+
+/// Runtime state of one service.
+struct SvcState {
+    spec: ServiceSpec,
+    profile: InferenceProfile,
+    arrivals: Vec<SimTime>,
+    cursor: usize,
+    replicas: Vec<Replica>,
+    /// Requests that arrived while the service had zero replicas.
+    orphans: VecDeque<SimTime>,
+    next_replica_id: u32,
+    /// Replica count the placement pass drives toward.
+    target: u8,
+    started: bool,
+    ended: bool,
+    latencies_ns: Vec<u64>,
+    within_slo: u64,
+    generated: u64,
+    completed: u64,
+    dropped: u64,
+    replica_secs: f64,
+    failovers: u32,
+    peak_replicas: u8,
+}
+
+impl SvcState {
+    fn new(spec: ServiceSpec) -> SvcState {
+        let profile = InferenceProfile::for_benchmark(spec.benchmark);
+        let arrivals = request_times(&spec);
+        SvcState {
+            spec,
+            profile,
+            arrivals,
+            cursor: 0,
+            replicas: Vec::new(),
+            orphans: VecDeque::new(),
+            next_replica_id: 0,
+            target: 0,
+            started: false,
+            ended: false,
+            latencies_ns: Vec::new(),
+            within_slo: 0,
+            generated: 0,
+            completed: 0,
+            dropped: 0,
+            replica_secs: 0.0,
+            failovers: 0,
+            peak_replicas: 0,
+        }
+    }
+
+    fn queue_cap(&self) -> usize {
+        SERVE_QUEUE_CAP_BATCHES * self.spec.max_batch as usize
+    }
+
+    /// Route one request to the shortest live queue (ties to the lowest
+    /// replica id), to the orphan buffer when no replica exists, or drop
+    /// it at the cap.
+    fn dispatch(&mut self, arrived: SimTime) {
+        let cap = self.queue_cap();
+        if let Some(r) = self
+            .replicas
+            .iter_mut()
+            .min_by_key(|r| (r.queue.len() + r.batch.len(), r.id))
+        {
+            if r.queue.len() >= cap {
+                self.dropped += 1;
+            } else {
+                r.queue.push_back(arrived);
+                r.idle_check = None;
+            }
+        } else if self.orphans.len() >= cap {
+            self.dropped += 1;
+        } else {
+            self.orphans.push_back(arrived);
+        }
+    }
+
+    /// Record the in-flight batch of replica `ri` completing at `done`.
+    fn complete_batch(&mut self, ri: usize, done: SimTime, now: SimTime) {
+        let r = &mut self.replicas[ri];
+        r.busy_until = None;
+        for arrived in r.batch.drain(..) {
+            let lat = done.since(arrived);
+            self.latencies_ns.push(lat.as_nanos());
+            self.completed += 1;
+            if lat <= self.spec.slo {
+                self.within_slo += 1;
+            }
+        }
+        if r.queue.is_empty() {
+            r.idle_check = Some(now + SERVE_IDLE_SCALE_DOWN);
+        }
+    }
+
+    /// Launch a batch on replica `ri` if it is ready and due. Returns the
+    /// launch decision so callers can track activity.
+    fn try_launch(&mut self, ri: usize, now: SimTime, dilation: f64, gpu: &GpuSpec) -> bool {
+        let ended = self.ended;
+        let (max_batch, max_wait, slice) =
+            (self.spec.max_batch, self.spec.max_wait, self.spec.slice);
+        let r = &mut self.replicas[ri];
+        if r.busy_until.is_some() || r.queue.is_empty() || now < r.ready_at {
+            return false;
+        }
+        let full = r.queue.len() >= max_batch as usize;
+        let head_due = *r.queue.front().expect("nonempty queue") + max_wait <= now;
+        if !(full || ended || head_due) {
+            return false;
+        }
+        let n = r.queue.len().min(max_batch as usize);
+        r.batch = r.queue.drain(..n).collect();
+        let lat = batch_latency(&self.profile, gpu, slice, n as u32, dilation);
+        r.busy_until = Some(now + lat);
+        r.idle_check = None;
+        true
+    }
+
+    fn outcome(&self) -> ServiceOutcome {
+        let dur = self.spec.duration.as_secs_f64();
+        ServiceOutcome {
+            id: self.spec.id,
+            tenant: self.spec.tenant.0,
+            benchmark: self.spec.benchmark.label().to_string(),
+            slice: self.spec.slice,
+            generated: self.generated,
+            completed: self.completed,
+            dropped: self.dropped,
+            within_slo: self.within_slo,
+            p50_latency: percentile_dur(self.latencies_ns.clone(), 0.50),
+            p99_latency: percentile_dur(self.latencies_ns.clone(), 0.99),
+            slo: self.spec.slo,
+            attainment: round4(if self.generated == 0 {
+                1.0
+            } else {
+                self.within_slo as f64 / self.generated as f64
+            }),
+            goodput_rps: round4(if dur > 0.0 { self.within_slo as f64 / dur } else { 0.0 }),
+            replica_secs: round4(self.replica_secs),
+            peak_replicas: self.peak_replicas,
+            failovers: self.failovers,
+        }
+    }
+}
+
+/// A slot share held by serving replicas. All sharers are replicas of the
+/// owning tenant (the slot is attached to that tenant's host).
+struct SlotShare {
+    tenant: u32,
+    used_sevenths: u8,
+}
+
+/// All serving state of one replay, driven by the cluster event loop.
+pub struct ServeState {
+    svcs: Vec<SvcState>,
+    slot_use: BTreeMap<SlotAddr, SlotShare>,
+    gpu: GpuSpec,
+    last_activity: SimTime,
+}
+
+impl ServeState {
+    /// The training-only state: no services, no events, no accrual — a
+    /// replay through it is byte-identical to the pre-serving loop.
+    pub fn empty() -> ServeState {
+        ServeState::new(Vec::new())
+    }
+
+    pub fn new(specs: Vec<ServiceSpec>) -> ServeState {
+        ServeState {
+            svcs: specs.into_iter().map(SvcState::new).collect(),
+            slot_use: BTreeMap::new(),
+            gpu: GpuSpec::v100_pcie_16gb(),
+            last_activity: SimTime::ZERO,
+        }
+    }
+
+    pub fn has_services(&self) -> bool {
+        !self.svcs.is_empty()
+    }
+
+    /// Latest serving activity (batch completions and service ends) — the
+    /// mixed-replay makespan folds this in.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    /// The earliest pending serving event: a service start or end, an
+    /// arrival, a batch completion, a due launch, or an idle check.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut t: Option<SimTime> = None;
+        let mut fold = |x: SimTime| t = Some(t.map_or(x, |c| c.min(x)));
+        for svc in &self.svcs {
+            if !svc.started {
+                fold(svc.spec.start);
+            }
+            if svc.started && !svc.ended {
+                fold(svc.spec.end());
+            }
+            if let Some(&a) = svc.arrivals.get(svc.cursor) {
+                fold(a);
+            }
+            for r in &svc.replicas {
+                if let Some(e) = r.next_event(svc.ended, svc.spec.max_batch, svc.spec.max_wait) {
+                    fold(e);
+                }
+            }
+        }
+        t
+    }
+
+    /// Accrue replica-seconds (as fractional GPU-seconds) over `now → t`
+    /// into the loop's busy/tenant accounting. Exact no-op with no
+    /// services, so training-only float accounting is bit-identical.
+    pub fn accrue(&mut self, now: SimTime, t: SimTime, busy: &mut f64, tenant: &mut [f64]) {
+        let dt = t.since(now).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        for svc in &mut self.svcs {
+            let n = svc.replicas.len() as f64;
+            if n > 0.0 {
+                let add = f64::from(svc.spec.slice) / f64::from(SLICES_PER_GPU) * n * dt;
+                svc.replica_secs += add;
+                *busy += add;
+                tenant[svc.spec.tenant.0 as usize] += add;
+            }
+        }
+    }
+
+    /// Whole slots currently held by serving, per tenant (for quota
+    /// accounting: a partially-used slot still occupies the whole slot).
+    pub fn slots_per_tenant(&self) -> Vec<usize> {
+        let mut v = vec![0usize; MAX_TENANTS as usize];
+        for share in self.slot_use.values() {
+            v[share.tenant as usize] += 1;
+        }
+        v
+    }
+
+    /// Slots currently held by serving.
+    pub fn slots(&self) -> BTreeSet<SlotAddr> {
+        self.slot_use.keys().copied().collect()
+    }
+
+    pub fn uses_slot(&self, slot: SlotAddr) -> bool {
+        self.slot_use.contains_key(&slot)
+    }
+
+    /// Drawer occupancy of each service with ≥1 live replica — each such
+    /// service counts once as an interference neighbor to training jobs
+    /// sharing the drawer.
+    pub fn live_service_drawers(&self) -> Vec<[bool; 2]> {
+        self.svcs
+            .iter()
+            .map(|svc| {
+                let mut d = [false; 2];
+                for r in &svc.replicas {
+                    d[usize::from(r.slot.drawer.0)] = true;
+                }
+                d
+            })
+            .filter(|d| d[0] || d[1])
+            .collect()
+    }
+
+    fn occupancy(&self) -> ([usize; 2], Vec<[bool; 2]>) {
+        let mut counts = [0usize; 2];
+        let mut per_svc = Vec::with_capacity(self.svcs.len());
+        for svc in &self.svcs {
+            let mut d = [false; 2];
+            for r in &svc.replicas {
+                d[usize::from(r.slot.drawer.0)] = true;
+            }
+            if d[0] {
+                counts[0] += 1;
+            }
+            if d[1] {
+                counts[1] += 1;
+            }
+            per_svc.push(d);
+        }
+        (counts, per_svc)
+    }
+
+    /// Services wanting a replica placed: `(svc index, tenant, slice,
+    /// start)` for each live service below its target.
+    pub fn placement_wants(&self) -> Vec<(usize, u32, u8, SimTime)> {
+        self.svcs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.started && !s.ended && s.replicas.len() < usize::from(s.target))
+            .map(|(i, s)| (i, s.spec.tenant.0, s.spec.slice, s.spec.start))
+            .collect()
+    }
+
+    /// Is service `i` at risk of SLO violation right now? True when it has
+    /// no replicas while live, or a queued request has already burned half
+    /// its SLO waiting. Drives SLO-triggered eviction (elastic shrink of
+    /// training) under policies that opt in.
+    pub fn under_pressure(&self, i: usize, now: SimTime) -> bool {
+        let svc = &self.svcs[i];
+        if !svc.started || svc.ended {
+            return false;
+        }
+        if svc.replicas.is_empty() {
+            return true;
+        }
+        let half_slo = Dur::from_nanos(svc.spec.slo.as_nanos() / 2);
+        svc.replicas
+            .iter()
+            .any(|r| r.queue.front().is_some_and(|&h| now.since(h) > half_slo))
+    }
+
+    /// The fractional-capacity view for placing one replica of `tenant`:
+    /// this tenant's partially-used serving slots plus (under quota)
+    /// wholly free slots, in global slot order.
+    pub fn slice_view(
+        &self,
+        tenant: u32,
+        wholly_free: &[SlotAddr],
+        free_gpus: [usize; 2],
+        at_quota: bool,
+    ) -> SliceView {
+        let mut slots: Vec<SliceSlot> = self
+            .slot_use
+            .iter()
+            .filter(|(_, share)| share.tenant == tenant && share.used_sevenths < SLICES_PER_GPU)
+            .map(|(&addr, share)| SliceSlot {
+                addr,
+                free_sevenths: SLICES_PER_GPU - share.used_sevenths,
+                shared: true,
+            })
+            .collect();
+        if !at_quota {
+            slots.extend(wholly_free.iter().map(|&addr| SliceSlot {
+                addr,
+                free_sevenths: SLICES_PER_GPU,
+                shared: false,
+            }));
+        }
+        slots.sort_by_key(|s| s.addr);
+        SliceView { slots, free_gpus }
+    }
+
+    /// Register a placed replica on `slot` (the cluster has already
+    /// attached the slot if it was fresh) and hand it any orphaned
+    /// requests.
+    pub fn add_replica(&mut self, i: usize, slot: SlotAddr, ready_at: SimTime) {
+        let svc = &mut self.svcs[i];
+        let share = self
+            .slot_use
+            .entry(slot)
+            .or_insert(SlotShare { tenant: svc.spec.tenant.0, used_sevenths: 0 });
+        debug_assert_eq!(share.tenant, svc.spec.tenant.0, "slot shared across tenants");
+        share.used_sevenths += svc.spec.slice;
+        debug_assert!(share.used_sevenths <= SLICES_PER_GPU, "slot oversliced");
+        let id = svc.next_replica_id;
+        svc.next_replica_id += 1;
+        let mut r = Replica {
+            id,
+            slot,
+            ready_at,
+            queue: VecDeque::new(),
+            batch: Vec::new(),
+            busy_until: None,
+            idle_check: Some(ready_at + SERVE_IDLE_SCALE_DOWN),
+        };
+        while let Some(a) = svc.orphans.pop_front() {
+            r.queue.push_back(a);
+        }
+        if !r.queue.is_empty() {
+            r.idle_check = None;
+        }
+        svc.replicas.push(r);
+        svc.peak_replicas = svc.peak_replicas.max(svc.replicas.len() as u8);
+    }
+
+    /// Release a `slice`/7 share; returns true when the slot emptied (the
+    /// caller must detach it).
+    fn release_slice(
+        slot_use: &mut BTreeMap<SlotAddr, SlotShare>,
+        slot: SlotAddr,
+        slice: u8,
+    ) -> bool {
+        let share = slot_use.get_mut(&slot).expect("serve slot registered");
+        share.used_sevenths -= slice;
+        if share.used_sevenths == 0 {
+            slot_use.remove(&slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Process every serving event due at `now`: service starts, batch
+    /// completions, arrivals, scale-up decisions, service ends, launches,
+    /// and idle reclaims. Returns true when the replica/slot set changed
+    /// (training rates must be recomputed).
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        mcs: &ManagementCenter,
+        interference: f64,
+        training_on_drawer: [usize; 2],
+    ) -> Result<bool, McsError> {
+        let mut changed = false;
+        let mut last = self.last_activity;
+        for i in 0..self.svcs.len() {
+            let svc = &mut self.svcs[i];
+            if !svc.started && svc.spec.start <= now {
+                svc.started = true;
+                svc.target = svc.spec.min_replicas;
+            }
+            for ri in 0..svc.replicas.len() {
+                if let Some(done) = svc.replicas[ri].busy_until {
+                    if done <= now {
+                        svc.complete_batch(ri, done, now);
+                        last = last.max(done);
+                    }
+                }
+            }
+            while svc.cursor < svc.arrivals.len() && svc.arrivals[svc.cursor] <= now {
+                let a = svc.arrivals[svc.cursor];
+                svc.cursor += 1;
+                svc.generated += 1;
+                svc.dispatch(a);
+            }
+            // Scale up when the backlog exceeds the live replicas' batch
+            // throughput headroom; the placement pass composes the new
+            // replica (paying the re-composition latency).
+            let backlog: usize =
+                svc.replicas.iter().map(|r| r.queue.len()).sum::<usize>() + svc.orphans.len();
+            if svc.started
+                && !svc.ended
+                && svc.target < svc.spec.max_replicas
+                && backlog
+                    > SERVE_BACKLOG_SCALE_UP
+                        * svc.replicas.len().max(1)
+                        * svc.spec.max_batch as usize
+            {
+                svc.target += 1;
+            }
+            if svc.started && !svc.ended && svc.spec.end() <= now {
+                svc.ended = true;
+                svc.target = 0;
+                svc.dropped += svc.orphans.len() as u64;
+                svc.orphans.clear();
+                last = last.max(now);
+            }
+            // Reclaim idle replicas: all of them once the service ended,
+            // those above the floor when their idle window expires.
+            let mut ri = 0;
+            while ri < svc.replicas.len() {
+                let idle = svc.replicas[ri].busy_until.is_none()
+                    && svc.replicas[ri].queue.is_empty();
+                let check_due =
+                    svc.replicas[ri].idle_check.is_some_and(|c| c <= now);
+                let above_floor = svc.replicas.len() > usize::from(svc.spec.min_replicas);
+                if idle && (svc.ended || (check_due && above_floor)) {
+                    let r = svc.replicas.remove(ri);
+                    if !svc.ended {
+                        svc.target = svc.target.saturating_sub(1).max(svc.spec.min_replicas);
+                    }
+                    if Self::release_slice(&mut self.slot_use, r.slot, svc.spec.slice) {
+                        mcs.detach(now, tenant_user(svc.spec.tenant.0), r.slot)?;
+                    }
+                    changed = true;
+                } else {
+                    if check_due {
+                        svc.replicas[ri].idle_check = None;
+                    }
+                    ri += 1;
+                }
+            }
+        }
+        self.last_activity = last;
+        self.try_launch_all(now, interference, training_on_drawer);
+        Ok(changed)
+    }
+
+    /// Launch every due batch. Dilation is frozen per batch at launch:
+    /// 1 + interference × (training jobs + other live services sharing the
+    /// replica's drawer).
+    pub fn try_launch_all(
+        &mut self,
+        now: SimTime,
+        interference: f64,
+        training_on_drawer: [usize; 2],
+    ) {
+        let (counts, per_svc) = self.occupancy();
+        let gpu = self.gpu.clone();
+        for i in 0..self.svcs.len() {
+            for ri in 0..self.svcs[i].replicas.len() {
+                let d = usize::from(self.svcs[i].replicas[ri].slot.drawer.0);
+                let neighbors =
+                    training_on_drawer[d] + counts[d] - usize::from(per_svc[i][d]);
+                let dilation = 1.0 + interference * neighbors as f64;
+                self.svcs[i].try_launch(ri, now, dilation, &gpu);
+            }
+        }
+    }
+
+    /// Fail over replicas on `failed` slots: force-detach the serving
+    /// slots through the MCS, re-queue their waiting and in-flight
+    /// requests onto survivors (or the orphan buffer), and let the
+    /// placement pass compose replacements.
+    pub fn evacuate_failed(
+        &mut self,
+        now: SimTime,
+        mcs: &ManagementCenter,
+        failed: &BTreeSet<SlotAddr>,
+    ) -> Result<bool, McsError> {
+        let dead: Vec<SlotAddr> =
+            self.slot_use.keys().copied().filter(|s| failed.contains(s)).collect();
+        if dead.is_empty() {
+            return Ok(false);
+        }
+        for &slot in &dead {
+            mcs.force_detach(now, ADMIN, slot)?;
+            self.slot_use.remove(&slot);
+        }
+        for svc in &mut self.svcs {
+            let (dead_reps, alive): (Vec<Replica>, Vec<Replica>) = svc
+                .replicas
+                .drain(..)
+                .partition(|r| failed.contains(&r.slot));
+            svc.replicas = alive;
+            for r in dead_reps {
+                svc.failovers += 1;
+                for a in r.batch.into_iter().chain(r.queue) {
+                    if svc.ended {
+                        svc.dropped += 1;
+                    } else {
+                        svc.dispatch(a);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// End-of-replay invariants: every service drained (request
+    /// conservation) and every serving slot released.
+    pub fn assert_drained(&self) {
+        for svc in &self.svcs {
+            assert_eq!(svc.cursor, svc.arrivals.len(), "service {} left arrivals", svc.spec.id);
+            assert!(svc.replicas.is_empty(), "service {} left replicas", svc.spec.id);
+            assert!(svc.orphans.is_empty(), "service {} left orphans", svc.spec.id);
+            assert_eq!(
+                svc.generated,
+                svc.completed + svc.dropped,
+                "service {} leaked requests",
+                svc.spec.id
+            );
+        }
+        assert!(self.slot_use.is_empty(), "serving slots leaked");
+    }
+
+    /// Fold per-service accounting into the report block; `None` when the
+    /// replay had no services (training-only reports keep their bytes).
+    pub fn assemble(&self) -> Option<ServeMetrics> {
+        if self.svcs.is_empty() {
+            return None;
+        }
+        let services: Vec<ServiceOutcome> = self.svcs.iter().map(|s| s.outcome()).collect();
+        let all: Vec<u64> =
+            self.svcs.iter().flat_map(|s| s.latencies_ns.iter().copied()).collect();
+        Some(ServeMetrics::assemble(services, all))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64, arrivals: ArrivalKind) -> ServiceSpec {
+        ServiceSpec {
+            id,
+            tenant: TenantId(id as u32 % 2),
+            benchmark: Benchmark::ResNet50,
+            slice: 2,
+            slo: Dur::from_millis(120),
+            rate_rps: 8.0,
+            arrivals,
+            start: SimTime::from_secs(1),
+            duration: Dur::from_secs(10),
+            max_batch: 8,
+            max_wait: Dur::from_millis(30),
+            min_replicas: 1,
+            max_replicas: 2,
+        }
+    }
+
+    #[test]
+    fn arrival_stream_is_deterministic_and_in_window() {
+        for kind in [ArrivalKind::Poisson, ArrivalKind::Diurnal] {
+            let s = spec(3, kind);
+            let a = request_times(&s);
+            let b = request_times(&s);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            assert!(a.windows(2).all(|w| w[0] <= w[1]));
+            assert!(a.iter().all(|&t| t >= s.start && t < s.end()));
+            // Rate sanity: within a factor of 2 of the nominal mean.
+            let n = a.len() as f64;
+            assert!(n > 8.0 * 10.0 / 2.0 && n < 8.0 * 10.0 * 2.0, "{n} arrivals");
+        }
+    }
+
+    #[test]
+    fn different_service_ids_get_different_streams() {
+        let a = request_times(&spec(1, ArrivalKind::Poisson));
+        let b = request_times(&spec(2, ArrivalKind::Poisson));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_latency_scales_sensibly() {
+        let gpu = GpuSpec::v100_pcie_16gb();
+        let p = InferenceProfile::for_benchmark(Benchmark::ResNet50);
+        let one = batch_latency(&p, &gpu, 7, 1, 1.0);
+        let eight = batch_latency(&p, &gpu, 7, 8, 1.0);
+        assert!(eight > one, "bigger batches take longer");
+        assert!(eight < Dur::from_nanos(8 * one.as_nanos()), "batching amortizes");
+        let thin = batch_latency(&p, &gpu, 1, 1, 1.0);
+        assert!(thin > one, "a 1/7 slice is slower than a full slot");
+        let dilated = batch_latency(&p, &gpu, 7, 1, 1.5);
+        let want = one.as_secs_f64() * 1.5;
+        assert!((dilated.as_secs_f64() - want).abs() < 2e-9, "{dilated:?} vs {want}");
+    }
+
+    #[test]
+    fn serving_latencies_sit_under_the_envelope_slos() {
+        // Every envelope row must leave generous headroom between its
+        // batch latency (max batch, moderate dilation, its slice) and its
+        // SLO — otherwise attainment targets are unreachable by design.
+        let gpu = GpuSpec::v100_pcie_16gb();
+        let mix = seeded_pai_mix(0, 16, 7);
+        for s in &mix.services {
+            let p = InferenceProfile::for_benchmark(s.benchmark);
+            let lat = batch_latency(&p, &gpu, s.slice, s.max_batch, 1.3);
+            let budget = s.slo.saturating_sub(s.max_wait);
+            assert!(
+                Dur::from_nanos(2 * lat.as_nanos()) <= budget,
+                "{:?}: batch {:?} vs SLO {:?}",
+                s.benchmark,
+                lat,
+                s.slo
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_trace_round_trips_and_rejects_duplicates() {
+        let mix = seeded_pai_mix(6, 4, 0xABC);
+        let back = MixedTrace::from_json_str(&mix.to_json_string()).unwrap();
+        assert_eq!(back, mix);
+
+        let mut dup = mix.clone();
+        dup.services[1].id = dup.services[0].id;
+        assert!(MixedTrace::from_json_str(&dup.to_json_string()).is_err());
+        let mut dupj = mix;
+        dupj.jobs[1].id = dupj.jobs[0].id;
+        assert!(MixedTrace::from_json_str(&dupj.to_json_string()).is_err());
+    }
+
+    #[test]
+    fn pai_mix_is_deterministic_and_in_envelope() {
+        let a = seeded_pai_mix(16, 8, 0x5E27E);
+        let b = seeded_pai_mix(16, 8, 0x5E27E);
+        assert_eq!(a, b);
+        assert_eq!(a.jobs.len(), 16);
+        assert_eq!(a.services.len(), 8);
+        for s in &a.services {
+            assert!(matches!(s.slice, 1 | 2 | 4 | 7));
+            assert!(s.tenant.0 < MAX_TENANTS);
+            assert!(s.rate_rps > 0.0);
+            assert!(s.duration >= Dur::from_secs(22));
+            assert!(s.start >= SimTime::from_secs(4));
+            assert!(s.min_replicas >= 1 && s.min_replicas <= s.max_replicas);
+        }
+        assert_ne!(a, seeded_pai_mix(16, 8, 0x5E27F));
+    }
+}

@@ -27,8 +27,26 @@ impl fmt::Display for TenantId {
 }
 
 /// Look a benchmark up by its paper label (the form traces serialize).
+///
+/// Matching is case-insensitive and ignores `-`/`_`, so the aliases that
+/// show up in hand-written traces and goldens (`"resnet50"`,
+/// `"resnet-50"`, `"bert_large"`, `"yolov5l"`, …) all resolve.
 pub fn benchmark_from_label(label: &str) -> Option<Benchmark> {
-    Benchmark::all().into_iter().find(|b| b.label() == label)
+    fn norm(s: &str) -> String {
+        s.chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .flat_map(char::to_lowercase)
+            .collect()
+    }
+    let wanted = norm(label);
+    Benchmark::all()
+        .into_iter()
+        .find(|b| norm(b.label()) == wanted)
+        .or(match wanted.as_str() {
+            "bertbase" => Some(Benchmark::BertBase),
+            "bertlarge" => Some(Benchmark::BertLarge),
+            _ => None,
+        })
 }
 
 /// One training job in a cluster trace.
@@ -116,8 +134,17 @@ impl Trace {
         self.to_json().emit_pretty()
     }
 
+    /// Parse a trace from JSON. Duplicate job ids are rejected (two jobs
+    /// with one id would silently alias in the cluster's id-keyed maps)
+    /// and jobs arrive sorted regardless of file order.
     pub fn from_json_str(s: &str) -> Result<Trace, JsonError> {
-        Trace::from_json(&Value::parse(s)?)
+        let trace = Trace::from_json(&Value::parse(s)?)?;
+        let mut ids: Vec<u64> = trace.jobs.iter().map(|j| j.id).collect();
+        ids.sort_unstable();
+        if let Some(dup) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(JsonError::decode(format!("duplicate job id {}", dup[0])));
+        }
+        Ok(trace.sorted())
     }
 }
 
@@ -262,6 +289,43 @@ mod tests {
         let t = seeded_two_tenant(12, 9);
         let back = Trace::from_json_str(&t.to_json_string()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn label_lookup_accepts_common_aliases() {
+        for (alias, want) in [
+            ("MobileNetV2", Benchmark::MobileNetV2),
+            ("mobilenet-v2", Benchmark::MobileNetV2),
+            ("ResNet-50", Benchmark::ResNet50),
+            ("resnet50", Benchmark::ResNet50),
+            ("RESNET_50", Benchmark::ResNet50),
+            ("YOLOv5-L", Benchmark::YoloV5L),
+            ("yolov5l", Benchmark::YoloV5L),
+            ("BERT", Benchmark::BertBase),
+            ("bert-base", Benchmark::BertBase),
+            ("BERT-L", Benchmark::BertLarge),
+            ("bert_large", Benchmark::BertLarge),
+        ] {
+            assert_eq!(benchmark_from_label(alias), Some(want), "{alias}");
+        }
+        assert_eq!(benchmark_from_label("gpt-17"), None);
+    }
+
+    #[test]
+    fn duplicate_job_ids_rejected() {
+        let mut t = seeded_two_tenant(4, 5);
+        t.jobs[2].id = t.jobs[1].id;
+        let err = Trace::from_json_str(&t.to_json_string());
+        assert!(err.is_err(), "duplicate ids must not parse");
+    }
+
+    #[test]
+    fn out_of_order_json_is_sorted_on_parse() {
+        let mut t = seeded_two_tenant(6, 5);
+        t.jobs.reverse();
+        let back = Trace::from_json_str(&t.to_json_string()).unwrap();
+        assert!(back.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(back, t.sorted());
     }
 
     #[test]

@@ -38,6 +38,12 @@ cargo run --release --offline -p bench --bin repro -- cluster --quick --jobs 2
 echo "== failure-injection smoke (repro faults --jobs 2; asserts recovery clock > 0) =="
 cargo run --release --offline -p bench --bin repro -- faults --quick --jobs 2
 
+echo "== inference-serving smoke (repro serve --quick --jobs 2) =="
+cargo run --release --offline -p bench --bin repro -- serve --quick --jobs 2
+
+echo "== byte-determinism guard: golden cluster_serve.json still matches =="
+cargo test -q --offline -p bench --test golden_tables golden_cluster_serve
+
 echo "== byte-determinism guard: golden cluster_fifo.json still matches =="
 cargo test -q --offline -p bench --test golden_tables golden_cluster_fifo
 

@@ -8,8 +8,9 @@
 use composable_core::{recommend_jobs, ExperimentOpts, HostConfig, Objective};
 use dlmodels::Benchmark;
 use scheduler::{
-    all_policies, compare_policies_cached, compare_policies_faulty, paper_fault_plan, trace,
-    warm_set_for_trace, ProbeCache, SchedulerConfig,
+    all_policies, compare_policies_cached, compare_policies_faulty, compare_policies_mixed,
+    paper_fault_plan, seeded_pai_mix, serving_policies, trace, warm_set_for_trace, ProbeCache,
+    SchedulerConfig,
 };
 
 fn replay_snapshot(jobs: usize) -> (Vec<String>, String) {
@@ -67,6 +68,34 @@ fn faulty_replay_identical_across_worker_counts() {
         assert!(!pair[0].contains("\"recovery\""), "baseline stays fault-free");
         assert!(pair[1].contains("\"recovery\""), "faulty replay reports recovery");
         assert!(pair[1].contains("\"mean_recovery_ns\""));
+    }
+}
+
+fn mixed_snapshot(jobs: usize) -> (Vec<String>, String) {
+    let mix = seeded_pai_mix(6, 4, 0xBEEF);
+    let cfg = SchedulerConfig::default();
+    let mut cache = ProbeCache::new(cfg.probe_iters);
+    let reports = compare_policies_mixed(&mix, serving_policies(), &cfg, jobs, &mut cache)
+        .expect("mixed trace drains under every policy");
+    let reports: Vec<String> = reports.iter().map(|r| r.to_json_string()).collect();
+    (reports, cache.save_json())
+}
+
+/// Inference serving keeps the contract: a mixed training + serving trace
+/// replayed at `--jobs 1` and `--jobs 4` (and across repeated parallel
+/// runs) yields byte-identical reports — per-service SLO metrics
+/// included — and byte-identical probe caches.
+#[test]
+fn mixed_serving_replay_identical_across_worker_counts() {
+    let serial = mixed_snapshot(1);
+    let parallel = mixed_snapshot(4);
+    let parallel_again = mixed_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "mixed reports must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel mixed runs must not race");
+    for r in &serial.0 {
+        assert!(r.contains("\"serve\""), "every mixed report carries a serve block");
+        assert!(r.contains("\"attainment\""));
     }
 }
 
