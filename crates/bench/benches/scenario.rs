@@ -1,0 +1,108 @@
+//! Scenario-matrix throughput bench (testkit harness): the whole
+//! checked-in `scenarios/` directory run through [`scheduler::run_matrix`]
+//! at `--jobs 1` vs `--jobs 4`, with byte-identity asserted up front.
+//!
+//! The jobs4/jobs1 ratio is the tracked signal here: when parallel matrix
+//! execution drops below serial (`matrix_speedup < 1.0`) a non-fatal
+//! WARNING is printed and the ratio lands in `BENCH_scenario.json`, so a
+//! parallelism regression stays visible in the checked-in baseline even
+//! on hosts too small to enforce a speedup floor.
+
+use desim::json::Value;
+use scheduler::{run_matrix, ProbeCache, Scenario, SchedulerConfig};
+use testkit::bench::{black_box, BenchOpts, Suite};
+
+fn load_scenarios() -> Vec<Scenario> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("scenarios/ is checked in")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", p.display()));
+            Scenario::from_json_str(&text)
+                .unwrap_or_else(|e| panic!("cannot parse {}: {e}", p.display()))
+        })
+        .collect()
+}
+
+/// One full matrix pass with a fresh shared cache: the bench measures
+/// probing + replay + report assembly, not cache hits.
+fn matrix_pass(scenarios: &[Scenario], jobs: usize) -> Vec<String> {
+    let mut cache = ProbeCache::new(SchedulerConfig::default().probe_iters);
+    run_matrix(scenarios, jobs, &mut cache)
+        .expect("every pinned scenario runs")
+        .iter()
+        .map(|r| r.canonical_json_string())
+        .collect()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scenarios = load_scenarios();
+    assert!(scenarios.len() >= 5, "the pinned scenario set is checked in");
+    let n_scenarios = scenarios.len();
+
+    // Byte-identity across worker counts is asserted once up front so a
+    // determinism regression fails loudly before any timing is reported.
+    let serial = matrix_pass(&scenarios, 1);
+    let parallel = matrix_pass(&scenarios, 4);
+    assert_eq!(serial, parallel, "jobs=4 matrix output must be byte-identical to jobs=1");
+
+    let mut s = Suite::with_opts(
+        "scenario",
+        BenchOpts {
+            warmup_iters: 1,
+            iters: 5,
+        },
+    );
+
+    let matrix1 = s
+        .bench("scenario_matrix_jobs1", || {
+            black_box(matrix_pass(&scenarios, 1).len())
+        })
+        .clone();
+    let matrix4 = s
+        .bench("scenario_matrix_jobs4", || {
+            black_box(matrix_pass(&scenarios, 4).len())
+        })
+        .clone();
+    let matrix_speedup = matrix1.median_ns as f64 / matrix4.median_ns as f64;
+    println!(
+        "  -> matrix speedup jobs4/jobs1: {matrix_speedup:.2}x over {n_scenarios} scenarios on {cores} core(s)"
+    );
+    if matrix_speedup < 1.0 {
+        // Non-fatal by design: few-core hosts (CI included) legitimately
+        // see <1.0x; the ratio below keeps the trajectory visible.
+        println!(
+            "  -> WARNING: parallel matrix slower than serial ({matrix_speedup:.2}x < 1.00x); \
+             watch matrix_speedup in BENCH_scenario.json"
+        );
+    }
+
+    let baseline = Value::obj(vec![
+        ("suite", Value::str("scenario-matrix")),
+        ("host_parallelism", Value::from_u64(cores as u64)),
+        ("n_scenarios", Value::from_u64(n_scenarios as u64)),
+        ("matrix_jobs1_median_ns", Value::from_u64(matrix1.median_ns as u64)),
+        ("matrix_jobs4_median_ns", Value::from_u64(matrix4.median_ns as u64)),
+        ("matrix_speedup", Value::Num((matrix_speedup * 100.0).round() / 100.0)),
+        (
+            "note",
+            Value::str(
+                "matrix_speedup is wall-clock only and tracked, not asserted; output is \
+                 byte-identical at any worker count (asserted above and in \
+                 tests/parallel_determinism.rs)",
+            ),
+        ),
+    ])
+    .emit_pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenario.json");
+    std::fs::write(path, baseline + "\n").expect("write BENCH_scenario.json");
+    println!("baseline written to BENCH_scenario.json");
+}

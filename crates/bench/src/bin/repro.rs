@@ -27,10 +27,10 @@ use dlmodels::Benchmark;
 use fabric::link::comms_requirements;
 use scheduler::{
     all_policies, comparison_table, compare_policies_cached, compare_policies_faulty,
-    compare_policies_mixed, paper_fault_plan, seeded_pai_mix, serve_comparison_table,
-    serving_policies, trace, ProbeCache, SchedulerConfig,
+    compare_policies_mixed, paper_fault_plan, run_matrix, run_scenario, seeded_pai_mix,
+    serve_comparison_table, serving_policies, trace, ProbeCache, Scenario, SchedulerConfig,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,6 +45,17 @@ fn main() {
         .filter(|a| !is_jobs_value(&args, a))
         .map(|s| s.as_str())
         .collect();
+
+    // Declarative scenario runs: everything after the subcommand is a
+    // scenario file (or, for the matrix, a directory / shell-expanded
+    // glob of them). Handled before the experiment-name loop so file
+    // paths are never mistaken for experiment names.
+    match wanted.split_first() {
+        Some((&"scenario", files)) => return scenario_cmd(files),
+        Some((&"scenario-matrix", files)) => return scenario_matrix_cmd(files),
+        _ => {}
+    }
+
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     if want("table1") {
@@ -578,4 +589,118 @@ fn serve(quick: bool) {
         assert!(att(fifo) < 0.95, "baseline should violate SLOs under contention");
     }
     println!("request conservation holds under every policy (generated = completed + dropped).");
+}
+
+fn probe_cache_path() -> PathBuf {
+    std::env::var_os("PROBE_CACHE")
+        .map_or_else(|| PathBuf::from("target/probe_cache.json"), PathBuf::from)
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2)
+}
+
+fn load_scenario(path: &Path) -> Scenario {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(format!("cannot read {}: {e}", path.display())));
+    Scenario::from_json_str(&text)
+        .unwrap_or_else(|e| die(format!("cannot parse {}: {e}", path.display())))
+}
+
+/// Expand each argument: a directory yields its `*.json` files in
+/// lexicographic order (so matrix output order never depends on readdir
+/// order); anything else is taken as one scenario file. Shell glob
+/// expansion arrives here as multiple file arguments.
+fn collect_scenario_files(args: &[&str]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for a in args {
+        let p = PathBuf::from(a);
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&p)
+                .unwrap_or_else(|e| die(format!("cannot read {}: {e}", p.display())))
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|e| e.extension().is_some_and(|x| x == "json"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(p);
+        }
+    }
+    files
+}
+
+/// `repro scenario <file>`: run one declarative scenario and emit its
+/// canonical report JSON on stdout (a one-policy, full-metrics scenario
+/// emits the bare `ScheduleReport`, byte-identical to the goldens the
+/// legacy subcommands pinned). Progress and probe-cache stats go to
+/// stderr so stdout stays exactly the canonical bytes.
+fn scenario_cmd(files: &[&str]) {
+    let [file] = files else {
+        die(format!("scenario takes exactly one file, got {}", files.len()));
+    };
+    let path = PathBuf::from(file);
+    let sc = load_scenario(&path);
+    let cache_path = probe_cache_path();
+    let mut cache = ProbeCache::load_file(&cache_path, sc.config.probe_iters);
+    let loaded = cache.len();
+    let report = run_scenario(&sc, parsweep::default_jobs(), &mut cache)
+        .unwrap_or_else(|e| die(format!("{}: {e}", path.display())));
+    eprintln!(
+        "[scenario {}] {} policies replayed; probe cache {}: {} entries loaded, {} probes run, {} saved",
+        sc.name,
+        report.reports.len(),
+        cache_path.display(),
+        loaded,
+        cache.probes_run(),
+        cache.len()
+    );
+    if let Err(e) = cache.save_file(&cache_path) {
+        eprintln!("[scenario] probe cache not saved ({e}); runs stay correct without it");
+    }
+    print!("{}", report.canonical_json_string());
+}
+
+/// `repro scenario-matrix <dir|files...>`: run every scenario through one
+/// parsweep fan-out and print a comparison table per scenario. Stdout is
+/// a pure function of the reports, so it is byte-identical at any
+/// `--jobs` count — the property `tests/parallel_determinism.rs` pins.
+fn scenario_matrix_cmd(files: &[&str]) {
+    let paths = collect_scenario_files(files);
+    if paths.is_empty() {
+        die("scenario-matrix needs at least one scenario file or directory".into());
+    }
+    let scenarios: Vec<Scenario> = paths.iter().map(|p| load_scenario(p)).collect();
+    let cfg = SchedulerConfig::default();
+    let cache_path = probe_cache_path();
+    let mut cache = ProbeCache::load_file(&cache_path, cfg.probe_iters);
+    let loaded = cache.len();
+    let reports = run_matrix(&scenarios, parsweep::default_jobs(), &mut cache)
+        .unwrap_or_else(|e| die(e.to_string()));
+    eprintln!(
+        "[scenario-matrix] {} scenarios replayed; probe cache {}: {} entries loaded, {} probes run, {} saved",
+        reports.len(),
+        cache_path.display(),
+        loaded,
+        cache.probes_run(),
+        cache.len()
+    );
+    if let Err(e) = cache.save_file(&cache_path) {
+        eprintln!("[scenario-matrix] probe cache not saved ({e}); runs stay correct without it");
+    }
+    for rep in &reports {
+        let serves = rep.reports.iter().any(|r| r.serve.is_some());
+        println!(
+            "== scenario {} ({} {}) ==",
+            rep.scenario,
+            rep.reports.len(),
+            if rep.reports.len() == 1 { "policy" } else { "policies" }
+        );
+        if serves {
+            println!("{}", serve_comparison_table(&rep.reports));
+        } else {
+            println!("{}", comparison_table(&rep.reports));
+        }
+    }
 }

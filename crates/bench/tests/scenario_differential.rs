@@ -1,0 +1,94 @@
+//! Differential tests: each legacy `repro` study path (cluster / faults /
+//! serve) against its checked-in `scenarios/*.json` equivalent. The
+//! scenario runner must reproduce the legacy entry points' reports
+//! **byte-identically**, at `--jobs 1` and `--jobs 4` — this is the
+//! contract that lets the scenario harness replace the per-feature
+//! plumbing without invalidating a single golden.
+
+use scheduler::policy::FifoFirstFit;
+use scheduler::{
+    paper_fault_plan, run_scenario, seeded_pai_mix, trace, ClusterSim, ProbeCache, Scenario,
+    SchedulerConfig, SloAwarePack,
+};
+use std::path::PathBuf;
+
+fn load(name: &str) -> Scenario {
+    let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios")).join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Scenario::from_json_str(&text).unwrap()
+}
+
+/// Canonical scenario bytes at a given worker count.
+fn scenario_bytes(sc: &Scenario, jobs: usize) -> String {
+    let mut cache = ProbeCache::new(sc.config.probe_iters);
+    run_scenario(sc, jobs, &mut cache)
+        .unwrap_or_else(|e| panic!("{}: {e}", sc.name))
+        .canonical_json_string()
+}
+
+fn assert_matches_legacy(scenario_file: &str, legacy: String) {
+    let sc = load(scenario_file);
+    assert_eq!(
+        scenario_bytes(&sc, 1),
+        legacy,
+        "{scenario_file} at --jobs 1 must match the legacy path byte-for-byte"
+    );
+    assert_eq!(
+        scenario_bytes(&sc, 4),
+        legacy,
+        "{scenario_file} at --jobs 4 must match the legacy path byte-for-byte"
+    );
+}
+
+/// `repro cluster`'s pinned replay (20-job two-tenant trace under FIFO
+/// first-fit) == `scenarios/cluster_fifo.json`.
+#[test]
+fn cluster_scenario_matches_legacy_subcommand() {
+    let legacy = ClusterSim::new(
+        trace::seeded_two_tenant(20, 0xC10D),
+        Box::new(FifoFirstFit),
+        SchedulerConfig::default(),
+    )
+    .unwrap()
+    .run()
+    .unwrap()
+    .to_json_string();
+    assert_matches_legacy("cluster_fifo.json", legacy);
+}
+
+/// `repro faults`' pinned replay (same trace + the 3-event paper fault
+/// plan) == `scenarios/cluster_faults.json`, recovery block included.
+#[test]
+fn faults_scenario_matches_legacy_subcommand() {
+    let legacy = ClusterSim::new(
+        trace::seeded_two_tenant(20, 0xC10D),
+        Box::new(FifoFirstFit),
+        SchedulerConfig::default(),
+    )
+    .unwrap()
+    .with_faults(paper_fault_plan())
+    .unwrap()
+    .run()
+    .unwrap()
+    .to_json_string();
+    assert!(legacy.contains("\"recovery\""), "legacy faulty replay carries recovery metrics");
+    assert_matches_legacy("cluster_faults.json", legacy);
+}
+
+/// `repro serve`'s pinned replay (16-job + 8-service PAI mix under
+/// slo-aware-pack) == `scenarios/cluster_serve.json`, serve block included.
+#[test]
+fn serve_scenario_matches_legacy_subcommand() {
+    let legacy = ClusterSim::new_mixed(
+        seeded_pai_mix(16, 8, 0xC10D),
+        Box::new(SloAwarePack),
+        SchedulerConfig::default(),
+    )
+    .unwrap()
+    .run()
+    .unwrap()
+    .to_json_string();
+    assert!(legacy.contains("\"serve\""), "legacy mixed replay carries serve metrics");
+    assert_matches_legacy("cluster_serve.json", legacy);
+}

@@ -1,0 +1,81 @@
+//! Scenario-driven golden regression: every pinned study is a checked-in
+//! `scenarios/*.json` whose canonical report bytes are frozen under
+//! `crates/bench/golden/` — the same files the legacy per-subcommand
+//! golden tests pinned, proving the declarative harness subsumes the old
+//! plumbing. Failures name the *scenario* (via
+//! [`testkit::check_scenario_golden`]), so a stale golden says which spec
+//! to re-run, not which test binary tripped.
+
+use scheduler::{run_scenario, ProbeCache, Scenario};
+use std::path::PathBuf;
+use testkit::check_scenario_golden;
+
+fn scenario_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios"))
+}
+
+fn golden(name: &str) -> String {
+    format!("{}/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load(name: &str) -> Scenario {
+    let path = scenario_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Scenario::from_json_str(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+/// The pinned studies, each as (scenario file, golden file). One table,
+/// one guard loop — adding a pinned study is adding a row.
+const PINNED: [(&str, &str); 3] = [
+    ("cluster_fifo.json", "cluster_fifo.json"),
+    ("cluster_faults.json", "cluster_faults.json"),
+    ("cluster_serve.json", "cluster_serve.json"),
+];
+
+/// Every pinned scenario's canonical output still matches its golden —
+/// byte-identical to the snapshots the legacy `golden_tables` tests
+/// froze, which is the acceptance bar for the harness subsuming the
+/// per-feature plumbing.
+#[test]
+fn pinned_scenarios_match_their_goldens() {
+    for (scenario_file, golden_file) in PINNED {
+        let sc = load(scenario_file);
+        let mut cache = ProbeCache::new(sc.config.probe_iters);
+        let report = run_scenario(&sc, 2, &mut cache)
+            .unwrap_or_else(|e| panic!("{scenario_file}: {e}"));
+        check_scenario_golden(&sc.name, golden(golden_file), &report.canonical_json_string());
+    }
+}
+
+/// Every checked-in scenario file parses, validates, and is stored in
+/// canonical form (emit(parse(text)) == text), so `git diff` on a
+/// scenario edit is always minimal and the property suite's byte
+/// round-trip covers exactly what is on disk.
+#[test]
+fn checked_in_scenarios_are_valid_and_canonical() {
+    let dir = scenario_dir();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 5, "the pinned scenario set is checked in");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sc = Scenario::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        sc.validate()
+            .unwrap_or_else(|e| panic!("{} does not validate: {e}", path.display()));
+        assert_eq!(
+            sc.to_json_string(),
+            text,
+            "{} is not in canonical form — re-emit it with Scenario::to_json_string",
+            path.display()
+        );
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(sc.name, stem, "{}: scenario name matches its file name", path.display());
+    }
+}

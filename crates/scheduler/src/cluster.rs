@@ -60,7 +60,7 @@ fn tenant_host(t: u32) -> HostId {
 }
 
 /// Knobs of the cluster simulation (not of any single policy).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
     /// Concurrent GPUs one tenant may hold across its jobs.
     pub quota_gpus_per_tenant: usize,

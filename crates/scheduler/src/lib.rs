@@ -35,6 +35,7 @@ pub mod fault;
 pub mod metrics;
 pub mod policy;
 pub mod probe;
+pub mod scenario;
 pub mod serve;
 pub mod trace;
 
@@ -55,6 +56,10 @@ pub use policy::{
     SloAwarePack,
 };
 pub use probe::{warm_set_for_trace, Probe, ProbeCache, Shape};
+pub use scenario::{
+    run_matrix, run_scenario, FaultSpec, MetricLevel, Scenario, ScenarioError, ScenarioReport,
+    Topology, TraceSpec,
+};
 pub use serve::{
     batch_latency, request_times, seeded_pai_mix, ArrivalKind, MixedTrace, ServeState,
     ServiceSpec, SERVE_COMPUTE_EFF, SLICES_PER_GPU,

@@ -148,6 +148,12 @@ impl ProbeCache {
         self.map.is_empty()
     }
 
+    /// The iteration count this cache's prices were measured at. Prices
+    /// are only comparable between caches built at the same count.
+    pub fn probe_iters(&self) -> u64 {
+        self.probe_iters
+    }
+
     /// Probe simulations actually executed through this cache (misses in
     /// [`price`](Self::price) plus keys warmed by [`warm`](Self::warm)).
     /// Loaded entries never count.

@@ -17,11 +17,26 @@ use std::path::Path;
 /// * missing file — fail with instructions to bless.
 /// * mismatch — fail with a unified diff.
 pub fn check_golden(path: impl AsRef<Path>, actual: &str) {
-    let path = path.as_ref();
+    check_golden_labeled(None, path.as_ref(), actual);
+}
+
+/// [`check_golden`] for scenario-driven goldens: failure and bless
+/// messages name the *scenario* that produced the bytes, not just the
+/// file path, so a stale-golden diff says which `scenarios/*.json` to
+/// re-run (or re-bless) rather than which test binary tripped.
+pub fn check_scenario_golden(scenario: &str, path: impl AsRef<Path>, actual: &str) {
+    check_golden_labeled(Some(scenario), path.as_ref(), actual);
+}
+
+fn check_golden_labeled(scenario: Option<&str>, path: &Path, actual: &str) {
     // Normalize to exactly one trailing newline so editors/POSIX tools
     // don't introduce spurious diffs.
     let mut actual = actual.trim_end_matches('\n').to_string();
     actual.push('\n');
+    let what = match scenario {
+        Some(s) => format!("scenario \"{s}\" ({})", path.display()),
+        None => path.display().to_string(),
+    };
 
     if std::env::var("TESTKIT_BLESS").as_deref() == Ok("1") {
         if let Some(dir) = path.parent() {
@@ -29,23 +44,21 @@ pub fn check_golden(path: impl AsRef<Path>, actual: &str) {
                 .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
         }
         fs::write(path, &actual).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-        eprintln!("testkit: blessed {}", path.display());
+        eprintln!("testkit: blessed {what}");
         return;
     }
 
     let expected = match fs::read_to_string(path) {
         Ok(s) => s,
         Err(_) => panic!(
-            "golden file {} is missing — run the test once with TESTKIT_BLESS=1 to create it, \
-             inspect the result, and check it in",
-            path.display()
+            "golden file for {what} is missing — run the test once with TESTKIT_BLESS=1 to \
+             create it, inspect the result, and check it in"
         ),
     };
     if expected != actual {
         panic!(
-            "golden mismatch for {}\n{}\nIf this change is intended, re-bless with \
+            "golden mismatch for {what}\n{}\nIf this change is intended, re-bless with \
              TESTKIT_BLESS=1 and commit the updated file.",
-            path.display(),
             unified_diff(&expected, &actual, 3)
         );
     }

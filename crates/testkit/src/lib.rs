@@ -39,5 +39,5 @@ pub use gen::{
     bools, f64_in, just, one_of, select, tuple2, tuple3, tuple4, tuple5, u32_in, u64_in, u8_in,
     usize_in, vec_of, Gen, Shrinkable,
 };
-pub use golden::{check_golden, unified_diff};
+pub use golden::{check_golden, check_scenario_golden, unified_diff};
 pub use runner::run_property;

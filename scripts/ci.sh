@@ -32,22 +32,15 @@ cargo test -q --offline --workspace
 echo "== benches compile (smoke run, 1 iteration) =="
 TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 
-echo "== cluster scheduler smoke (repro cluster --quick, 2 parallel workers) =="
-cargo run --release --offline -p bench --bin repro -- cluster --quick --jobs 2
+# The per-feature smokes (repro cluster/faults/serve) and per-golden
+# guard invocations are subsumed by the scenario harness: one matrix
+# pass runs every checked-in scenario — training, faults, and serving —
+# and one test binary guards every pinned golden through
+# testkit::check_scenario_golden.
+echo "== scenario-matrix smoke (every scenarios/*.json, 2 parallel workers) =="
+cargo run --release --offline -p bench --bin repro -- scenario-matrix scenarios --jobs 2
 
-echo "== failure-injection smoke (repro faults --jobs 2; asserts recovery clock > 0) =="
-cargo run --release --offline -p bench --bin repro -- faults --quick --jobs 2
-
-echo "== inference-serving smoke (repro serve --quick --jobs 2) =="
-cargo run --release --offline -p bench --bin repro -- serve --quick --jobs 2
-
-echo "== byte-determinism guard: golden cluster_serve.json still matches =="
-cargo test -q --offline -p bench --test golden_tables golden_cluster_serve
-
-echo "== byte-determinism guard: golden cluster_fifo.json still matches =="
-cargo test -q --offline -p bench --test golden_tables golden_cluster_fifo
-
-echo "== byte-determinism guard: golden cluster_faults.json still matches =="
-cargo test -q --offline -p bench --test golden_tables golden_cluster_faults
+echo "== byte-determinism guard: pinned scenario goldens still match =="
+cargo test -q --offline -p bench --test scenario_goldens
 
 echo "CI OK"

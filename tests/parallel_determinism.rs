@@ -9,8 +9,8 @@ use composable_core::{recommend_jobs, ExperimentOpts, HostConfig, Objective};
 use dlmodels::Benchmark;
 use scheduler::{
     all_policies, compare_policies_cached, compare_policies_faulty, compare_policies_mixed,
-    paper_fault_plan, seeded_pai_mix, serving_policies, trace, warm_set_for_trace, ProbeCache,
-    SchedulerConfig,
+    paper_fault_plan, run_matrix, seeded_pai_mix, serving_policies, trace, warm_set_for_trace,
+    ProbeCache, Scenario, SchedulerConfig,
 };
 
 fn replay_snapshot(jobs: usize) -> (Vec<String>, String) {
@@ -97,6 +97,40 @@ fn mixed_serving_replay_identical_across_worker_counts() {
         assert!(r.contains("\"serve\""), "every mixed report carries a serve block");
         assert!(r.contains("\"attainment\""));
     }
+}
+
+fn scenario_matrix_snapshot(jobs: usize) -> (Vec<String>, String) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("scenarios/ is checked in")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let scenarios: Vec<Scenario> = paths
+        .iter()
+        .map(|p| Scenario::from_json_str(&std::fs::read_to_string(p).unwrap()).unwrap())
+        .collect();
+    let mut cache = ProbeCache::new(SchedulerConfig::default().probe_iters);
+    let reports = run_matrix(&scenarios, jobs, &mut cache).expect("every pinned scenario runs");
+    let reports: Vec<String> = reports.iter().map(|r| r.canonical_json_string()).collect();
+    (reports, cache.save_json())
+}
+
+/// The scenario matrix keeps the contract: the whole checked-in
+/// `scenarios/` directory fanned across 1 vs 4 workers (and across
+/// repeated parallel runs) yields byte-identical canonical reports and a
+/// byte-identical shared probe cache — the property `repro
+/// scenario-matrix --jobs N` advertises.
+#[test]
+fn scenario_matrix_identical_across_worker_counts() {
+    let serial = scenario_matrix_snapshot(1);
+    let parallel = scenario_matrix_snapshot(4);
+    let parallel_again = scenario_matrix_snapshot(4);
+    assert!(serial.0.len() >= 5, "the pinned scenario set ran");
+    assert_eq!(serial.0, parallel.0, "scenario reports must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel matrix runs must not race");
 }
 
 /// `recommend` ranks identically (same order, same scores, same attached
