@@ -1,0 +1,144 @@
+//! Rack scale-out benches (testkit harness): the same seeded two-tenant
+//! replay at every supported rack scale — 16 GPUs (one Falcon chassis),
+//! 32 (2 chassis), 64 (4), and 128 (8, the full envelope) — so the cost
+//! of crossing the inter-chassis fabric tier is a tracked number, not a
+//! guess. Alongside the timings, a directional assertion: at 32 GPUs the
+//! placement policies that price the cross-chassis hop (frag-aware,
+//! topology-aware) must beat naive FIFO first-fit on mean JCT.
+//!
+//! Results land in `BENCH_cluster_scale.json` at the workspace root: raw
+//! desim events/sec (the denominator every replay pays per event) plus a
+//! median replay wall-clock per scale.
+
+use desim::json::Value;
+use desim::{Dur, Sim};
+use scheduler::{
+    all_policies, compare_policies_cached_on, trace, ProbeCache, RackTopology, ScheduleReport,
+    SchedulerConfig,
+};
+use testkit::bench::{black_box, BenchOpts, Suite};
+
+const DESIM_EVENTS: u64 = 100_000;
+
+/// One self-rescheduling event: the leanest trip around the event loop.
+fn tick(remaining: &mut u64, sim: &mut Sim<u64>) {
+    if *remaining > 0 {
+        *remaining -= 1;
+        sim.schedule_in(Dur::from_nanos(1), tick);
+    }
+}
+
+fn desim_event_chain() -> u64 {
+    let mut sim: Sim<u64> = Sim::new();
+    let mut remaining = DESIM_EVENTS;
+    sim.schedule_in(Dur::from_nanos(1), tick);
+    sim.run(&mut remaining);
+    assert_eq!(remaining, 0);
+    sim.events_executed()
+}
+
+/// The benched scales: (chassis, jobs in the trace, per-tenant quota).
+/// Job count and quota grow with the pool so every scale is contended —
+/// an idle 128-GPU rack would time nothing but probe overhead.
+const SCALES: [(u8, usize, usize); 4] = [(1, 16, 12), (2, 24, 20), (4, 32, 40), (8, 40, 72)];
+
+fn replay_at(chassis: u8, n_jobs: usize, quota: usize) -> Vec<ScheduleReport> {
+    let topo = RackTopology::with_chassis(chassis);
+    let cfg = SchedulerConfig { quota_gpus_per_tenant: quota, ..SchedulerConfig::default() };
+    // A fresh cache each call: the bench measures probing + replay, not
+    // cache hits.
+    let mut cache = ProbeCache::new_for(cfg.probe_iters, topo);
+    compare_policies_cached_on(
+        topo,
+        &trace::seeded_two_tenant(n_jobs, 0xC10D),
+        all_policies(),
+        &cfg,
+        4,
+        &mut cache,
+    )
+    .expect("trace drains under every policy at every scale")
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = Suite::with_opts(
+        "cluster_scale",
+        BenchOpts {
+            warmup_iters: 1,
+            iters: 5,
+        },
+    );
+
+    let desim_stats = s
+        .bench("desim_event_loop_100k_events", || {
+            black_box(desim_event_chain())
+        })
+        .clone();
+    let events_per_sec = DESIM_EVENTS as f64 / (desim_stats.median_ns as f64 / 1e9);
+    println!("  -> {events_per_sec:.0} events/sec (median)");
+
+    // The directional claim, asserted before any timing is reported: at
+    // 32 GPUs the cross-chassis stretch makes rack-spanning gangs
+    // expensive, so the policies that price it must beat first-fit.
+    let reports32 = replay_at(2, 32, 20);
+    let jct = |name: &str| {
+        reports32
+            .iter()
+            .find(|r| r.policy == name)
+            .expect("policy ran at 32 GPUs")
+            .mean_jct
+            .as_secs_f64()
+    };
+    let fifo = jct("fifo-first-fit");
+    for smart in ["frag-aware", "topology-aware"] {
+        assert!(
+            jct(smart) < fifo,
+            "{smart} must beat fifo-first-fit on mean JCT at 32 GPUs: \
+             {:.2}s vs {fifo:.2}s",
+            jct(smart)
+        );
+    }
+    println!(
+        "  -> 32-GPU mean JCT: fifo {fifo:.2}s, frag-aware {:.2}s, topology-aware {:.2}s",
+        jct("frag-aware"),
+        jct("topology-aware")
+    );
+
+    let mut scale_fields: Vec<(String, Value)> = Vec::new();
+    for (chassis, n_jobs, quota) in SCALES {
+        let gpus = RackTopology::with_chassis(chassis).total_gpus();
+        let stats = s
+            .bench(&format!("rack_replay_{gpus}_gpus_{chassis}_chassis"), || {
+                let reports = replay_at(chassis, n_jobs, quota);
+                assert!(reports.iter().all(|r| r.pool_gpus as usize == gpus));
+                black_box(reports.len())
+            })
+            .clone();
+        scale_fields.push((format!("scale{gpus}_median_ns"), Value::from_u64(stats.median_ns as u64)));
+        scale_fields.push((format!("scale{gpus}_chassis"), Value::from_u64(u64::from(chassis))));
+        scale_fields.push((format!("scale{gpus}_trace_jobs"), Value::from_u64(n_jobs as u64)));
+    }
+
+    let mut fields: Vec<(&str, Value)> = vec![
+        ("suite", Value::str("cluster-scale")),
+        ("host_parallelism", Value::from_u64(cores as u64)),
+        ("desim_events_per_sec", Value::Num(events_per_sec.round())),
+        ("desim_100k_events_median_ns", Value::from_u64(desim_stats.median_ns as u64)),
+    ];
+    let scale_fields: Vec<(String, Value)> = scale_fields;
+    for (k, v) in &scale_fields {
+        fields.push((k.as_str(), v.clone()));
+    }
+    fields.push((
+        "note",
+        Value::str(
+            "one full policy-portfolio replay per scale (4 workers, fresh probe cache); \
+             at 32 GPUs frag-aware and topology-aware beating fifo-first-fit on mean JCT \
+             is asserted, not just recorded",
+        ),
+    ));
+    let baseline = Value::obj(fields).emit_pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster_scale.json");
+    std::fs::write(path, baseline + "\n").expect("write BENCH_cluster_scale.json");
+    println!("baseline written to BENCH_cluster_scale.json");
+}

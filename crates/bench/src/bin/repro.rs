@@ -643,7 +643,10 @@ fn scenario_cmd(files: &[&str]) {
     let path = PathBuf::from(file);
     let sc = load_scenario(&path);
     let cache_path = probe_cache_path();
-    let mut cache = ProbeCache::load_file(&cache_path, sc.config.probe_iters);
+    // The cache stamp folds in the scenario's rack topology: a file saved
+    // from a 1-chassis run loads empty for a 4-chassis run (and vice
+    // versa) instead of silently mixing persistence domains.
+    let mut cache = ProbeCache::load_file_for(&cache_path, sc.config.probe_iters, sc.topology.rack());
     let loaded = cache.len();
     let report = run_scenario(&sc, parsweep::default_jobs(), &mut cache)
         .unwrap_or_else(|e| die(format!("{}: {e}", path.display())));

@@ -28,10 +28,11 @@ fn load(name: &str) -> Scenario {
 
 /// The pinned studies, each as (scenario file, golden file). One table,
 /// one guard loop — adding a pinned study is adding a row.
-const PINNED: [(&str, &str); 3] = [
+const PINNED: [(&str, &str); 4] = [
     ("cluster_fifo.json", "cluster_fifo.json"),
     ("cluster_faults.json", "cluster_faults.json"),
     ("cluster_serve.json", "cluster_serve.json"),
+    ("cluster_scale32.json", "cluster_scale32.json"),
 ];
 
 /// Every pinned scenario's canonical output still matches its golden —

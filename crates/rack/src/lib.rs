@@ -1,0 +1,441 @@
+//! `rack` — multi-chassis scale-out for the composable test bed.
+//!
+//! The source paper measures one Falcon 4016 chassis (16 GPUs); the GigaIO
+//! follow-up ("Scaling to 32 GPUs on a Novel Composable System
+//! Architecture", PAPERS.md) composes several chassis behind a FabreX-style
+//! rack switch. This crate models that second fabric tier:
+//!
+//! * [`RackTopology`] — the supported geometry envelope (`chassis ∈ 1..=8`,
+//!   each chassis the fixed Falcon 2 drawers × 8 slots), the single source
+//!   of truth shared by `Scenario::validate` and error messages.
+//! * [`RackAddr`] — global `chassis × drawer × slot` addressing on top of
+//!   the per-chassis [`falcon::SlotAddr`].
+//! * The inter-chassis tier's bandwidth/latency class and the analytic
+//!   [`cross_chassis_stretch`] a gang pays for spanning chassis, degraded
+//!   further when the rack-tier links are unhealthy.
+//! * [`Rack`] — N [`falcon::ManagementCenter`]s routed by chassis index,
+//!   with rack-wide audit/attachment/failure views so conservation
+//!   invariants can span chassis.
+//!
+//! A placement confined to one chassis never touches the rack tier:
+//! [`cross_chassis_stretch`] is exactly `1.0` for a single part, which
+//! keeps every single-chassis replay byte-identical to the pre-rack code.
+
+use desim::SimTime;
+use falcon::{Falcon4016, HostId, ManagementCenter, McsError, SlotAddr, UserId};
+use std::fmt;
+
+/// Version stamp for the rack fabric model, folded into `model_hash` so
+/// probe caches never survive a change to the inter-chassis cost model.
+pub const RACK_FABRIC_VERSION: u64 = 1;
+
+/// Largest supported rack: 8 chassis × 16 GPUs = 128 GPUs.
+pub const MAX_CHASSIS: u8 = 8;
+
+/// Drawers per Falcon 4016 chassis (fixed by the hardware).
+pub const DRAWERS_PER_CHASSIS: u8 = 2;
+
+/// Slots per drawer (fixed by the hardware).
+pub const SLOTS_PER_DRAWER: u8 = 8;
+
+/// Aggregate bandwidth class of one inter-chassis FabreX link (PCIe Gen4
+/// x16 per port on the rack switch), vs 400 Gb/s CDFP inside the chassis.
+pub const RACK_LINK_GBPS: f64 = 256.0;
+
+/// One-way latency of a rack-switch hop. PCIe-semantics switching keeps
+/// this sub-microsecond — the FabreX pitch — but it is still an extra hop
+/// that intra-chassis traffic never pays.
+pub const RACK_HOP_LATENCY_NS: u64 = 500;
+
+/// Fractional iteration-time stretch per *additional* chassis a gang
+/// spans. Calibrated to the GigaIO 32-GPU scaling curve: all-reduce over
+/// the rack tier costs roughly a third more per extra hop than staying
+/// inside one chassis.
+pub const CROSS_CHASSIS_STRETCH: f64 = 0.35;
+
+/// Iteration-time multiplier for a placement split into `n_parts`
+/// per-chassis parts under rack-tier link health `health_pct` (100 =
+/// healthy). A single-part placement returns exactly `1.0` regardless of
+/// rack health — it never crosses the rack switch.
+pub fn cross_chassis_stretch(n_parts: usize, health_pct: u8) -> f64 {
+    if n_parts <= 1 {
+        return 1.0;
+    }
+    let health = health_pct.clamp(1, 100) as f64;
+    (1.0 + CROSS_CHASSIS_STRETCH * (n_parts as f64 - 1.0)) * (100.0 / health)
+}
+
+/// A rack geometry: how many chassis, and the per-chassis drawer/slot
+/// shape. The only *runnable* shapes are `chassis ∈ 1..=MAX_CHASSIS` of
+/// stock Falcon 4016 chassis; [`RackTopology::is_supported`] plus
+/// [`supported_envelope`] are the single source of truth for that gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackTopology {
+    pub chassis: u8,
+    pub drawers_per_chassis: u8,
+    pub slots_per_drawer: u8,
+}
+
+/// Human-readable description of the runnable envelope, shared by
+/// `Scenario::validate` error messages so it can never go stale.
+pub fn supported_envelope() -> String {
+    format!(
+        "1..={MAX_CHASSIS} chassis x {DRAWERS_PER_CHASSIS} drawers x {SLOTS_PER_DRAWER} slots"
+    )
+}
+
+impl RackTopology {
+    /// The paper's test bed: one Falcon 4016.
+    pub const SINGLE: RackTopology = RackTopology {
+        chassis: 1,
+        drawers_per_chassis: DRAWERS_PER_CHASSIS,
+        slots_per_drawer: SLOTS_PER_DRAWER,
+    };
+
+    /// A rack of `chassis` stock Falcon 4016s.
+    pub const fn with_chassis(chassis: u8) -> RackTopology {
+        RackTopology {
+            chassis,
+            drawers_per_chassis: DRAWERS_PER_CHASSIS,
+            slots_per_drawer: SLOTS_PER_DRAWER,
+        }
+    }
+
+    /// Whether this geometry is inside the runnable envelope.
+    pub fn is_supported(&self) -> bool {
+        (1..=MAX_CHASSIS).contains(&self.chassis)
+            && self.drawers_per_chassis == DRAWERS_PER_CHASSIS
+            && self.slots_per_drawer == SLOTS_PER_DRAWER
+    }
+
+    /// Total GPU slots across the rack.
+    pub fn total_gpus(&self) -> usize {
+        self.chassis as usize * self.drawers_per_chassis as usize * self.slots_per_drawer as usize
+    }
+
+    /// Total drawers across the rack (the unit of placement locality).
+    pub fn n_drawers(&self) -> usize {
+        self.chassis as usize * self.drawers_per_chassis as usize
+    }
+
+    /// Bytes identifying this topology *and* the inter-chassis tier
+    /// parameters, folded into the probe-cache `model_hash` so a cache
+    /// saved under one rack shape loads empty under another.
+    pub fn fingerprint(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(35);
+        v.extend_from_slice(&RACK_FABRIC_VERSION.to_le_bytes());
+        v.push(self.chassis);
+        v.push(self.drawers_per_chassis);
+        v.push(self.slots_per_drawer);
+        v.extend_from_slice(&CROSS_CHASSIS_STRETCH.to_bits().to_le_bytes());
+        v.extend_from_slice(&RACK_LINK_GBPS.to_bits().to_le_bytes());
+        v.extend_from_slice(&RACK_HOP_LATENCY_NS.to_le_bytes());
+        v
+    }
+}
+
+impl Default for RackTopology {
+    fn default() -> Self {
+        RackTopology::SINGLE
+    }
+}
+
+impl fmt::Display for RackTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}",
+            self.chassis, self.drawers_per_chassis, self.slots_per_drawer
+        )
+    }
+}
+
+/// A global slot address: which chassis, then the chassis-local
+/// [`SlotAddr`]. Ordering is chassis-major, matching the derived field
+/// order, so sorted slot lists group by chassis then drawer then slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RackAddr {
+    pub chassis: u8,
+    pub slot: SlotAddr,
+}
+
+impl RackAddr {
+    pub fn new(chassis: u8, drawer: u8, slot: u8) -> RackAddr {
+        RackAddr {
+            chassis,
+            slot: SlotAddr::new(drawer, slot),
+        }
+    }
+
+    /// Chassis-local address lifted into chassis 0 — the single-chassis
+    /// embedding used everywhere the old 16-GPU code paths survive.
+    pub const fn local(slot: SlotAddr) -> RackAddr {
+        RackAddr { chassis: 0, slot }
+    }
+
+    /// Index of this slot's drawer in rack-global drawer numbering
+    /// (`chassis * 2 + drawer`), the axis views and policies reason over.
+    pub fn global_drawer(&self) -> usize {
+        self.chassis as usize * DRAWERS_PER_CHASSIS as usize + self.slot.drawer.0 as usize
+    }
+}
+
+impl fmt::Display for RackAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}{}", self.chassis, self.slot)
+    }
+}
+
+/// Number of distinct global drawers a slot list touches (1 = the gang
+/// peers over one PCIe switch ASIC; more = it pays root-complex or
+/// rack-tier hops).
+pub fn drawers_spanned(slots: &[RackAddr]) -> usize {
+    let mut ds: Vec<usize> = slots.iter().map(RackAddr::global_drawer).collect();
+    ds.sort_unstable();
+    ds.dedup();
+    ds.len()
+}
+
+/// Split a slot list into its per-chassis parts, chassis-ascending: the
+/// unit the probe cache prices (entries are per-chassis-pure) and the
+/// part count [`cross_chassis_stretch`] charges for.
+pub fn chassis_parts(slots: &[RackAddr]) -> Vec<(u8, Vec<SlotAddr>)> {
+    let mut sorted = slots.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(u8, Vec<SlotAddr>)> = Vec::new();
+    for a in sorted {
+        match out.last_mut() {
+            Some((c, part)) if *c == a.chassis => part.push(a.slot),
+            _ => out.push((a.chassis, vec![a.slot])),
+        }
+    }
+    out
+}
+
+/// N managed chassis behind the rack switch. Control-plane operations are
+/// routed to the owning chassis's [`ManagementCenter`]; rack-wide views
+/// (attachments, failed slots, audit volume) aggregate across chassis so
+/// conservation and audit invariants can span the whole rack.
+pub struct Rack {
+    chassis: Vec<ManagementCenter>,
+}
+
+impl Rack {
+    /// Compose pre-built managed chassis (chassis index = position).
+    pub fn new(chassis: Vec<ManagementCenter>) -> Rack {
+        assert!(
+            !chassis.is_empty() && chassis.len() <= MAX_CHASSIS as usize,
+            "rack must hold 1..={MAX_CHASSIS} chassis"
+        );
+        Rack { chassis }
+    }
+
+    pub fn n_chassis(&self) -> usize {
+        self.chassis.len()
+    }
+
+    /// The management center of one chassis.
+    pub fn mcs(&self, chassis: u8) -> &ManagementCenter {
+        &self.chassis[chassis as usize]
+    }
+
+    /// Register a user on every chassis's management center.
+    pub fn add_user(&self, user: UserId, role: falcon::Role) {
+        for mcs in &self.chassis {
+            mcs.add_user(user, role);
+        }
+    }
+
+    pub fn grant(
+        &self,
+        at: SimTime,
+        admin: UserId,
+        addr: RackAddr,
+        to: UserId,
+    ) -> Result<(), McsError> {
+        self.mcs(addr.chassis).grant(at, admin, addr.slot, to)
+    }
+
+    pub fn attach(
+        &self,
+        at: SimTime,
+        user: UserId,
+        addr: RackAddr,
+        host: HostId,
+    ) -> Result<(), McsError> {
+        self.mcs(addr.chassis).attach(at, user, addr.slot, host)
+    }
+
+    pub fn detach(&self, at: SimTime, user: UserId, addr: RackAddr) -> Result<HostId, McsError> {
+        self.mcs(addr.chassis).detach(at, user, addr.slot)
+    }
+
+    pub fn force_detach(
+        &self,
+        at: SimTime,
+        admin: UserId,
+        addr: RackAddr,
+    ) -> Result<Option<HostId>, McsError> {
+        self.mcs(addr.chassis).force_detach(at, admin, addr.slot)
+    }
+
+    pub fn fail_slot(&self, at: SimTime, admin: UserId, addr: RackAddr) -> Result<(), McsError> {
+        self.mcs(addr.chassis).fail_slot(at, admin, addr.slot)
+    }
+
+    pub fn repair_slot(&self, at: SimTime, admin: UserId, addr: RackAddr) -> Result<(), McsError> {
+        self.mcs(addr.chassis).repair_slot(at, admin, addr.slot)
+    }
+
+    /// Read-only access to one chassis (views, inventory).
+    pub fn with_chassis<R>(&self, chassis: u8, f: impl FnOnce(&Falcon4016) -> R) -> R {
+        self.mcs(chassis).with_chassis(f)
+    }
+
+    /// Every attachment in the rack, chassis-major sorted.
+    pub fn attachments(&self) -> Vec<(RackAddr, HostId)> {
+        let mut v: Vec<(RackAddr, HostId)> = Vec::new();
+        for (c, mcs) in self.chassis.iter().enumerate() {
+            mcs.with_chassis(|ch| {
+                v.extend(
+                    ch.attachments()
+                        .map(|(s, h)| (RackAddr { chassis: c as u8, slot: s }, h)),
+                );
+            });
+        }
+        v
+    }
+
+    /// Every failed slot in the rack, chassis-major sorted.
+    pub fn failed_slots(&self) -> Vec<RackAddr> {
+        let mut v: Vec<RackAddr> = Vec::new();
+        for (c, mcs) in self.chassis.iter().enumerate() {
+            mcs.with_chassis(|ch| {
+                v.extend(
+                    ch.failed_slots()
+                        .map(|s| RackAddr { chassis: c as u8, slot: s }),
+                );
+            });
+        }
+        v
+    }
+
+    /// Total audit-log entries across every chassis — the rack-wide audit
+    /// invariant surface (admin-only, like each per-chassis export).
+    pub fn audit_len(&self, admin: UserId) -> Result<usize, McsError> {
+        let mut n = 0;
+        for mcs in &self.chassis {
+            n += mcs.export_audit(admin)?.len();
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devices::GpuSpec;
+    use falcon::{DrawerId, HostPort, Mode, Role, SlotDevice};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn two_chassis_rack() -> Rack {
+        let mut chassis = Vec::new();
+        for c in 0..2u8 {
+            let mut falcon = Falcon4016::new(format!("falcon{c}"), Mode::Advanced);
+            falcon
+                .connect_host(HostPort::H1, HostId(1), DrawerId(0))
+                .unwrap();
+            for s in 0..8 {
+                falcon
+                    .insert_device(SlotAddr::new(0, s), SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()))
+                    .unwrap();
+            }
+            chassis.push(ManagementCenter::new(falcon));
+        }
+        let rack = Rack::new(chassis);
+        rack.add_user(UserId(0), Role::Admin);
+        rack.add_user(UserId(1), Role::User);
+        rack
+    }
+
+    #[test]
+    fn supported_envelope_matches_validate() {
+        assert!(RackTopology::SINGLE.is_supported());
+        for c in 1..=MAX_CHASSIS {
+            assert!(RackTopology::with_chassis(c).is_supported());
+        }
+        assert!(!RackTopology::with_chassis(0).is_supported());
+        assert!(!RackTopology::with_chassis(MAX_CHASSIS + 1).is_supported());
+        let mut odd = RackTopology::with_chassis(2);
+        odd.drawers_per_chassis = 3;
+        assert!(!odd.is_supported());
+        // The envelope string is derived from the same constants the gate
+        // checks — it names both bounds that gate enforces.
+        let env = supported_envelope();
+        assert!(env.contains(&format!("1..={MAX_CHASSIS} chassis")));
+        assert!(env.contains("2 drawers x 8 slots"));
+    }
+
+    #[test]
+    fn geometry_arithmetic() {
+        assert_eq!(RackTopology::SINGLE.total_gpus(), 16);
+        assert_eq!(RackTopology::with_chassis(8).total_gpus(), 128);
+        assert_eq!(RackTopology::with_chassis(4).n_drawers(), 8);
+        assert_eq!(RackAddr::new(3, 1, 5).global_drawer(), 7);
+        assert_eq!(RackAddr::new(3, 1, 5).to_string(), "c3d1s5");
+        // Chassis-major ordering groups sorted addresses per chassis.
+        let mut v = vec![RackAddr::new(1, 0, 0), RackAddr::new(0, 1, 7)];
+        v.sort_unstable();
+        assert_eq!(v[0].chassis, 0);
+    }
+
+    #[test]
+    fn fingerprints_differ_per_chassis_count() {
+        let one = RackTopology::SINGLE.fingerprint();
+        let four = RackTopology::with_chassis(4).fingerprint();
+        assert_ne!(one, four);
+        assert_eq!(one, RackTopology::with_chassis(1).fingerprint());
+    }
+
+    #[test]
+    fn stretch_is_identity_for_one_part_and_monotone_beyond() {
+        assert_eq!(cross_chassis_stretch(0, 100), 1.0);
+        assert_eq!(cross_chassis_stretch(1, 100), 1.0);
+        // Single-chassis placements ignore rack health entirely.
+        assert_eq!(cross_chassis_stretch(1, 25), 1.0);
+        let two = cross_chassis_stretch(2, 100);
+        let three = cross_chassis_stretch(3, 100);
+        assert!(two > 1.0 && three > two);
+        // Degraded rack links stretch spanning gangs further.
+        assert!(cross_chassis_stretch(2, 50) > two);
+    }
+
+    #[test]
+    fn routing_and_rack_wide_views() {
+        let rack = two_chassis_rack();
+        let a0 = RackAddr::new(0, 0, 0);
+        let a1 = RackAddr::new(1, 0, 0);
+        rack.grant(t(0), UserId(0), a0, UserId(1)).unwrap();
+        rack.grant(t(0), UserId(0), a1, UserId(1)).unwrap();
+        rack.attach(t(1), UserId(1), a0, HostId(1)).unwrap();
+        rack.attach(t(1), UserId(1), a1, HostId(1)).unwrap();
+        // Same local SlotAddr, two distinct global attachments.
+        assert_eq!(rack.attachments().len(), 2);
+        assert_eq!(rack.attachments()[0].0, a0);
+        assert_eq!(rack.attachments()[1].0, a1);
+        // Failure on chassis 1 does not leak into chassis 0's view.
+        rack.fail_slot(t(2), UserId(0), a1).unwrap();
+        assert_eq!(rack.failed_slots(), vec![a1]);
+        rack.with_chassis(0, |c| assert!(!c.is_failed(a1.slot)));
+        rack.repair_slot(t(3), UserId(0), a1).unwrap();
+        assert!(rack.failed_slots().is_empty());
+        // Audit volume aggregates across chassis: grants+attach+fail+repair.
+        assert_eq!(rack.audit_len(UserId(0)).unwrap(), 6);
+        assert_eq!(rack.detach(t(4), UserId(1), a1).unwrap(), HostId(1));
+        assert_eq!(rack.force_detach(t(5), UserId(0), a0).unwrap(), Some(HostId(1)));
+        assert_eq!(rack.force_detach(t(5), UserId(0), a0).unwrap(), None);
+    }
+}

@@ -1,13 +1,17 @@
-//! The cluster event loop: co-simulates concurrent training jobs on one
-//! shared Falcon 4016 test bed.
+//! The cluster event loop: co-simulates concurrent training jobs on a
+//! shared composable test bed — one Falcon 4016 chassis, or a rack of up
+//! to eight behind an inter-chassis fabric tier (see [`rack`]).
 //!
-//! The test bed is the chassis in **advanced mode** — 2 drawers × 8 slots
-//! of V100 PCIe GPUs — shared by two tenants. Each tenant's host server is
-//! cabled into both drawers (tenant 0 on ports H1/H2, tenant 1 on H3/H4),
-//! so every placement decision is a real composition: job start and finish
-//! drive MCS-audited `grant`/`attach`/`detach` calls against the chassis,
-//! and tenant isolation comes from the MCS role model, not scheduler
-//! bookkeeping.
+//! Each chassis runs in **advanced mode** — 2 drawers × 8 slots of V100
+//! PCIe GPUs — shared by two tenants. Each tenant's host server is cabled
+//! into both drawers of every chassis (tenant 0 on ports H1/H2, tenant 1
+//! on H3/H4), so every placement decision is a real composition: job start
+//! and finish drive MCS-audited `grant`/`attach`/`detach` calls against
+//! the owning chassis, and tenant isolation comes from the MCS role model,
+//! not scheduler bookkeeping. Gangs that span chassis pay the analytic
+//! [`rack::cross_chassis_stretch`] for crossing the rack switch; on one
+//! chassis that stretch is exactly 1.0 and replays are byte-identical to
+//! the pre-rack code.
 //!
 //! Time advances by discrete events (job arrival, job finish). Running
 //! jobs progress at a rate set by (a) a probe-measured mean iteration
@@ -32,7 +36,7 @@
 use crate::fault::{FaultKind, FaultPlan, CHECKPOINT_ITERS, RECOMPOSE_LATENCY};
 use crate::metrics::{JobOutcome, RecoveryMetrics, ScheduleReport};
 use crate::policy::{FreeView, PlacePolicy};
-use crate::probe::{degraded_key, ProbeCache, Shape};
+use crate::probe::{degraded_key, ProbeCache};
 use crate::serve::{MixedTrace, ServeState, SLICES_PER_GPU};
 use crate::trace::{JobSpec, Trace};
 use desim::{Dur, SimTime};
@@ -41,6 +45,7 @@ use falcon::{
     Bmc, DrawerId, Falcon4016, HostId, HostPort, ManagementCenter, McsError, Mode, Role, Severity,
     SlotAddr, SlotDevice, UserId,
 };
+use rack::{chassis_parts, cross_chassis_stretch, drawers_spanned, Rack, RackAddr, RackTopology};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -57,6 +62,11 @@ pub(crate) fn tenant_user(t: u32) -> UserId {
 
 fn tenant_host(t: u32) -> HostId {
     HostId(t + 1)
+}
+
+/// Does this gang pay a root-complex or rack-tier hop?
+fn spans(slots: &[RackAddr]) -> bool {
+    drawers_spanned(slots) > 1
 }
 
 /// Knobs of the cluster simulation (not of any single policy).
@@ -88,7 +98,7 @@ impl Default for SchedulerConfig {
 pub enum SchedulerError {
     EmptyTrace,
     TooManyTenants { job: u64, tenant: u32 },
-    BadDemand { job: u64, gpus: u8 },
+    BadDemand { job: u64, gpus: u8, pool: usize },
     QuotaUnsatisfiable { job: u64, gpus: u8, quota: usize },
     BadElasticRange { job: u64, min_gpus: u8, gpus: u8 },
     ZeroLength { job: u64 },
@@ -111,8 +121,8 @@ impl fmt::Display for SchedulerError {
             SchedulerError::TooManyTenants { job, tenant } => {
                 write!(f, "job {job}: tenant {tenant} exceeds the {MAX_TENANTS}-tenant test bed")
             }
-            SchedulerError::BadDemand { job, gpus } => {
-                write!(f, "job {job}: demand {gpus} outside 1..={POOL_GPUS} GPUs")
+            SchedulerError::BadDemand { job, gpus, pool } => {
+                write!(f, "job {job}: demand {gpus} outside 1..={pool} GPUs")
             }
             SchedulerError::QuotaUnsatisfiable { job, gpus, quota } => {
                 write!(f, "job {job}: demand {gpus} can never fit tenant quota {quota}")
@@ -145,7 +155,7 @@ impl From<McsError> for SchedulerError {
 /// A job currently holding GPUs.
 struct Running {
     spec: JobSpec,
-    slots: Vec<SlotAddr>,
+    slots: Vec<RackAddr>,
     started: SimTime,
     remaining_iters: f64,
     /// Alone-on-the-bed mean iteration time for the current shape (s).
@@ -178,11 +188,15 @@ enum FaultAction {
 struct FaultState {
     /// Active-fault refcount per slot: a slot is failed while any active
     /// event covers it, so overlapping outages compose.
-    slot_down: BTreeMap<SlotAddr, u32>,
-    /// Active link degrades, by plan-event index → (drawer, percent).
+    slot_down: BTreeMap<RackAddr, u32>,
+    /// Active intra-chassis link degrades, by plan-event index →
+    /// (global drawer, percent).
     degrades: BTreeMap<usize, (u8, u8)>,
+    /// Active inter-chassis (rack-tier) degrades, by plan-event index →
+    /// percent.
+    rack_degrades: BTreeMap<usize, u8>,
     /// Slots whose refcount each strike incremented, for its heal.
-    touched_by_event: Vec<Vec<SlotAddr>>,
+    touched_by_event: Vec<Vec<RackAddr>>,
     /// Evacuated jobs awaiting re-placement, with their fault times.
     displaced: Vec<(SimTime, Running)>,
     recovery_times: Vec<Dur>,
@@ -193,13 +207,15 @@ struct FaultState {
 
 /// One trace replay under one policy on one fresh test bed.
 pub struct ClusterSim {
-    mcs: ManagementCenter,
+    rack: Rack,
+    topo: RackTopology,
     policy: Box<dyn PlacePolicy>,
     cfg: SchedulerConfig,
     trace: Trace,
     probes: ProbeCache,
     faults: FaultPlan,
-    bmc: Bmc,
+    /// One BMC per chassis, indexed like [`Rack::mcs`].
+    bmc: Vec<Bmc>,
     fstate: FaultState,
     serve: ServeState,
 }
@@ -210,19 +226,36 @@ impl ClusterSim {
         policy: Box<dyn PlacePolicy>,
         cfg: SchedulerConfig,
     ) -> Result<ClusterSim, SchedulerError> {
+        Self::new_on(RackTopology::SINGLE, trace, policy, cfg)
+    }
+
+    /// [`ClusterSim::new`] on an explicit rack topology: `topo.chassis`
+    /// Falcon 4016s behind the inter-chassis fabric tier.
+    pub fn new_on(
+        topo: RackTopology,
+        trace: Trace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+    ) -> Result<ClusterSim, SchedulerError> {
         if trace.jobs.is_empty() {
             return Err(SchedulerError::EmptyTrace);
         }
-        Self::build(trace, policy, cfg)
+        Self::build(topo, trace, policy, cfg)
     }
 
     /// Admission + test-bed construction shared by the training-only and
     /// mixed entry points (only the latter may have zero jobs).
     fn build(
+        topo: RackTopology,
         trace: Trace,
         policy: Box<dyn PlacePolicy>,
         cfg: SchedulerConfig,
     ) -> Result<ClusterSim, SchedulerError> {
+        assert!(
+            topo.is_supported(),
+            "topology {topo} outside {}",
+            rack::supported_envelope()
+        );
         let mut ids: Vec<u64> = trace.jobs.iter().map(|j| j.id).collect();
         ids.sort_unstable();
         if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
@@ -232,8 +265,12 @@ impl ClusterSim {
             if j.tenant.0 >= MAX_TENANTS {
                 return Err(SchedulerError::TooManyTenants { job: j.id, tenant: j.tenant.0 });
             }
-            if j.gpus == 0 || usize::from(j.gpus) > POOL_GPUS {
-                return Err(SchedulerError::BadDemand { job: j.id, gpus: j.gpus });
+            if j.gpus == 0 || usize::from(j.gpus) > topo.total_gpus() {
+                return Err(SchedulerError::BadDemand {
+                    job: j.id,
+                    gpus: j.gpus,
+                    pool: topo.total_gpus(),
+                });
             }
             if usize::from(j.gpus) > cfg.quota_gpus_per_tenant {
                 return Err(SchedulerError::QuotaUnsatisfiable {
@@ -254,44 +291,60 @@ impl ClusterSim {
             }
         }
 
-        // The shared test bed: advanced-mode chassis, a V100 in every
-        // slot, both tenants' hosts cabled into both drawers.
-        let mut chassis = Falcon4016::new("cluster-falcon", Mode::Advanced);
-        for d in 0..2u8 {
-            for s in 0..8u8 {
-                chassis
-                    .insert_device(SlotAddr::new(d, s), SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()))
-                    .expect("fresh chassis slot");
+        // The shared test bed: one advanced-mode chassis per rack
+        // position, a V100 in every slot, both tenants' hosts cabled into
+        // both drawers of every chassis. Chassis 0 keeps the historical
+        // name so single-chassis replays stay byte-identical.
+        let mut centers = Vec::with_capacity(usize::from(topo.chassis));
+        for c in 0..topo.chassis {
+            let name = if c == 0 {
+                "cluster-falcon".to_string()
+            } else {
+                format!("cluster-falcon{c}")
+            };
+            let mut chassis = Falcon4016::new(name, Mode::Advanced);
+            for d in 0..2u8 {
+                for s in 0..8u8 {
+                    chassis
+                        .insert_device(
+                            SlotAddr::new(d, s),
+                            SlotDevice::Gpu(GpuSpec::v100_pcie_16gb()),
+                        )
+                        .expect("fresh chassis slot");
+                }
             }
+            let cabling = [
+                (HostPort::H1, 0u32, 0u8),
+                (HostPort::H2, 0, 1),
+                (HostPort::H3, 1, 0),
+                (HostPort::H4, 1, 1),
+            ];
+            for (port, tenant, drawer) in cabling {
+                chassis
+                    .connect_host(port, tenant_host(tenant), DrawerId(drawer))
+                    .expect("advanced mode takes two hosts per drawer");
+            }
+            centers.push(ManagementCenter::new(chassis));
         }
-        let cabling = [
-            (HostPort::H1, 0u32, 0u8),
-            (HostPort::H2, 0, 1),
-            (HostPort::H3, 1, 0),
-            (HostPort::H4, 1, 1),
-        ];
-        for (port, tenant, drawer) in cabling {
-            chassis
-                .connect_host(port, tenant_host(tenant), DrawerId(drawer))
-                .expect("advanced mode takes two hosts per drawer");
-        }
-        let mcs = ManagementCenter::new(chassis);
-        mcs.add_user(ADMIN, Role::Admin);
+        let rack = Rack::new(centers);
+        rack.add_user(ADMIN, Role::Admin);
         for t in 0..MAX_TENANTS {
-            mcs.add_user(tenant_user(t), Role::User);
+            rack.add_user(tenant_user(t), Role::User);
         }
 
         let probe_iters = cfg.probe_iters;
+        let n_drawers = topo.n_drawers();
         Ok(ClusterSim {
-            mcs,
+            rack,
+            topo,
             policy,
             cfg,
             trace: trace.sorted(),
-            probes: ProbeCache::new(probe_iters),
+            probes: ProbeCache::new_for(probe_iters, topo),
             faults: FaultPlan::none(),
-            bmc: Bmc::falcon_defaults(),
+            bmc: (0..topo.chassis).map(|_| Bmc::falcon_defaults()).collect(),
             fstate: FaultState::default(),
-            serve: ServeState::empty(),
+            serve: ServeState::empty_for(n_drawers),
         })
     }
 
@@ -299,6 +352,16 @@ impl ClusterSim {
     /// services sharing the bed. Service-only traces are legal; a trace
     /// with neither jobs nor services is not.
     pub fn new_mixed(
+        mixed: MixedTrace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+    ) -> Result<ClusterSim, SchedulerError> {
+        Self::new_mixed_on(RackTopology::SINGLE, mixed, policy, cfg)
+    }
+
+    /// [`ClusterSim::new_mixed`] on an explicit rack topology.
+    pub fn new_mixed_on(
+        topo: RackTopology,
         mixed: MixedTrace,
         policy: Box<dyn PlacePolicy>,
         cfg: SchedulerConfig,
@@ -340,8 +403,8 @@ impl ClusterSim {
                 return Err(bad("replica range must satisfy 1 <= min <= max"));
             }
         }
-        let mut sim = Self::build(mixed.training(), policy, cfg)?;
-        sim.serve = ServeState::new(mixed.services);
+        let mut sim = Self::build(topo, mixed.training(), policy, cfg)?;
+        sim.serve = ServeState::new_for(mixed.services, topo.n_drawers());
         Ok(sim)
     }
 
@@ -352,16 +415,27 @@ impl ClusterSim {
         cfg: SchedulerConfig,
         probes: ProbeCache,
     ) -> Result<ClusterSim, SchedulerError> {
-        let mut sim = ClusterSim::new_mixed(mixed, policy, cfg)?;
+        Self::with_probe_cache_mixed_on(RackTopology::SINGLE, mixed, policy, cfg, probes)
+    }
+
+    /// [`ClusterSim::new_mixed_on`] with a pre-warmed probe cache.
+    pub fn with_probe_cache_mixed_on(
+        topo: RackTopology,
+        mixed: MixedTrace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+        probes: ProbeCache,
+    ) -> Result<ClusterSim, SchedulerError> {
+        let mut sim = ClusterSim::new_mixed_on(topo, mixed, policy, cfg)?;
         sim.probes = probes;
         Ok(sim)
     }
 
     /// Inject `plan` into the replay: its events strike and heal as
-    /// first-class events of the loop. Rejects plans outside the chassis
+    /// first-class events of the loop. Rejects plans outside this rack's
     /// envelope with [`SchedulerError::BadFault`].
     pub fn with_faults(mut self, plan: FaultPlan) -> Result<ClusterSim, SchedulerError> {
-        plan.validate().map_err(|msg| SchedulerError::BadFault { msg })?;
+        plan.validate_for(&self.topo).map_err(|msg| SchedulerError::BadFault { msg })?;
         self.faults = plan.sorted();
         Ok(self)
     }
@@ -375,7 +449,18 @@ impl ClusterSim {
         cfg: SchedulerConfig,
         probes: ProbeCache,
     ) -> Result<ClusterSim, SchedulerError> {
-        let mut sim = ClusterSim::new(trace, policy, cfg)?;
+        Self::with_probe_cache_on(RackTopology::SINGLE, trace, policy, cfg, probes)
+    }
+
+    /// [`ClusterSim::new_on`] with a pre-warmed (or persisted) probe cache.
+    pub fn with_probe_cache_on(
+        topo: RackTopology,
+        trace: Trace,
+        policy: Box<dyn PlacePolicy>,
+        cfg: SchedulerConfig,
+        probes: ProbeCache,
+    ) -> Result<ClusterSim, SchedulerError> {
+        let mut sim = ClusterSim::new_on(topo, trace, policy, cfg)?;
         sim.probes = probes;
         Ok(sim)
     }
@@ -442,7 +527,7 @@ impl ClusterSim {
                 for r in running.values_mut() {
                     let g = r.slots.len() as f64;
                     busy_gpu_secs += g * dt;
-                    if Shape::of(&r.slots).spans() {
+                    if spans(&r.slots) {
                         span_gpu_secs += g * dt;
                     }
                     tenant_gpu_secs[r.spec.tenant.0 as usize] += g * dt;
@@ -472,7 +557,7 @@ impl ClusterSim {
             for id in finished {
                 let r = running.remove(&id).expect("id from the running set");
                 for &slot in &r.slots {
-                    self.mcs.detach(now, tenant_user(r.spec.tenant.0), slot)?;
+                    self.rack.detach(now, tenant_user(r.spec.tenant.0), slot)?;
                 }
                 makespan = makespan.max(now);
                 outcomes.push(JobOutcome {
@@ -501,8 +586,8 @@ impl ClusterSim {
             }
 
             if self.serve.has_services() {
-                let tod = Self::training_on_drawer(&running);
-                if self.serve.step(now, &self.mcs, self.cfg.interference, tod)? {
+                let tod = self.training_on_drawer(&running);
+                if self.serve.step(now, &self.rack, self.cfg.interference, &tod)? {
                     membership_changed = true;
                 }
                 if self.serve_place_pass(now, &mut running)? {
@@ -543,11 +628,11 @@ impl ClusterSim {
                 self.fstate.work_lost_gpu_secs,
             ))
         };
-        let audit = self.mcs.export_audit(ADMIN)?.len() as u64;
+        let audit = self.rack.audit_len(ADMIN)? as u64;
         let report = ScheduleReport::assemble(
             policy_name,
             trace_name,
-            POOL_GPUS as u32,
+            self.topo.total_gpus() as u32,
             outcomes,
             makespan.since(SimTime::ZERO),
             busy_gpu_secs,
@@ -569,36 +654,56 @@ impl ClusterSim {
     }
 
     fn free_view(&self) -> FreeView {
-        self.mcs.with_chassis(|c| {
-            FreeView::new(
-                c.occupied_slots()
-                    .filter(|&(a, d)| {
-                        matches!(d, SlotDevice::Gpu(_))
-                            && c.owner_of(a).is_none()
-                            && !c.is_failed(a)
-                    })
-                    .map(|(a, _)| a)
-                    .collect(),
-            )
-        })
+        let mut free: Vec<RackAddr> = Vec::new();
+        for c in 0..self.topo.chassis {
+            self.rack.with_chassis(c, |ch| {
+                free.extend(
+                    ch.occupied_slots()
+                        .filter(|&(a, d)| {
+                            matches!(d, SlotDevice::Gpu(_))
+                                && ch.owner_of(a).is_none()
+                                && !ch.is_failed(a)
+                        })
+                        .map(|(a, _)| RackAddr { chassis: c, slot: a }),
+                );
+            });
+        }
+        FreeView::new(free, self.topo.n_drawers())
     }
 
-    /// Effective per-drawer link health under the active degrades (the
-    /// minimum over overlapping events; 100 when none).
-    fn link_health(&self) -> (u8, u8) {
-        let mut h = [100u8; 2];
-        for &(d, pct) in self.fstate.degrades.values() {
-            h[usize::from(d)] = h[usize::from(d)].min(pct);
+    /// Effective link health per global drawer under the active
+    /// intra-chassis degrades (the minimum over overlapping events; 100
+    /// when none).
+    fn link_health(&self) -> Vec<u8> {
+        let mut h = vec![100u8; self.topo.n_drawers()];
+        for &(gd, pct) in self.fstate.degrades.values() {
+            h[usize::from(gd)] = h[usize::from(gd)].min(pct);
         }
-        (h[0], h[1])
+        h
+    }
+
+    /// Effective rack-tier link health under the active inter-chassis
+    /// degrades (the minimum over overlapping events; 100 when none).
+    fn rack_health(&self) -> u8 {
+        self.fstate.rack_degrades.values().fold(100u8, |h, &pct| h.min(pct))
     }
 
     /// Alone-on-bed mean iteration time (s) for a placement under the
-    /// current link health.
-    fn price_base(&mut self, benchmark: dlmodels::Benchmark, slots: &[SlotAddr]) -> f64 {
-        let (h0, h1) = self.link_health();
-        let (shape, health) = degraded_key(slots, h0, h1);
-        self.probes.price_degraded(benchmark, shape, health).mean_iter.as_secs_f64()
+    /// current link health. A multi-chassis gang prices as its slowest
+    /// per-chassis part stretched by [`cross_chassis_stretch`]: probe
+    /// entries stay per-chassis-pure, so single-chassis prices (stretch
+    /// exactly 1.0) are bit-identical to the pre-rack code.
+    fn price_base(&mut self, benchmark: dlmodels::Benchmark, slots: &[RackAddr]) -> f64 {
+        let health = self.link_health();
+        let parts = chassis_parts(slots);
+        let mut worst = 0.0f64;
+        for (c, part) in &parts {
+            let d0 = usize::from(*c) * 2;
+            let (shape, h) = degraded_key(part, health[d0], health[d0 + 1]);
+            let p = self.probes.price_degraded(benchmark, shape, h).mean_iter.as_secs_f64();
+            worst = worst.max(p);
+        }
+        worst * cross_chassis_stretch(parts.len(), self.rack_health())
     }
 
     /// Re-price every running job after a link-health change. Rates are
@@ -623,14 +728,22 @@ impl ClusterSim {
         i: usize,
         running: &mut BTreeMap<u64, Running>,
     ) -> Result<bool, SchedulerError> {
-        let kind = self.faults.events[i].kind;
-        let fail_slots: Vec<SlotAddr> = match kind {
+        let (chassis, kind) = {
+            let e = &self.faults.events[i];
+            (e.chassis, e.kind)
+        };
+        let fail_slots: Vec<RackAddr> = match kind {
             FaultKind::DrawerOutage { drawer } => {
-                (0..8).map(|s| SlotAddr::new(drawer, s)).collect()
+                (0..8).map(|s| RackAddr::new(chassis, drawer, s)).collect()
             }
-            FaultKind::SlotDeath { drawer, slot } => vec![SlotAddr::new(drawer, slot)],
+            FaultKind::SlotDeath { drawer, slot } => vec![RackAddr::new(chassis, drawer, slot)],
             FaultKind::LinkDegrade { drawer, pct } => {
-                self.fstate.degrades.insert(i, (drawer, pct));
+                self.fstate.degrades.insert(i, (chassis * 2 + drawer, pct));
+                self.reprice_all(running);
+                return Ok(true);
+            }
+            FaultKind::RackLinkDegrade { pct } => {
+                self.fstate.rack_degrades.insert(i, pct);
                 self.reprice_all(running);
                 return Ok(true);
             }
@@ -639,12 +752,13 @@ impl ClusterSim {
                 // load, the thermal model crosses its critical threshold,
                 // and the *observed* Critical event drives the evacuation.
                 let sensor = format!("drawer{drawer}");
-                let before = self.bmc.events_at_least(Severity::Critical).len();
-                self.bmc.set_fan_failed(now, &sensor, true);
-                self.bmc.report_load(now, &sensor, 1.0);
-                if self.bmc.events_at_least(Severity::Critical).len() > before {
+                let bmc = &mut self.bmc[usize::from(chassis)];
+                let before = bmc.events_at_least(Severity::Critical).len();
+                bmc.set_fan_failed(now, &sensor, true);
+                bmc.report_load(now, &sensor, 1.0);
+                if bmc.events_at_least(Severity::Critical).len() > before {
                     self.fstate.thermal_trips += 1;
-                    (0..8).map(|s| SlotAddr::new(drawer, s)).collect()
+                    (0..8).map(|s| RackAddr::new(chassis, drawer, s)).collect()
                 } else {
                     Vec::new()
                 }
@@ -655,7 +769,7 @@ impl ClusterSim {
             let count = self.fstate.slot_down.entry(slot).or_insert(0);
             *count += 1;
             if *count == 1 {
-                self.mcs.fail_slot(now, ADMIN, slot)?;
+                self.rack.fail_slot(now, ADMIN, slot)?;
             }
         }
         self.fstate.touched_by_event[i] = fail_slots;
@@ -663,11 +777,10 @@ impl ClusterSim {
         // Evacuate every running job touching a failed slot: force-detach
         // its whole gang (the collective is dead without the lost ranks),
         // roll back to the last checkpoint, and queue it for re-placement.
-        let failed_now: BTreeSet<SlotAddr> =
-            self.mcs.with_chassis(|c| c.failed_slots().collect());
+        let failed_now: BTreeSet<RackAddr> = self.rack.failed_slots().into_iter().collect();
         // Serving replicas on failed slots fail over: their requests
         // re-queue onto survivors and the placement pass re-composes.
-        let serve_evacuated = self.serve.evacuate_failed(now, &self.mcs, &failed_now)?;
+        let serve_evacuated = self.serve.evacuate_failed(now, &self.rack, &failed_now)?;
         let affected: Vec<u64> = running
             .iter()
             .filter(|(_, r)| r.slots.iter().any(|s| failed_now.contains(s)))
@@ -677,7 +790,7 @@ impl ClusterSim {
         for id in affected {
             let mut r = running.remove(&id).expect("id from the running set");
             for &slot in &r.slots {
-                self.mcs.force_detach(now, ADMIN, slot)?;
+                self.rack.force_detach(now, ADMIN, slot)?;
             }
             let lost = r.iters_since_placement % CHECKPOINT_ITERS as f64;
             r.remaining_iters += lost;
@@ -696,23 +809,28 @@ impl ClusterSim {
         i: usize,
         running: &mut BTreeMap<u64, Running>,
     ) -> Result<bool, SchedulerError> {
-        let kind = self.faults.events[i].kind;
-        if let FaultKind::LinkDegrade { .. } = kind {
+        let (chassis, kind) = {
+            let e = &self.faults.events[i];
+            (e.chassis, e.kind)
+        };
+        if matches!(kind, FaultKind::LinkDegrade { .. } | FaultKind::RackLinkDegrade { .. }) {
             self.fstate.degrades.remove(&i);
+            self.fstate.rack_degrades.remove(&i);
             self.reprice_all(running);
             return Ok(true);
         }
         if let FaultKind::ThermalTrip { drawer } = kind {
             let sensor = format!("drawer{drawer}");
-            self.bmc.set_fan_failed(now, &sensor, false);
-            self.bmc.report_load(now, &sensor, 0.0);
+            let bmc = &mut self.bmc[usize::from(chassis)];
+            bmc.set_fan_failed(now, &sensor, false);
+            bmc.report_load(now, &sensor, 0.0);
         }
         for slot in std::mem::take(&mut self.fstate.touched_by_event[i]) {
             let count = self.fstate.slot_down.get_mut(&slot).expect("refcounted slot");
             *count -= 1;
             if *count == 0 {
                 self.fstate.slot_down.remove(&slot);
-                self.mcs.repair_slot(now, ADMIN, slot)?;
+                self.rack.repair_slot(now, ADMIN, slot)?;
             }
         }
         Ok(false)
@@ -822,15 +940,15 @@ impl ClusterSim {
                     let user = tenant_user(tenant);
                     let host = tenant_host(tenant);
                     for &slot in &slots {
-                        self.mcs.grant(now, ADMIN, slot, user)?;
-                        self.mcs.attach(now, user, slot, host)?;
+                        self.rack.grant(now, ADMIN, slot, user)?;
+                        self.rack.attach(now, user, slot, host)?;
                     }
                     r.slots = slots;
                     r.base_iter_secs = self.price_base(r.spec.benchmark, &r.slots);
                     r.resume_at = now + RECOMPOSE_LATENCY;
                     r.iters_since_placement = 0.0;
                     r.last_progress = now;
-                    r.ever_spanned |= Shape::of(&r.slots).spans();
+                    r.ever_spanned |= spans(&r.slots);
                     self.fstate.recovery_times.push(r.resume_at.since(fault_at));
                     running.insert(r.spec.id, r);
                     changed = true;
@@ -858,13 +976,18 @@ impl ClusterSim {
         Ok(changed)
     }
 
-    /// Running training jobs touching each drawer — the serving side's
-    /// interference neighbors.
-    fn training_on_drawer(running: &BTreeMap<u64, Running>) -> [usize; 2] {
-        let mut c = [0usize; 2];
+    /// Running training jobs touching each global drawer — the serving
+    /// side's interference neighbors.
+    fn training_on_drawer(&self, running: &BTreeMap<u64, Running>) -> Vec<usize> {
+        let nd = self.topo.n_drawers();
+        let mut c = vec![0usize; nd];
         for r in running.values() {
-            for d in 0..2 {
-                if r.slots.iter().any(|s| usize::from(s.drawer.0) == d) {
+            let mut mine = vec![false; nd];
+            for s in &r.slots {
+                mine[s.global_drawer()] = true;
+            }
+            for (d, &on) in mine.iter().enumerate() {
+                if on {
                     c[d] += 1;
                 }
             }
@@ -893,9 +1016,9 @@ impl ClusterSim {
             for (i, tenant, slice, start) in wants {
                 loop {
                     let free = self.free_view();
-                    let mut free_gpus = [0usize; 2];
+                    let mut free_gpus = vec![0usize; self.topo.n_drawers()];
                     for s in free.slots() {
-                        free_gpus[usize::from(s.drawer.0)] += 1;
+                        free_gpus[s.global_drawer()] += 1;
                     }
                     let mut used = vec![0usize; MAX_TENANTS as usize];
                     for r in running.values() {
@@ -912,8 +1035,8 @@ impl ClusterSim {
                         Some(slot) => {
                             if !self.serve.uses_slot(slot) {
                                 let user = tenant_user(tenant);
-                                self.mcs.grant(now, ADMIN, slot, user)?;
-                                self.mcs.attach(now, user, slot, tenant_host(tenant))?;
+                                self.rack.grant(now, ADMIN, slot, user)?;
+                                self.rack.attach(now, user, slot, tenant_host(tenant))?;
                             }
                             // The initial composition at the service start
                             // is pre-planned; scale-ups and failovers pay
@@ -947,8 +1070,8 @@ impl ClusterSim {
             }
         }
         if changed {
-            let tod = Self::training_on_drawer(running);
-            self.serve.try_launch_all(now, self.cfg.interference, tod);
+            let tod = self.training_on_drawer(running);
+            self.serve.try_launch_all(now, self.cfg.interference, &tod);
         }
         Ok(changed)
     }
@@ -957,16 +1080,15 @@ impl ClusterSim {
         &mut self,
         now: SimTime,
         spec: JobSpec,
-        slots: Vec<SlotAddr>,
+        slots: Vec<RackAddr>,
         running: &mut BTreeMap<u64, Running>,
     ) -> Result<(), SchedulerError> {
         let user = tenant_user(spec.tenant.0);
         let host = tenant_host(spec.tenant.0);
         for &slot in &slots {
-            self.mcs.grant(now, ADMIN, slot, user)?;
-            self.mcs.attach(now, user, slot, host)?;
+            self.rack.grant(now, ADMIN, slot, user)?;
+            self.rack.attach(now, user, slot, host)?;
         }
-        let shape = Shape::of(&slots);
         let base = self.price_base(spec.benchmark, &slots);
         running.insert(
             spec.id,
@@ -979,7 +1101,7 @@ impl ClusterSim {
                 started: now,
                 resume_at: now,
                 iters_since_placement: 0.0,
-                ever_spanned: shape.spans(),
+                ever_spanned: spans(&slots),
                 shrunk: false,
                 slots,
                 spec,
@@ -1011,14 +1133,24 @@ impl ClusterSim {
         let floor = if gentle { old - 1 } else { old / 2 };
         let new = usize::from(r.spec.min_gpus).max(floor);
         debug_assert!(new < old);
-        // Keep the drawer where the job holds more slots; release the rest
-        // (highest slots first) so the freed hole is as whole as possible.
-        let in_d0 = r.slots.iter().filter(|s| s.drawer.0 == 0).count();
-        let major = if in_d0 * 2 >= old { 0u8 } else { 1 };
-        r.slots.sort_by_key(|s| (s.drawer.0 != major, s.slot));
+        // Keep the global drawer where the job holds the most slots (ties
+        // to the lowest drawer); release the rest (highest addresses
+        // first) so the freed hole is as whole as possible.
+        let mut per = vec![0usize; self.topo.n_drawers()];
+        for s in &r.slots {
+            per[s.global_drawer()] += 1;
+        }
+        let major = per
+            .iter()
+            .enumerate()
+            .max_by_key(|&(d, &n)| (n, std::cmp::Reverse(d)))
+            .map(|(d, _)| d)
+            .expect("victim holds at least one slot");
+        r.slots
+            .sort_by_key(|s| (s.global_drawer() != major, s.global_drawer(), s.slot.slot));
         let released = r.slots.split_off(new);
         for &slot in &released {
-            self.mcs.detach(now, tenant_user(r.spec.tenant.0), slot)?;
+            self.rack.detach(now, tenant_user(r.spec.tenant.0), slot)?;
         }
         // Constant total work in GPU-iterations: fewer GPUs, more
         // remaining iterations at the new (cheaper per-iteration) shape.
@@ -1032,10 +1164,10 @@ impl ClusterSim {
     }
 
     /// Resource-conservation invariants, checked at every event: no slot
-    /// is double-booked, the scheduler's view matches the chassis
-    /// attachment table exactly, the pool is never oversubscribed, and no
-    /// tenant exceeds its quota. Cheap (≤ 16 attachments), so it runs in
-    /// release builds too.
+    /// is double-booked, the scheduler's view matches every chassis's
+    /// attachment table exactly (rack-wide *and* per chassis), the pool is
+    /// never oversubscribed, and no tenant exceeds its quota. Cheap (≤ 128
+    /// attachments), so it runs in release builds too.
     fn assert_conservation(&self, running: &BTreeMap<u64, Running>) {
         let mut booked = std::collections::BTreeSet::new();
         let mut used = vec![0usize; MAX_TENANTS as usize];
@@ -1053,7 +1185,10 @@ impl ClusterSim {
             assert!(!booked.contains(slot), "slot {slot} booked by training and serving");
         }
         let serve_used = self.serve.slots_per_tenant();
-        assert!(booked.len() + serve_slots.len() <= POOL_GPUS, "pool oversubscribed");
+        assert!(
+            booked.len() + serve_slots.len() <= self.topo.total_gpus(),
+            "pool oversubscribed"
+        );
         for (t, &u) in used.iter().enumerate() {
             assert!(
                 u + serve_used[t] <= self.cfg.quota_gpus_per_tenant,
@@ -1061,17 +1196,24 @@ impl ClusterSim {
                 serve_used[t]
             );
         }
-        let attached: Vec<SlotAddr> =
-            self.mcs.with_chassis(|c| c.attachments().map(|(a, _)| a).collect());
+        let attached = self.rack.attachments();
         assert_eq!(
             attached.len(),
             booked.len() + serve_slots.len(),
-            "scheduler view diverged from chassis attachments"
+            "scheduler view diverged from rack attachments"
         );
-        assert!(attached.iter().all(|a| booked.contains(a) || serve_slots.contains(a)));
+        assert!(attached.iter().all(|(a, _)| booked.contains(a) || serve_slots.contains(a)));
+        // The same conservation law holds chassis by chassis: no chassis
+        // carries an attachment the scheduler booked on another.
+        for c in 0..self.topo.chassis {
+            let on_c = attached.iter().filter(|(a, _)| a.chassis == c).count();
+            let expected = booked.iter().filter(|a| a.chassis == c).count()
+                + serve_slots.iter().filter(|a| a.chassis == c).count();
+            assert_eq!(on_c, expected, "chassis {c} attachments diverged from bookings");
+        }
         // Degraded-state invariants: no job runs on failed hardware, and
-        // the chassis's failed set matches the fault refcounts exactly.
-        let failed: Vec<SlotAddr> = self.mcs.with_chassis(|c| c.failed_slots().collect());
+        // the rack's failed set matches the fault refcounts exactly.
+        let failed = self.rack.failed_slots();
         for slot in &failed {
             assert!(!booked.contains(slot), "job occupies failed slot {slot}");
             assert!(!serve_slots.contains(slot), "replica occupies failed slot {slot}");
@@ -1079,7 +1221,7 @@ impl ClusterSim {
         assert_eq!(
             failed,
             self.fstate.slot_down.keys().copied().collect::<Vec<_>>(),
-            "chassis failed set diverged from fault refcounts"
+            "rack failed set diverged from fault refcounts"
         );
     }
 
@@ -1087,12 +1229,15 @@ impl ClusterSim {
     /// placement change re-prices each running job as its alone-on-bed
     /// iteration rate diluted by co-residents sharing a drawer switch.
     fn recompute_rates(&mut self, running: &mut BTreeMap<u64, Running>) {
-        let drawers: Vec<(u64, [bool; 2])> = running
+        let nd = self.topo.n_drawers();
+        let drawers: Vec<(u64, Vec<bool>)> = running
             .values()
             .map(|r| {
-                let d0 = r.slots.iter().any(|s| s.drawer.0 == 0);
-                let d1 = r.slots.iter().any(|s| s.drawer.0 == 1);
-                (r.spec.id, [d0, d1])
+                let mut d = vec![false; nd];
+                for s in &r.slots {
+                    d[s.global_drawer()] = true;
+                }
+                (r.spec.id, d)
             })
             .collect();
         // Each live service counts once as a neighbor to training jobs
@@ -1103,16 +1248,15 @@ impl ClusterSim {
             let mine = drawers
                 .iter()
                 .find(|(id, _)| *id == r.spec.id)
-                .map(|(_, d)| *d)
+                .map(|(_, d)| d.clone())
                 .expect("job listed");
+            let overlaps =
+                |d: &[bool]| d.iter().zip(&mine).any(|(&a, &b)| a && b);
             let neighbors = drawers
                 .iter()
-                .filter(|(id, d)| *id != r.spec.id && ((d[0] && mine[0]) || (d[1] && mine[1])))
+                .filter(|(id, d)| *id != r.spec.id && overlaps(d))
                 .count()
-                + service_drawers
-                    .iter()
-                    .filter(|d| (d[0] && mine[0]) || (d[1] && mine[1]))
-                    .count();
+                + service_drawers.iter().filter(|d| overlaps(d)).count();
             let dilation = 1.0 + self.cfg.interference * neighbors as f64;
             r.rate = 1.0 / (r.base_iter_secs * dilation);
             // Progress resumes only after any re-composition window.
@@ -1153,6 +1297,20 @@ pub fn compare_policies_cached(
     jobs: usize,
     cache: &mut ProbeCache,
 ) -> Result<Vec<ScheduleReport>, SchedulerError> {
+    compare_policies_cached_on(RackTopology::SINGLE, trace, policies, cfg, jobs, cache)
+}
+
+/// [`compare_policies_cached`] on an explicit rack topology: the same
+/// replay semantics and parallel-determinism guarantee, on `topo.chassis`
+/// chassis behind the rack tier.
+pub fn compare_policies_cached_on(
+    topo: RackTopology,
+    trace: &Trace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    cfg: &SchedulerConfig,
+    jobs: usize,
+    cache: &mut ProbeCache,
+) -> Result<Vec<ScheduleReport>, SchedulerError> {
     cache.warm(&crate::probe::warm_set_for_trace(trace), jobs);
     let replays: Vec<parsweep::Job<'_, Result<(ScheduleReport, ProbeCache), SchedulerError>>> =
         policies
@@ -1161,7 +1319,7 @@ pub fn compare_policies_cached(
                 let split = cache.split();
                 let label = format!("replay {} under {}", trace.name, p.name());
                 parsweep::Job::new(label, move || {
-                    ClusterSim::with_probe_cache(trace.clone(), p, cfg.clone(), split)?
+                    ClusterSim::with_probe_cache_on(topo, trace.clone(), p, cfg.clone(), split)?
                         .run_report()
                 })
             })
@@ -1187,6 +1345,18 @@ pub fn compare_policies_mixed(
     jobs: usize,
     cache: &mut ProbeCache,
 ) -> Result<Vec<ScheduleReport>, SchedulerError> {
+    compare_policies_mixed_on(RackTopology::SINGLE, mixed, policies, cfg, jobs, cache)
+}
+
+/// [`compare_policies_mixed`] on an explicit rack topology.
+pub fn compare_policies_mixed_on(
+    topo: RackTopology,
+    mixed: &MixedTrace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    cfg: &SchedulerConfig,
+    jobs: usize,
+    cache: &mut ProbeCache,
+) -> Result<Vec<ScheduleReport>, SchedulerError> {
     let training = mixed.training();
     cache.warm(&crate::probe::warm_set_for_trace(&training), jobs);
     let replays: Vec<parsweep::Job<'_, Result<(ScheduleReport, ProbeCache), SchedulerError>>> =
@@ -1196,7 +1366,7 @@ pub fn compare_policies_mixed(
                 let split = cache.split();
                 let label = format!("mixed replay {} under {}", mixed.name, p.name());
                 parsweep::Job::new(label, move || {
-                    ClusterSim::with_probe_cache_mixed(mixed.clone(), p, cfg.clone(), split)?
+                    ClusterSim::with_probe_cache_mixed_on(topo, mixed.clone(), p, cfg.clone(), split)?
                         .run_report()
                 })
             })
@@ -1224,7 +1394,21 @@ pub fn compare_policies_faulty(
     jobs: usize,
     cache: &mut ProbeCache,
 ) -> Result<Vec<(ScheduleReport, ScheduleReport)>, SchedulerError> {
-    plan.validate().map_err(|msg| SchedulerError::BadFault { msg })?;
+    compare_policies_faulty_on(RackTopology::SINGLE, trace, policies, plan, cfg, jobs, cache)
+}
+
+/// [`compare_policies_faulty`] on an explicit rack topology. The plan is
+/// validated against `topo`, so inter-chassis events require a real rack.
+pub fn compare_policies_faulty_on(
+    topo: RackTopology,
+    trace: &Trace,
+    policies: Vec<Box<dyn PlacePolicy>>,
+    plan: &FaultPlan,
+    cfg: &SchedulerConfig,
+    jobs: usize,
+    cache: &mut ProbeCache,
+) -> Result<Vec<(ScheduleReport, ScheduleReport)>, SchedulerError> {
+    plan.validate_for(&topo).map_err(|msg| SchedulerError::BadFault { msg })?;
     cache.warm(&crate::probe::warm_set_for_trace(trace), jobs);
     type Pair = (ScheduleReport, ScheduleReport, ProbeCache);
     let replays: Vec<parsweep::Job<'_, Result<Pair, SchedulerError>>> = policies
@@ -1236,14 +1420,19 @@ pub fn compare_policies_faulty(
             let label = format!("faulty replay {} under {name}", trace.name);
             parsweep::Job::new(label, move || {
                 let (baseline, probes) =
-                    ClusterSim::with_probe_cache(trace.clone(), p, cfg.clone(), split)?
+                    ClusterSim::with_probe_cache_on(topo, trace.clone(), p, cfg.clone(), split)?
                         .run_report()?;
                 let faulty_policy =
                     crate::policy::policy_by_name(name).expect("policy is registered");
-                let (mut faulty, probes) =
-                    ClusterSim::with_probe_cache(trace.clone(), faulty_policy, cfg.clone(), probes)?
-                        .with_faults(plan)?
-                        .run_report()?;
+                let (mut faulty, probes) = ClusterSim::with_probe_cache_on(
+                    topo,
+                    trace.clone(),
+                    faulty_policy,
+                    cfg.clone(),
+                    probes,
+                )?
+                .with_faults(plan)?
+                .run_report()?;
                 if let Some(rec) = faulty.recovery.as_mut() {
                     let base_jct = baseline.mean_jct.as_secs_f64();
                     if base_jct > 0.0 {
@@ -1438,6 +1627,7 @@ mod tests {
             name: "outage".into(),
             events: vec![FaultEvent {
                 at: SimTime::from_secs(2),
+                chassis: 0,
                 kind: FaultKind::DrawerOutage { drawer: 0 },
                 duration: Dur::from_secs(5),
             }],
@@ -1480,6 +1670,7 @@ mod tests {
             name: "trip".into(),
             events: vec![FaultEvent {
                 at: SimTime::from_secs(1),
+                chassis: 0,
                 kind: FaultKind::ThermalTrip { drawer: 0 },
                 duration: Dur::from_secs(3),
             }],
@@ -1516,6 +1707,7 @@ mod tests {
             name: "slow-links".into(),
             events: vec![FaultEvent {
                 at: SimTime::from_secs(1),
+                chassis: 0,
                 kind: FaultKind::LinkDegrade { drawer: 0, pct: 50 },
                 duration: Dur::from_secs(1_000),
             }],
@@ -1567,6 +1759,7 @@ mod tests {
             name: "bad".into(),
             events: vec![FaultEvent {
                 at: SimTime::ZERO,
+                chassis: 0,
                 kind: FaultKind::DrawerOutage { drawer: 7 },
                 duration: Dur::from_secs(1),
             }],
@@ -1702,6 +1895,7 @@ mod tests {
             name: "serve-outage".into(),
             events: vec![FaultEvent {
                 at: SimTime::from_secs(5),
+                chassis: 0,
                 kind: FaultKind::DrawerOutage { drawer: 1 },
                 duration: Dur::from_secs(4),
             }],

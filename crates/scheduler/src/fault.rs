@@ -19,6 +19,7 @@
 
 use desim::json::{FromJson, JsonError, ToJson, Value};
 use desim::{Dur, SimRng, SimTime};
+use rack::RackTopology;
 use std::fmt;
 
 /// Re-composition latency a fault-displaced job pays before it resumes
@@ -55,16 +56,22 @@ pub enum FaultKind {
     /// drawer. Same capacity loss as an outage, but *triggered through*
     /// the BMC thermal model rather than asserted directly.
     ThermalTrip { drawer: u8 },
+    /// The *rack-tier* FabreX links degrade to `pct` percent: every gang
+    /// spanning chassis runs at a stretched iteration rate while
+    /// single-chassis placements are untouched. Strikes the rack switch,
+    /// not any one chassis, so it carries no drawer.
+    RackLinkDegrade { pct: u8 },
 }
 
 impl FaultKind {
-    /// The drawer the event lands in.
-    pub fn drawer(&self) -> u8 {
+    /// The drawer the event lands in, `None` for rack-tier events.
+    pub fn drawer(&self) -> Option<u8> {
         match *self {
             FaultKind::DrawerOutage { drawer }
             | FaultKind::SlotDeath { drawer, .. }
             | FaultKind::LinkDegrade { drawer, .. }
-            | FaultKind::ThermalTrip { drawer } => drawer,
+            | FaultKind::ThermalTrip { drawer } => Some(drawer),
+            FaultKind::RackLinkDegrade { .. } => None,
         }
     }
 
@@ -74,6 +81,7 @@ impl FaultKind {
             FaultKind::SlotDeath { .. } => "slot-death",
             FaultKind::LinkDegrade { .. } => "link-degrade",
             FaultKind::ThermalTrip { .. } => "thermal-trip",
+            FaultKind::RackLinkDegrade { .. } => "rack-link-degrade",
         }
     }
 }
@@ -87,15 +95,19 @@ impl fmt::Display for FaultKind {
                 write!(f, "link-degrade d{drawer} to {pct}%")
             }
             FaultKind::ThermalTrip { drawer } => write!(f, "thermal-trip d{drawer}"),
+            FaultKind::RackLinkDegrade { pct } => write!(f, "rack-link-degrade to {pct}%"),
         }
     }
 }
 
 /// One injected event: a fault that strikes at `at` and heals (repair,
-/// power-back, retimer reseat) at `at + duration`.
+/// power-back, retimer reseat) at `at + duration`. `chassis` selects
+/// which chassis a drawer/slot event lands in (always 0 on the paper's
+/// single-chassis test bed; ignored by rack-tier events).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
     pub at: SimTime,
+    pub chassis: u8,
     pub kind: FaultKind,
     pub duration: Dur,
 }
@@ -132,21 +144,41 @@ impl FaultPlan {
         self
     }
 
-    /// Validate the plan against the 2-drawer × 8-slot envelope. `Err` is
-    /// the first offending event's description.
+    /// Validate the plan against the paper's single-chassis envelope.
+    /// `Err` is the first offending event's description.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_for(&RackTopology::SINGLE)
+    }
+
+    /// Validate the plan against a rack topology: chassis indices must
+    /// exist, drawer/slot addresses must fit the per-chassis shape, and
+    /// rack-tier events need a rack tier (≥ 2 chassis) to strike.
+    pub fn validate_for(&self, topo: &RackTopology) -> Result<(), String> {
         for (i, e) in self.events.iter().enumerate() {
-            if e.kind.drawer() >= 2 {
-                return Err(format!("event {i}: drawer {} outside the chassis", e.kind.drawer()));
+            if e.chassis >= topo.chassis {
+                return Err(format!("event {i}: chassis {} outside the rack", e.chassis));
+            }
+            if let Some(d) = e.kind.drawer() {
+                if d >= topo.drawers_per_chassis {
+                    return Err(format!("event {i}: drawer {d} outside the chassis"));
+                }
             }
             if let FaultKind::SlotDeath { slot, .. } = e.kind {
-                if slot >= 8 {
+                if slot >= topo.slots_per_drawer {
                     return Err(format!("event {i}: slot {slot} outside the drawer"));
                 }
             }
-            if let FaultKind::LinkDegrade { pct, .. } = e.kind {
+            if let FaultKind::LinkDegrade { pct, .. } | FaultKind::RackLinkDegrade { pct } = e.kind
+            {
                 if pct == 0 || pct >= 100 {
                     return Err(format!("event {i}: degrade to {pct}% is not a degrade"));
+                }
+            }
+            if let FaultKind::RackLinkDegrade { .. } = e.kind {
+                if topo.chassis < 2 {
+                    return Err(format!(
+                        "event {i}: rack-link-degrade needs an inter-chassis tier (>= 2 chassis)"
+                    ));
                 }
             }
             if e.duration.is_zero() {
@@ -170,12 +202,20 @@ impl ToJson for FaultEvent {
         let mut fields = vec![
             ("at_ns", self.at.to_json()),
             ("kind", Value::str(self.kind.kind_label())),
-            ("drawer", Value::from_u64(u64::from(self.kind.drawer()))),
         ];
+        // Chassis 0 is elided so single-chassis plans keep their exact
+        // pre-rack byte shape; rack-tier events carry no drawer at all.
+        if self.chassis != 0 {
+            fields.push(("chassis", Value::from_u64(u64::from(self.chassis))));
+        }
+        if let Some(d) = self.kind.drawer() {
+            fields.push(("drawer", Value::from_u64(u64::from(d))));
+        }
         if let FaultKind::SlotDeath { slot, .. } = self.kind {
             fields.push(("slot", Value::from_u64(u64::from(slot))));
         }
-        if let FaultKind::LinkDegrade { pct, .. } = self.kind {
+        if let FaultKind::LinkDegrade { pct, .. } | FaultKind::RackLinkDegrade { pct } = self.kind
+        {
             fields.push(("pct", Value::from_u64(u64::from(pct))));
         }
         fields.push(("duration_ns", self.duration.to_json()));
@@ -185,16 +225,30 @@ impl ToJson for FaultEvent {
 
 impl FromJson for FaultEvent {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
-        let drawer = v.get("drawer")?.as_u8()?;
+        let chassis = match v.get("chassis") {
+            Ok(c) => c.as_u8()?,
+            Err(_) => 0,
+        };
         let kind = match v.get("kind")?.as_str()? {
-            "drawer-outage" => FaultKind::DrawerOutage { drawer },
-            "slot-death" => FaultKind::SlotDeath { drawer, slot: v.get("slot")?.as_u8()? },
-            "link-degrade" => FaultKind::LinkDegrade { drawer, pct: v.get("pct")?.as_u8()? },
-            "thermal-trip" => FaultKind::ThermalTrip { drawer },
-            other => return Err(JsonError::decode(format!("unknown fault kind \"{other}\""))),
+            "rack-link-degrade" => FaultKind::RackLinkDegrade { pct: v.get("pct")?.as_u8()? },
+            other => {
+                let drawer = v.get("drawer")?.as_u8()?;
+                match other {
+                    "drawer-outage" => FaultKind::DrawerOutage { drawer },
+                    "slot-death" => FaultKind::SlotDeath { drawer, slot: v.get("slot")?.as_u8()? },
+                    "link-degrade" => {
+                        FaultKind::LinkDegrade { drawer, pct: v.get("pct")?.as_u8()? }
+                    }
+                    "thermal-trip" => FaultKind::ThermalTrip { drawer },
+                    other => {
+                        return Err(JsonError::decode(format!("unknown fault kind \"{other}\"")))
+                    }
+                }
+            }
         };
         Ok(FaultEvent {
             at: SimTime::from_json(v.get("at_ns")?)?,
+            chassis,
             kind,
             duration: Dur::from_json(v.get("duration_ns")?)?,
         })
@@ -245,10 +299,51 @@ pub fn seeded_fault_plan(n_events: usize, horizon: Dur, seed: u64) -> FaultPlan 
             let at = SimTime::from_secs_f64(rng.unit() * horizon.as_secs_f64());
             let duration =
                 Dur::from_secs_f64((0.05 + 0.2 * rng.unit()) * horizon.as_secs_f64());
-            FaultEvent { at, kind, duration }
+            FaultEvent { at, chassis: 0, kind, duration }
         })
         .collect();
     FaultPlan { name: format!("seeded-{n_events}x{seed:#x}"), events }.sorted()
+}
+
+/// A seeded random plan over a whole rack: like [`seeded_fault_plan`] but
+/// events land on a random chassis and the kind mix includes rack-tier
+/// link degradation when the topology has an inter-chassis tier. A
+/// separate RNG stream (and generator) so the single-chassis generator's
+/// draw order — which pinned goldens depend on — never changes.
+pub fn seeded_rack_fault_plan(
+    n_events: usize,
+    horizon: Dur,
+    seed: u64,
+    topo: &RackTopology,
+) -> FaultPlan {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x2ACC_FA17);
+    let kinds = if topo.chassis >= 2 { 5 } else { 4 };
+    let events = (0..n_events)
+        .map(|_| {
+            let chassis = rng.index(topo.chassis as usize) as u8;
+            let drawer = rng.index(topo.drawers_per_chassis as usize) as u8;
+            let kind = match rng.index(kinds) {
+                0 => FaultKind::DrawerOutage { drawer },
+                1 => FaultKind::SlotDeath {
+                    drawer,
+                    slot: rng.index(topo.slots_per_drawer as usize) as u8,
+                },
+                2 => FaultKind::LinkDegrade {
+                    drawer,
+                    pct: DEGRADE_LEVELS[rng.index(DEGRADE_LEVELS.len())],
+                },
+                3 => FaultKind::ThermalTrip { drawer },
+                _ => FaultKind::RackLinkDegrade {
+                    pct: DEGRADE_LEVELS[rng.index(DEGRADE_LEVELS.len())],
+                },
+            };
+            let at = SimTime::from_secs_f64(rng.unit() * horizon.as_secs_f64());
+            let duration =
+                Dur::from_secs_f64((0.05 + 0.2 * rng.unit()) * horizon.as_secs_f64());
+            FaultEvent { at, chassis, kind, duration }
+        })
+        .collect();
+    FaultPlan { name: format!("seeded-rack-{n_events}x{seed:#x}"), events }.sorted()
 }
 
 /// The pinned 3-event plan behind `repro faults`, the `cluster_faults`
@@ -266,16 +361,19 @@ pub fn paper_fault_plan() -> FaultPlan {
         events: vec![
             FaultEvent {
                 at: SimTime::from_secs(16),
+                chassis: 0,
                 kind: FaultKind::DrawerOutage { drawer: 1 },
                 duration: Dur::from_secs(10),
             },
             FaultEvent {
                 at: SimTime::from_secs(18),
+                chassis: 0,
                 kind: FaultKind::LinkDegrade { drawer: 0, pct: 50 },
                 duration: Dur::from_secs(12),
             },
             FaultEvent {
                 at: SimTime::from_secs(28),
+                chassis: 0,
                 kind: FaultKind::ThermalTrip { drawer: 0 },
                 duration: Dur::from_secs(8),
             },
@@ -308,7 +406,7 @@ mod tests {
     fn validate_rejects_out_of_envelope_events() {
         let bad = |kind| FaultPlan {
             name: "bad".into(),
-            events: vec![FaultEvent { at: SimTime::ZERO, kind, duration: Dur::from_secs(1) }],
+            events: vec![FaultEvent { at: SimTime::ZERO, chassis: 0, kind, duration: Dur::from_secs(1) }],
         };
         assert!(bad(FaultKind::DrawerOutage { drawer: 2 }).validate().is_err());
         assert!(bad(FaultKind::SlotDeath { drawer: 0, slot: 8 }).validate().is_err());
@@ -318,6 +416,7 @@ mod tests {
             name: "z".into(),
             events: vec![FaultEvent {
                 at: SimTime::ZERO,
+                chassis: 0,
                 kind: FaultKind::SlotDeath { drawer: 0, slot: 0 },
                 duration: Dur::ZERO,
             }],

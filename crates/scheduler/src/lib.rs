@@ -26,6 +26,10 @@
 //! * [`serve`] — latency-SLO inference serving: fractional-GPU (MIG-style)
 //!   replica sets with dynamic batching and autoscaling, co-scheduled
 //!   with training through the same event loop and MCS paths.
+//! * the [`rack`] crate underneath — multi-chassis scale-out: global
+//!   `chassis × drawer × slot` addressing, the inter-chassis fabric
+//!   tier's cost model, and rack-wide conservation views, so the same
+//!   loop runs 16-GPU single-chassis studies and 32–128-GPU racks.
 //! * [`metrics`] — JCT / queueing / makespan / utilization /
 //!   fragmentation / fairness / SLO-attainment reporting and the
 //!   policy-comparison tables.
@@ -40,12 +44,16 @@ pub mod serve;
 pub mod trace;
 
 pub use cluster::{
-    compare_policies, compare_policies_cached, compare_policies_faulty, compare_policies_mixed,
-    ClusterSim, SchedulerConfig, SchedulerError, POOL_GPUS,
+    compare_policies, compare_policies_cached, compare_policies_cached_on,
+    compare_policies_faulty, compare_policies_faulty_on, compare_policies_mixed,
+    compare_policies_mixed_on, ClusterSim, SchedulerConfig, SchedulerError, POOL_GPUS,
 };
 pub use fault::{
-    paper_fault_plan, seeded_fault_plan, FaultEvent, FaultKind, FaultPlan, CHECKPOINT_ITERS,
-    RECOMPOSE_LATENCY,
+    paper_fault_plan, seeded_fault_plan, seeded_rack_fault_plan, FaultEvent, FaultKind, FaultPlan,
+    CHECKPOINT_ITERS, RECOMPOSE_LATENCY,
+};
+pub use rack::{
+    cross_chassis_stretch, supported_envelope, Rack, RackAddr, RackTopology, MAX_CHASSIS,
 };
 pub use metrics::{
     comparison_table, jain_fairness, serve_comparison_table, JobOutcome, RecoveryMetrics,

@@ -1,51 +1,73 @@
-//! Placement policies: given a job and the chassis's current free slots,
+//! Placement policies: given a job and the rack's current free slots,
 //! choose the slots to compose — or decline and let the job wait.
 //!
 //! All policies see the same queue in the same order (the cluster loop
 //! owns queue discipline); they differ **only** in slot selection:
 //!
 //! * [`FifoFirstFit`] — the naive baseline: first free slots in global
-//!   slot order, splitting across drawers whenever the first drawer is
-//!   fragmented.
-//! * [`BestFit`] — classic best-fit packing: the *tightest* drawer that
-//!   still fits the job, spilling only when no single drawer fits.
+//!   slot order, splitting across drawers (and chassis) whenever the
+//!   front of the free list is fragmented.
+//! * [`BestFit`] — classic best-fit packing: the *tightest* drawer
+//!   anywhere in the rack that still fits the job, spilling only when no
+//!   single drawer fits.
 //! * [`FragAware`] — keeps Falcon drawers whole: never splits a job
 //!   across drawers, preferring to let it queue until a whole-drawer
 //!   placement opens.
 //! * [`TopologyAware`] — prices every candidate shape with a cached
 //!   micro-probe ([`crate::probe`]) and picks the best
-//!   [`composable_core::Objective::TrainingTime`] score.
+//!   [`composable_core::Objective::TrainingTime`] score, charging
+//!   [`rack::cross_chassis_stretch`] when a candidate spans the
+//!   inter-chassis tier.
+//!
+//! Policies are topology-generic: they see [`FreeView`]'s rack-global
+//! drawer axis and reduce exactly to their single-chassis behavior when
+//! the rack is one chassis, keeping the pre-rack goldens byte-identical.
 
 use crate::probe::{ProbeCache, Shape};
 use crate::trace::JobSpec;
 use falcon::SlotAddr;
+use rack::{cross_chassis_stretch, RackAddr};
+use std::cmp::Reverse;
 
-/// Snapshot of the chassis's unattached GPU slots, in global slot order.
+/// Snapshot of the rack's unattached GPU slots, in global (chassis-major)
+/// slot order, plus the rack's drawer count so policies can iterate the
+/// global drawer axis.
 #[derive(Debug, Clone)]
 pub struct FreeView {
-    free: Vec<SlotAddr>,
+    free: Vec<RackAddr>,
+    n_drawers: usize,
 }
 
 impl FreeView {
-    pub fn new(mut free: Vec<SlotAddr>) -> FreeView {
-        free.sort();
-        FreeView { free }
+    pub fn new(mut free: Vec<RackAddr>, n_drawers: usize) -> FreeView {
+        free.sort_unstable();
+        FreeView { free, n_drawers }
+    }
+
+    /// The paper's single-chassis view (chassis 0, 2 drawers).
+    pub fn single_chassis(free: Vec<SlotAddr>) -> FreeView {
+        FreeView::new(free.into_iter().map(RackAddr::local).collect(), 2)
     }
 
     pub fn total(&self) -> usize {
         self.free.len()
     }
 
-    pub fn slots(&self) -> &[SlotAddr] {
+    pub fn slots(&self) -> &[RackAddr] {
         &self.free
     }
 
-    /// Free slots inside one drawer, ascending.
-    pub fn in_drawer(&self, drawer: u8) -> Vec<SlotAddr> {
+    /// Global drawers in the rack (2 per chassis).
+    pub fn n_drawers(&self) -> usize {
+        self.n_drawers
+    }
+
+    /// Free slots inside one global drawer, ascending.
+    pub fn in_drawer(&self, drawer: usize) -> Vec<RackAddr> {
         self.free
             .iter()
             .copied()
-            .filter(|s| s.drawer.0 == drawer)
+            .filter(|s| s.global_drawer() == drawer)
             .collect()
     }
 }
@@ -54,7 +76,7 @@ impl FreeView {
 /// slot of the same tenant (`shared`), or a wholly free slot.
 #[derive(Debug, Clone, Copy)]
 pub struct SliceSlot {
-    pub addr: SlotAddr,
+    pub addr: RackAddr,
     /// Unclaimed sevenths of the slot's compute.
     pub free_sevenths: u8,
     /// Already attached for serving this tenant (placing here costs no
@@ -63,12 +85,12 @@ pub struct SliceSlot {
 }
 
 /// The fractional-capacity view a replica placement chooses from, in
-/// global slot order, plus the per-drawer wholly-free GPU counts (so
-/// packing policies can keep training's contiguous holes whole).
+/// global slot order, plus the per-global-drawer wholly-free GPU counts
+/// (so packing policies can keep training's contiguous holes whole).
 #[derive(Debug, Clone)]
 pub struct SliceView {
     pub slots: Vec<SliceSlot>,
-    pub free_gpus: [usize; 2],
+    pub free_gpus: Vec<usize>,
 }
 
 /// A slot-selection strategy. Returning `None` means "this job cannot (or
@@ -81,12 +103,12 @@ pub struct SliceView {
 pub trait PlacePolicy: Send {
     fn name(&self) -> &'static str;
     fn place(&self, job: &JobSpec, free: &FreeView, probes: &mut ProbeCache)
-        -> Option<Vec<SlotAddr>>;
+        -> Option<Vec<RackAddr>>;
 
     /// Pick the slot for one serving replica of `slice`/7 of a GPU. The
     /// default mirrors [`FifoFirstFit`]: the first slot that fits, in
     /// global order, blind to fragmentation.
-    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<SlotAddr> {
+    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<RackAddr> {
         view.slots.iter().find(|s| s.free_sevenths >= slice).map(|s| s.addr)
     }
 
@@ -128,7 +150,7 @@ impl PlacePolicy for FifoFirstFit {
         "fifo-first-fit"
     }
 
-    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<SlotAddr>> {
+    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<RackAddr>> {
         let k = usize::from(job.gpus);
         if free.total() < k {
             return None;
@@ -144,24 +166,32 @@ impl PlacePolicy for BestFit {
         "best-fit"
     }
 
-    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<SlotAddr>> {
+    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<RackAddr>> {
         let k = usize::from(job.gpus);
         if free.total() < k {
             return None;
         }
-        let per: Vec<Vec<SlotAddr>> = (0..2).map(|d| free.in_drawer(d)).collect();
-        // Tightest single drawer that fits.
-        if let Some(d) = (0..2)
+        let nd = free.n_drawers();
+        let per: Vec<Vec<RackAddr>> = (0..nd).map(|d| free.in_drawer(d)).collect();
+        // Tightest single drawer anywhere in the rack that fits.
+        if let Some(d) = (0..nd)
             .filter(|&d| per[d].len() >= k)
             .min_by_key(|&d| (per[d].len(), d))
         {
             return Some(per[d][..k].to_vec());
         }
-        // No drawer fits alone: drain the fuller drawer, spill the rest.
-        let first = if per[0].len() >= per[1].len() { 0 } else { 1 };
-        let mut slots: Vec<SlotAddr> = per[first].clone();
-        slots.extend(per[1 - first].iter().copied().take(k - slots.len().min(k)));
-        slots.truncate(k);
+        // No drawer fits alone: drain drawers fullest-first (ties toward
+        // the lower global drawer), spilling across drawers — and chassis —
+        // as the remainder demands.
+        let mut order: Vec<usize> = (0..nd).collect();
+        order.sort_by_key(|&d| (Reverse(per[d].len()), d));
+        let mut slots: Vec<RackAddr> = Vec::with_capacity(k);
+        for d in order {
+            if slots.len() == k {
+                break;
+            }
+            slots.extend(per[d].iter().copied().take(k - slots.len()));
+        }
         Some(slots)
     }
 }
@@ -173,12 +203,12 @@ impl PlacePolicy for FragAware {
         "frag-aware"
     }
 
-    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<SlotAddr>> {
+    fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<RackAddr>> {
         let k = usize::from(job.gpus);
         // Whole-drawer placements only: a drawer must fit the entire job.
         // Among fitting drawers, prefer an exact fit, then the tightest —
         // large contiguous holes stay whole for the jobs that need them.
-        (0..2)
+        (0..free.n_drawers())
             .map(|d| free.in_drawer(d))
             .filter(|slots| slots.len() >= k)
             .min_by_key(|slots| (slots.len() != k, slots.len()))
@@ -187,6 +217,19 @@ impl PlacePolicy for FragAware {
 }
 
 pub struct TopologyAware;
+
+/// Score a placement split into per-chassis parts: each part is priced by
+/// its per-chassis probe (entries are chassis-pure) and the slowest part
+/// bounds the gang; spanning the rack tier multiplies in the analytic
+/// [`cross_chassis_stretch`]. Scores are negative training times, so the
+/// stretch makes spanning candidates strictly worse.
+fn score_spanning(probes: &mut ProbeCache, job: &JobSpec, parts: &[Shape]) -> f64 {
+    let worst = parts
+        .iter()
+        .map(|&s| probes.price(job.benchmark, s).score)
+        .fold(f64::INFINITY, f64::min);
+    worst * cross_chassis_stretch(parts.len(), 100)
+}
 
 impl PlacePolicy for TopologyAware {
     fn name(&self) -> &'static str {
@@ -198,47 +241,127 @@ impl PlacePolicy for TopologyAware {
         job: &JobSpec,
         free: &FreeView,
         probes: &mut ProbeCache,
-    ) -> Option<Vec<SlotAddr>> {
+    ) -> Option<Vec<RackAddr>> {
         let k = usize::from(job.gpus);
         if free.total() < k {
             return None;
         }
-        let per: Vec<Vec<SlotAddr>> = (0..2).map(|d| free.in_drawer(d)).collect();
-        // Candidates as (slots from `drawer`, drawer): each whole-drawer
-        // fit; failing those, the least-split spill and the balanced
-        // split — the probe decides which split shape hurts less.
-        let mut candidates: Vec<(usize, usize)> = (0..2)
-            .filter(|&d| per[d].len() >= k)
-            .map(|d| (k, d))
-            .collect();
-        if candidates.is_empty() {
-            let fuller = if per[0].len() >= per[1].len() { 0 } else { 1 };
+        let nd = free.n_drawers();
+        let per: Vec<Vec<RackAddr>> = (0..nd).map(|d| free.in_drawer(d)).collect();
+        // 1. A whole drawer anywhere in the rack: the unbeatable shape
+        // under this cost model (no root-complex hop, no rack hop), so
+        // whole-drawer candidates only tie with each other — the lowest
+        // global drawer wins, matching the single-chassis tie-break.
+        if let Some(d) = (0..nd).find(|&d| per[d].len() >= k) {
+            probes.price(job.benchmark, Shape::new(k as u8, 0));
+            return Some(per[d][..k].to_vec());
+        }
+        // 2. Intra-chassis splits: within each chassis that can hold the
+        // gang, the least-split spill and the balanced split — the probe
+        // decides which split shape hurts less. Candidates are
+        // (take-from-primary, primary drawer, secondary drawer).
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        for c in 0..nd / 2 {
+            let (d0, d1) = (2 * c, 2 * c + 1);
+            if per[d0].len() + per[d1].len() < k {
+                continue;
+            }
+            let (fuller, other) = if per[d0].len() >= per[d1].len() { (d0, d1) } else { (d1, d0) };
             let spill = per[fuller].len().min(k);
-            candidates.push((spill, fuller));
+            candidates.push((spill, fuller, other));
             let balanced = k.div_ceil(2);
-            if balanced < spill && k - balanced <= per[1 - fuller].len() {
-                candidates.push((balanced, fuller));
+            if balanced < spill && k - balanced <= per[other].len() {
+                candidates.push((balanced, fuller, other));
             }
         }
-        // Highest probe score wins; ties resolve to fewer drawers spanned,
-        // then the lower drawer, so the choice is deterministic.
-        let (take, drawer) = candidates
-            .into_iter()
-            .map(|(take, d)| {
-                let shape = Shape::new(take as u8, (k - take) as u8);
-                (probes.price(job.benchmark, shape).score, take, d)
-            })
-            .max_by(|(sa, ta, da), (sb, tb, db)| {
-                sa.partial_cmp(sb)
-                    .expect("finite probe scores")
-                    .then(ta.cmp(tb))
-                    .then(db.cmp(da))
-            })
-            .map(|(_, take, d)| (take, d))?;
-        let mut slots: Vec<SlotAddr> = per[drawer].iter().copied().take(take).collect();
-        slots.extend(per[1 - drawer].iter().copied().take(k - take));
-        debug_assert_eq!(slots.len(), k);
-        Some(slots)
+        if !candidates.is_empty() {
+            // Highest probe score wins; ties resolve to fewer drawers
+            // spanned, then the lower primary drawer, so the choice is
+            // deterministic.
+            let (take, pd, sd) = candidates
+                .into_iter()
+                .map(|(take, pd, sd)| {
+                    let shape = Shape::new(take as u8, (k - take) as u8);
+                    (probes.price(job.benchmark, shape).score, take, pd, sd)
+                })
+                .max_by(|(sa, ta, da, _), (sb, tb, db, _)| {
+                    sa.partial_cmp(sb)
+                        .expect("finite probe scores")
+                        .then(ta.cmp(tb))
+                        .then(db.cmp(da))
+                })
+                .map(|(_, take, pd, sd)| (take, pd, sd))?;
+            let mut slots: Vec<RackAddr> = per[pd].iter().copied().take(take).collect();
+            slots.extend(per[sd].iter().copied().take(k - take));
+            debug_assert_eq!(slots.len(), k);
+            return Some(slots);
+        }
+        // 3. No chassis can hold the gang alone: it must span the rack
+        // tier. Price the fewest-chassis greedy assembly (freest chassis
+        // first, fuller drawer first within each) against a balanced
+        // two-chassis split, and take the better — the stretch factor
+        // penalizes every extra chassis part.
+        let n_chassis = nd / 2;
+        let chassis_free = |c: usize| per[2 * c].len() + per[2 * c + 1].len();
+        let mut order: Vec<usize> = (0..n_chassis).collect();
+        order.sort_by_key(|&c| (Reverse(chassis_free(c)), c));
+        let take_in_chassis = |c: usize, want: usize| -> (Vec<RackAddr>, Shape) {
+            let (d0, d1) = (2 * c, 2 * c + 1);
+            let (fuller, other) = if per[d0].len() >= per[d1].len() { (d0, d1) } else { (d1, d0) };
+            let t0 = per[fuller].len().min(want);
+            let t1 = per[other].len().min(want - t0);
+            let mut v: Vec<RackAddr> = per[fuller].iter().copied().take(t0).collect();
+            v.extend(per[other].iter().copied().take(t1));
+            (v, Shape::new(t0 as u8, t1 as u8))
+        };
+        let assemble = |plan: &[(usize, usize)]| -> (Vec<RackAddr>, Vec<Shape>) {
+            let mut slots = Vec::with_capacity(k);
+            let mut parts = Vec::new();
+            for &(c, want) in plan {
+                if want == 0 {
+                    continue;
+                }
+                let (v, shape) = take_in_chassis(c, want);
+                slots.extend(v);
+                parts.push(shape);
+            }
+            (slots, parts)
+        };
+        // Greedy: drain the freest chassis, then the next, until filled.
+        let mut greedy_plan: Vec<(usize, usize)> = Vec::new();
+        let mut left = k;
+        for &c in &order {
+            let take = chassis_free(c).min(left);
+            greedy_plan.push((c, take));
+            left -= take;
+            if left == 0 {
+                break;
+            }
+        }
+        if left > 0 {
+            return None;
+        }
+        let (greedy_slots, greedy_parts) = assemble(&greedy_plan);
+        let mut best = (
+            score_spanning(probes, job, &greedy_parts),
+            greedy_parts.len(),
+            greedy_slots,
+        );
+        // Balanced across the two freest chassis, when both halves fit.
+        if order.len() >= 2 {
+            let hi = k.div_ceil(2);
+            if chassis_free(order[0]) >= hi && chassis_free(order[1]) >= k - hi {
+                let (slots, parts) = assemble(&[(order[0], hi), (order[1], k - hi)]);
+                let score = score_spanning(probes, job, &parts);
+                // Strictly better only: ties keep the greedy (fewer-part)
+                // assembly.
+                if score > best.0 || (score == best.0 && parts.len() < best.1) {
+                    best = (score, parts.len(), slots);
+                }
+            }
+        }
+        debug_assert_eq!(best.2.len(), k);
+        Some(best.2)
     }
 }
 
@@ -255,19 +378,19 @@ impl PlacePolicy for SloAwarePack {
     }
 
     fn place(&self, job: &JobSpec, free: &FreeView, probes: &mut ProbeCache)
-        -> Option<Vec<SlotAddr>> {
+        -> Option<Vec<RackAddr>> {
         BestFit.place(job, free, probes)
     }
 
-    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<SlotAddr> {
+    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<RackAddr> {
         view.slots
             .iter()
             .filter(|s| s.free_sevenths >= slice)
             .min_by_key(|s| {
                 (
                     !s.shared,
-                    view.free_gpus[usize::from(s.addr.drawer.0)],
-                    std::cmp::Reverse(s.addr),
+                    view.free_gpus[s.addr.global_drawer()],
+                    Reverse(s.addr),
                 )
             })
             .map(|s| s.addr)
@@ -298,9 +421,17 @@ mod tests {
         }
     }
 
+    fn ra(drawer: u8, slot: u8) -> RackAddr {
+        RackAddr::new(0, drawer, slot)
+    }
+
+    fn spans(slots: &[RackAddr]) -> bool {
+        rack::drawers_spanned(slots) > 1
+    }
+
     /// d0 has slots {2,3}, d1 has {0,1,2,3} free.
     fn fragmented() -> FreeView {
-        FreeView::new(vec![
+        FreeView::single_chassis(vec![
             SlotAddr::new(0, 2),
             SlotAddr::new(0, 3),
             SlotAddr::new(1, 0),
@@ -315,16 +446,16 @@ mod tests {
         let got = FifoFirstFit
             .place(&job(4), &fragmented(), &mut ProbeCache::new(2))
             .unwrap();
-        assert!(Shape::of(&got).spans(), "first-fit fragments: {got:?}");
+        assert!(spans(&got), "first-fit fragments: {got:?}");
     }
 
     #[test]
     fn best_fit_packs_the_tightest_drawer() {
         let mut probes = ProbeCache::new(2);
         let got = BestFit.place(&job(2), &fragmented(), &mut probes).unwrap();
-        assert_eq!(got, vec![SlotAddr::new(0, 2), SlotAddr::new(0, 3)]);
+        assert_eq!(got, vec![ra(0, 2), ra(0, 3)]);
         let got4 = BestFit.place(&job(4), &fragmented(), &mut probes).unwrap();
-        assert!(!Shape::of(&got4).spans(), "d1 fits the 4-GPU job whole");
+        assert!(!spans(&got4), "d1 fits the 4-GPU job whole");
     }
 
     #[test]
@@ -332,7 +463,7 @@ mod tests {
         let mut probes = ProbeCache::new(2);
         assert!(FragAware.place(&job(8), &fragmented(), &mut probes).is_none());
         let got = FragAware.place(&job(4), &fragmented(), &mut probes).unwrap();
-        assert!(!Shape::of(&got).spans());
+        assert!(!spans(&got));
     }
 
     #[test]
@@ -341,7 +472,7 @@ mod tests {
         let mut j = job(4);
         j.benchmark = Benchmark::BertLarge;
         let got = TopologyAware.place(&j, &fragmented(), &mut probes).unwrap();
-        assert!(!Shape::of(&got).spans(), "probe scoring avoids the split");
+        assert!(!spans(&got), "probe scoring avoids the split");
         assert!(!probes.is_empty());
     }
 
@@ -349,7 +480,7 @@ mod tests {
     fn topology_aware_prices_competing_splits() {
         // 3 free in each drawer, a 4-GPU job: no whole-drawer fit, so the
         // policy must price the 3+1 spill against the 2+2 balanced split.
-        let free = FreeView::new(vec![
+        let free = FreeView::single_chassis(vec![
             SlotAddr::new(0, 0),
             SlotAddr::new(0, 1),
             SlotAddr::new(0, 2),
@@ -362,14 +493,72 @@ mod tests {
         j.benchmark = Benchmark::BertLarge;
         let got = TopologyAware.place(&j, &free, &mut probes).unwrap();
         assert_eq!(got.len(), 4);
-        assert!(Shape::of(&got).spans(), "a split is unavoidable here");
+        assert!(spans(&got), "a split is unavoidable here");
         assert!(probes.len() >= 2, "both split shapes were priced");
+    }
+
+    #[test]
+    fn policies_reach_across_chassis() {
+        // A 2-chassis rack, 3 slots free per chassis (all in drawer 0):
+        // a 4-GPU job cannot fit any chassis, so placement must span the
+        // rack tier.
+        let free = FreeView::new(
+            vec![
+                RackAddr::new(0, 0, 0),
+                RackAddr::new(0, 0, 1),
+                RackAddr::new(0, 0, 2),
+                RackAddr::new(1, 0, 0),
+                RackAddr::new(1, 0, 1),
+                RackAddr::new(1, 0, 2),
+            ],
+            4,
+        );
+        let mut probes = ProbeCache::new(2);
+        for p in all_policies() {
+            let got = p.place(&job(4), &free, &mut probes).unwrap_or_default();
+            if p.name() == "frag-aware" {
+                assert!(got.is_empty(), "frag-aware keeps waiting for a whole drawer");
+            } else {
+                assert_eq!(got.len(), 4, "{} must span chassis", p.name());
+                assert!(rack::chassis_parts(&got).len() == 2, "{}: {got:?}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn topology_aware_prefers_one_chassis_over_the_rack_hop() {
+        // Chassis 0 can hold the 4-gang split 2+2; chassis 1 has a whole
+        // drawer free. The whole drawer wins (no hop at all). Remove it
+        // and the policy stays inside chassis 0 rather than spanning the
+        // rack tier.
+        let mut slots = vec![
+            RackAddr::new(0, 0, 0),
+            RackAddr::new(0, 0, 1),
+            RackAddr::new(0, 1, 0),
+            RackAddr::new(0, 1, 1),
+        ];
+        let whole: Vec<RackAddr> = (0..4).map(|s| RackAddr::new(1, 0, s)).collect();
+        slots.extend(&whole);
+        let mut probes = ProbeCache::new(2);
+        let got = TopologyAware
+            .place(&job(4), &FreeView::new(slots.clone(), 4), &mut probes)
+            .unwrap();
+        assert_eq!(got, whole, "whole drawer on chassis 1 is unbeatable");
+        slots.truncate(4);
+        let got = TopologyAware
+            .place(&job(4), &FreeView::new(slots, 4), &mut probes)
+            .unwrap();
+        assert_eq!(
+            rack::chassis_parts(&got).len(),
+            1,
+            "intra-chassis split beats the rack hop: {got:?}"
+        );
     }
 
     #[test]
     fn all_policies_refuse_impossible_demands() {
         let mut probes = ProbeCache::new(2);
-        let tiny = FreeView::new(vec![SlotAddr::new(0, 0)]);
+        let tiny = FreeView::single_chassis(vec![SlotAddr::new(0, 0)]);
         for p in all_policies() {
             assert!(p.place(&job(2), &tiny, &mut probes).is_none(), "{}", p.name());
         }
@@ -381,31 +570,32 @@ mod tests {
     fn slice_view() -> SliceView {
         SliceView {
             slots: vec![
-                SliceSlot { addr: SlotAddr::new(0, 1), free_sevenths: 7, shared: false },
-                SliceSlot { addr: SlotAddr::new(0, 6), free_sevenths: 3, shared: true },
-                SliceSlot { addr: SlotAddr::new(1, 2), free_sevenths: 7, shared: false },
+                SliceSlot { addr: ra(0, 1), free_sevenths: 7, shared: false },
+                SliceSlot { addr: ra(0, 6), free_sevenths: 3, shared: true },
+                SliceSlot { addr: ra(1, 2), free_sevenths: 7, shared: false },
             ],
-            free_gpus: [5, 2],
+            free_gpus: vec![5, 2],
         }
     }
 
     #[test]
     fn default_replica_placement_is_first_fit() {
         let got = FifoFirstFit.place_replica(2, &slice_view()).unwrap();
-        assert_eq!(got, SlotAddr::new(0, 1), "first slot in global order");
+        assert_eq!(got, ra(0, 1), "first slot in global order");
         assert!(!FifoFirstFit.evict_for_slo());
     }
 
     #[test]
     fn slo_aware_pack_fills_shared_slots_first() {
         let got = SloAwarePack.place_replica(2, &slice_view()).unwrap();
-        assert_eq!(got, SlotAddr::new(0, 6), "partial serving slot wins");
+        assert_eq!(got, ra(0, 6), "partial serving slot wins");
         // Too big for the shared slot: falls to the tightest drawer's
         // free slot, not the global first fit.
         let got4 = SloAwarePack.place_replica(4, &slice_view()).unwrap();
-        assert_eq!(got4, SlotAddr::new(1, 2), "tightest drawer, high slot");
+        assert_eq!(got4, ra(1, 2), "tightest drawer, high slot");
         assert!(SloAwarePack.evict_for_slo());
-        assert!(SloAwarePack.place_replica(4, &SliceView { slots: vec![], free_gpus: [0, 0] })
+        assert!(SloAwarePack
+            .place_replica(4, &SliceView { slots: vec![], free_gpus: vec![0, 0] })
             .is_none());
     }
 

@@ -22,6 +22,7 @@ use desim::Dur;
 use devices::gpu::GpuSpec;
 use dlmodels::Benchmark;
 use falcon::SlotAddr;
+use rack::RackTopology;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use training::engine::{model_for, run_job};
@@ -127,14 +128,26 @@ pub struct Probe {
 /// nothing" an assertable property.
 pub struct ProbeCache {
     probe_iters: u64,
+    topo: RackTopology,
     map: BTreeMap<(&'static str, Shape, LinkHealth), Probe>,
     probes_run: u64,
 }
 
 impl ProbeCache {
+    /// A cache for the paper's single-chassis test bed.
     pub fn new(probe_iters: u64) -> ProbeCache {
+        ProbeCache::new_for(probe_iters, RackTopology::SINGLE)
+    }
+
+    /// A cache whose persistence stamp is bound to `topo`. Entries are
+    /// per-chassis-pure (multi-chassis placements are priced as the max
+    /// over per-chassis parts times the rack-tier stretch), but the
+    /// *stamp* folds the topology in so a file saved under one rack shape
+    /// never silently seeds a differently-shaped run.
+    pub fn new_for(probe_iters: u64, topo: RackTopology) -> ProbeCache {
         ProbeCache {
             probe_iters: probe_iters.max(1),
+            topo,
             map: BTreeMap::new(),
             probes_run: 0,
         }
@@ -219,6 +232,7 @@ impl ProbeCache {
     pub fn split(&self) -> ProbeCache {
         ProbeCache {
             probe_iters: self.probe_iters,
+            topo: self.topo,
             map: self.map.clone(),
             probes_run: 0,
         }
@@ -257,7 +271,7 @@ impl ProbeCache {
         Value::obj(vec![
             ("version", Value::from_u64(CACHE_FORMAT_VERSION)),
             ("probe_iters", Value::from_u64(self.probe_iters)),
-            ("model_hash", Value::str(model_hash())),
+            ("model_hash", Value::str(model_hash_for(&self.topo))),
             ("entries", Value::Arr(entries)),
         ])
         .emit_pretty()
@@ -268,12 +282,20 @@ impl ProbeCache {
     /// cache: persistence is an accelerator, never a correctness input, so
     /// stale files degrade to re-probing rather than to wrong prices.
     pub fn load_str(s: &str, probe_iters: u64) -> ProbeCache {
-        let mut cache = ProbeCache::new(probe_iters);
+        ProbeCache::load_str_for(s, probe_iters, RackTopology::SINGLE)
+    }
+
+    /// Parse a persisted cache for a run on `topo`. The stamp folds the
+    /// topology (chassis count + inter-chassis tier parameters) into
+    /// `model_hash`, so a cache saved from a 1-chassis run loads empty
+    /// for a 4-chassis run instead of mispricing placements.
+    pub fn load_str_for(s: &str, probe_iters: u64, topo: RackTopology) -> ProbeCache {
+        let mut cache = ProbeCache::new_for(probe_iters, topo);
         let Ok(v) = Value::parse(s) else { return cache };
         let stamp_ok = v.get("version").and_then(|x| x.as_u64()) == Ok(CACHE_FORMAT_VERSION)
             && v.get("probe_iters").and_then(|x| x.as_u64()) == Ok(cache.probe_iters)
             && v.get("model_hash").and_then(|x| x.as_str().map(str::to_string))
-                == Ok(model_hash());
+                == Ok(model_hash_for(&topo));
         if !stamp_ok {
             return cache;
         }
@@ -301,7 +323,7 @@ impl ProbeCache {
                 Ok((label, shape, health, probe)) => {
                     cache.map.insert((label, shape, health), probe);
                 }
-                Err(_) => return ProbeCache::new(probe_iters),
+                Err(_) => return ProbeCache::new_for(probe_iters, topo),
             }
         }
         cache
@@ -315,22 +337,39 @@ impl ProbeCache {
 
     /// Load from `path`; a missing or stale file yields an empty cache.
     pub fn load_file(path: &Path, probe_iters: u64) -> ProbeCache {
+        ProbeCache::load_file_for(path, probe_iters, RackTopology::SINGLE)
+    }
+
+    /// Load from `path` for a run on `topo` (see
+    /// [`load_str_for`](Self::load_str_for)).
+    pub fn load_file_for(path: &Path, probe_iters: u64, topo: RackTopology) -> ProbeCache {
         match std::fs::read_to_string(path) {
-            Ok(s) => ProbeCache::load_str(&s, probe_iters),
-            Err(_) => ProbeCache::new(probe_iters),
+            Ok(s) => ProbeCache::load_str_for(&s, probe_iters, topo),
+            Err(_) => ProbeCache::new_for(probe_iters, topo),
         }
     }
 }
 
 /// Fingerprint of everything a probe's answer depends on besides its key:
 /// the benchmark roster, each model's parameter count, the probe GPU's
-/// memory (which gates batch clamping), and the fault model's parameters
+/// memory (which gates batch clamping), the fault model's parameters
 /// (degrade levels, recompose/checkpoint constants, model version) — a
 /// degraded probe's price depends on how degradation maps to link
-/// capacity, so a cache priced under a different fault model is stale.
-/// FNV-1a, hex.
+/// capacity, so a cache priced under a different fault model is stale —
+/// and, for the single-chassis default, the rack topology fingerprint
+/// (see [`model_hash_for`]). FNV-1a, hex.
 pub fn model_hash() -> String {
-    model_hash_with(&fault_model_fingerprint())
+    model_hash_for(&RackTopology::SINGLE)
+}
+
+/// [`model_hash`] bound to a rack topology: folds the chassis count and
+/// the inter-chassis tier's parameters (stretch factor, bandwidth/latency
+/// class, rack fabric version) so probe caches never cross-contaminate
+/// between rack shapes or rack-model revisions.
+pub fn model_hash_for(topo: &RackTopology) -> String {
+    let mut extra = fault_model_fingerprint();
+    extra.extend_from_slice(&topo.fingerprint());
+    model_hash_with(&extra)
 }
 
 fn fault_model_fingerprint() -> Vec<u8> {
@@ -342,7 +381,7 @@ fn fault_model_fingerprint() -> Vec<u8> {
     bytes
 }
 
-fn model_hash_with(fault_fingerprint: &[u8]) -> String {
+fn model_hash_with(extra_fingerprint: &[u8]) -> String {
     let mut h = 0xcbf29ce484222325u64;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -355,7 +394,7 @@ fn model_hash_with(fault_fingerprint: &[u8]) -> String {
         eat(&model_for(b).param_count().to_le_bytes());
     }
     eat(&GpuSpec::v100_pcie_16gb().memory_bytes.to_le_bytes());
-    eat(fault_fingerprint);
+    eat(extra_fingerprint);
     format!("{h:016x}")
 }
 
@@ -552,7 +591,37 @@ mod tests {
         // when the fault model changes.
         assert_ne!(model_hash(), model_hash_with(b""));
         assert_ne!(model_hash(), model_hash_with(&[0u8; 27]));
-        assert_eq!(model_hash(), model_hash_with(&fault_model_fingerprint()));
+        let mut full = fault_model_fingerprint();
+        full.extend_from_slice(&RackTopology::SINGLE.fingerprint());
+        assert_eq!(model_hash(), model_hash_with(&full));
+        // The fault fingerprint alone is not enough: the topology (and
+        // rack-tier parameters) must be folded in too.
+        assert_ne!(model_hash(), model_hash_with(&fault_model_fingerprint()));
+    }
+
+    #[test]
+    fn cache_is_keyed_on_topology() {
+        // A cache saved from a 1-chassis run must load *empty* for a
+        // 4-chassis run — per-chassis prices would be reused, but the
+        // stamp conservatively refuses cross-topology files so the two
+        // runs can never share a mispriced state.
+        let mut single = ProbeCache::new(2);
+        single.warm(&[(Benchmark::MobileNetV2, Shape::new(1, 0))], 1);
+        let text = single.save_json();
+        let four = RackTopology::with_chassis(4);
+        assert!(
+            ProbeCache::load_str_for(&text, 2, four).is_empty(),
+            "1-chassis cache must not seed a 4-chassis run"
+        );
+        // Same topology round-trips; the re-save under the new topology
+        // stamps the new hash and then round-trips for that topology.
+        assert_eq!(ProbeCache::load_str_for(&text, 2, RackTopology::SINGLE).len(), 1);
+        let mut rack_cache = ProbeCache::new_for(2, four);
+        rack_cache.warm(&[(Benchmark::MobileNetV2, Shape::new(1, 0))], 1);
+        let rack_text = rack_cache.save_json();
+        assert_ne!(rack_text, text, "stamps differ by topology");
+        assert_eq!(ProbeCache::load_str_for(&rack_text, 2, four).len(), 1);
+        assert!(ProbeCache::load_str(&rack_text, 2).is_empty());
     }
 
     #[test]

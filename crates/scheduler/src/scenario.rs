@@ -6,10 +6,10 @@
 //!
 //! A [`Scenario`] names everything a replay needs:
 //!
-//! * [`Topology`] — the test bed envelope. Today only the single-chassis
-//!   2-drawer × 8-slot Falcon 4016 is runnable; the field exists so
-//!   multi-chassis specs are *representable* ahead of the scale-out work
-//!   and rejected with a typed error instead of silently misread.
+//! * [`Topology`] — the test bed envelope: 1..=8 Falcon 4016 chassis
+//!   (each 2 drawers × 8 slots) behind the inter-chassis rack tier (see
+//!   [`rack`]). Shapes outside [`rack::supported_envelope`] parse but are
+//!   rejected with a typed error instead of silently misread.
 //! * [`TraceSpec`] — inline JSON jobs, a seeded Poisson generator, or the
 //!   seeded PAI-style mixed generator (which brings its own services).
 //! * [`FaultSpec`] — no faults, an inline [`FaultPlan`], or a seeded
@@ -32,7 +32,7 @@
 //! object.
 
 use crate::cluster::{ClusterSim, SchedulerConfig, SchedulerError};
-use crate::fault::{seeded_fault_plan, FaultPlan};
+use crate::fault::{seeded_fault_plan, seeded_rack_fault_plan, FaultPlan};
 use crate::metrics::ScheduleReport;
 use crate::policy::policy_by_name;
 use crate::probe::{warm_set_for_trace, ProbeCache};
@@ -40,13 +40,15 @@ use crate::serve::{seeded_pai_mix, MixedTrace, ServiceSpec};
 use crate::trace::{JobSpec, PoissonMix};
 use desim::json::{FromJson, JsonError, ToJson, Value};
 use desim::{Dur, SimTime};
+use rack::RackTopology;
 use std::fmt;
 
-/// The test-bed envelope a scenario asks for. Only the default — one
-/// Falcon 4016 in advanced mode, 2 drawers × 8 slots — is runnable
-/// today; other shapes parse (the field is the forward-compatibility
-/// hook for multi-chassis scale-out) but fail [`Scenario::validate`]
-/// with [`ScenarioError::UnsupportedTopology`].
+/// The test-bed envelope a scenario asks for: 1..=8 advanced-mode Falcon
+/// 4016 chassis, each 2 drawers × 8 slots, behind the inter-chassis rack
+/// tier. Other shapes parse but fail [`Scenario::validate`] with
+/// [`ScenarioError::UnsupportedTopology`]; the runnable gate and the
+/// error message both derive from [`rack::supported_envelope`], the
+/// single source of truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     pub chassis: u8,
@@ -57,6 +59,22 @@ pub struct Topology {
 impl Default for Topology {
     fn default() -> Topology {
         Topology { chassis: 1, drawers: 2, slots_per_drawer: 8 }
+    }
+}
+
+impl Topology {
+    /// A scenario topology asking for `chassis` stock Falcon chassis.
+    pub fn with_chassis(chassis: u8) -> Topology {
+        Topology { chassis, ..Topology::default() }
+    }
+
+    /// The equivalent rack-crate geometry (field-for-field).
+    pub fn rack(&self) -> RackTopology {
+        RackTopology {
+            chassis: self.chassis,
+            drawers_per_chassis: self.drawers,
+            slots_per_drawer: self.slots_per_drawer,
+        }
     }
 }
 
@@ -283,8 +301,11 @@ impl fmt::Display for ScenarioError {
             ScenarioError::EmptyName => write!(f, "scenario has no name"),
             ScenarioError::UnsupportedTopology(t) => write!(
                 f,
-                "topology {}x{}x{} is not runnable yet (only 1 chassis, 2 drawers x 8 slots)",
-                t.chassis, t.drawers, t.slots_per_drawer
+                "topology {}x{}x{} is outside the runnable envelope ({})",
+                t.chassis,
+                t.drawers,
+                t.slots_per_drawer,
+                rack::supported_envelope()
             ),
             ScenarioError::EmptyTrace { scenario } => {
                 write!(f, "{scenario}: trace has neither jobs nor services")
@@ -382,11 +403,19 @@ impl Scenario {
             }
         };
         services.extend(self.services.iter().cloned());
+        let topo = self.topology.rack();
         let plan = match &self.faults {
             FaultSpec::None => FaultPlan::none(),
             FaultSpec::Inline(plan) => plan.clone().sorted(),
+            // Single-chassis specs keep the legacy generator (and so their
+            // pinned bytes); racks draw chassis-routed plans that can also
+            // degrade the inter-chassis tier.
             FaultSpec::Seeded { n_events, horizon, seed } => {
-                seeded_fault_plan(*n_events, *horizon, *seed)
+                if topo.chassis > 1 {
+                    seeded_rack_fault_plan(*n_events, *horizon, *seed, &topo)
+                } else {
+                    seeded_fault_plan(*n_events, *horizon, *seed)
+                }
             }
         };
         (MixedTrace { name, jobs, services }.sorted(), plan)
@@ -408,7 +437,7 @@ impl Scenario {
         if self.name.is_empty() {
             return Err(ScenarioError::EmptyName);
         }
-        if self.topology != Topology::default() {
+        if !self.topology.rack().is_supported() {
             return Err(ScenarioError::UnsupportedTopology(self.topology));
         }
         let scenario = || self.name.clone();
@@ -467,7 +496,7 @@ impl Scenario {
                 });
             }
         }
-        plan.validate()
+        plan.validate_for(&self.topology.rack())
             .map_err(|msg| ScenarioError::BadFault { scenario: scenario(), msg })?;
         let horizon = Self::horizon(&mixed);
         for (i, e) in plan.events.iter().enumerate() {
@@ -656,6 +685,7 @@ pub fn run_scenario(
     cache: &mut ProbeCache,
 ) -> Result<ScenarioReport, ScenarioError> {
     scenario.validate()?;
+    let topo = scenario.topology.rack();
     let (mixed, plan) = scenario.materialize();
     cache.warm(&warm_set_for_trace(&mixed.training()), jobs);
     let cfg = &scenario.config;
@@ -671,9 +701,15 @@ pub fn run_scenario(
                 let label = format!("scenario {} under {name}", scenario.name);
                 parsweep::Job::new(label, move || {
                     let sim = if mixed.services.is_empty() {
-                        ClusterSim::with_probe_cache(mixed.training(), policy, cfg.clone(), split)?
+                        ClusterSim::with_probe_cache_on(
+                            topo,
+                            mixed.training(),
+                            policy,
+                            cfg.clone(),
+                            split,
+                        )?
                     } else {
-                        ClusterSim::with_probe_cache_mixed(mixed, policy, cfg.clone(), split)?
+                        ClusterSim::with_probe_cache_mixed_on(topo, mixed, policy, cfg.clone(), split)?
                     };
                     let sim = if plan.is_empty() { sim } else { sim.with_faults(plan)? };
                     sim.run_report()
@@ -800,8 +836,24 @@ mod tests {
 
     #[test]
     fn validate_rejects_unsupported_topology_and_unknown_policy() {
+        // Any chassis count in the rack envelope is runnable now...
         let mut sc = fifo_scenario();
         sc.topology.chassis = 4;
+        assert!(sc.validate().is_ok());
+        // ...but zero chassis, a too-tall rack, and odd drawer shapes are
+        // rejected with the envelope named in the message.
+        for bad in [Topology::with_chassis(0), Topology::with_chassis(9)] {
+            let mut sc = fifo_scenario();
+            sc.topology = bad;
+            let err = sc.validate().unwrap_err();
+            assert!(matches!(err, ScenarioError::UnsupportedTopology(_)));
+            assert!(
+                err.to_string().contains(&rack::supported_envelope()),
+                "message names the envelope: {err}"
+            );
+        }
+        let mut sc = fifo_scenario();
+        sc.topology.drawers = 3;
         assert!(matches!(sc.validate(), Err(ScenarioError::UnsupportedTopology(_))));
         let mut sc = fifo_scenario();
         sc.policies = vec!["round-robin".into()];

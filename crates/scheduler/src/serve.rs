@@ -5,7 +5,7 @@
 //! 1/7, 2/7, 4/7, or full-slot) replica set serving an open-loop seeded
 //! arrival stream ([`ArrivalKind::Poisson`] or diurnal) under a p99
 //! latency SLO. [`MixedTrace`] interleaves services with the existing
-//! training [`JobSpec`]s; the cluster event loop runs both on one chassis.
+//! training [`JobSpec`]s; the cluster event loop runs both on the rack.
 //!
 //! The serving data path per request: arrival → per-replica queue →
 //! dynamic batch (launch when `max_batch` requests wait or the head has
@@ -27,7 +27,8 @@ use desim::json::{FromJson, JsonError, ToJson, Value};
 use desim::{Dur, SimRng, SimTime};
 use devices::gpu::GpuSpec;
 use dlmodels::{Benchmark, InferenceProfile};
-use falcon::{ManagementCenter, McsError, SlotAddr};
+use falcon::McsError;
+use rack::{Rack, RackAddr};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// MIG-style slicing granularity of one GPU slot (V100 stands in for the
@@ -342,7 +343,7 @@ pub fn batch_latency(
 /// One replica: a `slice`/7 share of one slot with its own request queue.
 struct Replica {
     id: u32,
-    slot: SlotAddr,
+    slot: RackAddr,
     /// Usable from here (scale-ups pay the re-composition latency).
     ready_at: SimTime,
     /// Waiting requests, by arrival time.
@@ -525,8 +526,9 @@ struct SlotShare {
 /// All serving state of one replay, driven by the cluster event loop.
 pub struct ServeState {
     svcs: Vec<SvcState>,
-    slot_use: BTreeMap<SlotAddr, SlotShare>,
+    slot_use: BTreeMap<RackAddr, SlotShare>,
     gpu: GpuSpec,
+    n_drawers: usize,
     last_activity: SimTime,
 }
 
@@ -537,11 +539,21 @@ impl ServeState {
         ServeState::new(Vec::new())
     }
 
+    /// Training-only state sized to a rack with `n_drawers` drawers.
+    pub fn empty_for(n_drawers: usize) -> ServeState {
+        ServeState::new_for(Vec::new(), n_drawers)
+    }
+
     pub fn new(specs: Vec<ServiceSpec>) -> ServeState {
+        ServeState::new_for(specs, 2)
+    }
+
+    pub fn new_for(specs: Vec<ServiceSpec>, n_drawers: usize) -> ServeState {
         ServeState {
             svcs: specs.into_iter().map(SvcState::new).collect(),
             slot_use: BTreeMap::new(),
             gpu: GpuSpec::v100_pcie_16gb(),
+            n_drawers,
             last_activity: SimTime::ZERO,
         }
     }
@@ -610,44 +622,43 @@ impl ServeState {
     }
 
     /// Slots currently held by serving.
-    pub fn slots(&self) -> BTreeSet<SlotAddr> {
+    pub fn slots(&self) -> BTreeSet<RackAddr> {
         self.slot_use.keys().copied().collect()
     }
 
-    pub fn uses_slot(&self, slot: SlotAddr) -> bool {
+    pub fn uses_slot(&self, slot: RackAddr) -> bool {
         self.slot_use.contains_key(&slot)
     }
 
     /// Drawer occupancy of each service with ≥1 live replica — each such
     /// service counts once as an interference neighbor to training jobs
     /// sharing the drawer.
-    pub fn live_service_drawers(&self) -> Vec<[bool; 2]> {
+    pub fn live_service_drawers(&self) -> Vec<Vec<bool>> {
         self.svcs
             .iter()
             .map(|svc| {
-                let mut d = [false; 2];
+                let mut d = vec![false; self.n_drawers];
                 for r in &svc.replicas {
-                    d[usize::from(r.slot.drawer.0)] = true;
+                    d[r.slot.global_drawer()] = true;
                 }
                 d
             })
-            .filter(|d| d[0] || d[1])
+            .filter(|d| d.iter().any(|&x| x))
             .collect()
     }
 
-    fn occupancy(&self) -> ([usize; 2], Vec<[bool; 2]>) {
-        let mut counts = [0usize; 2];
+    fn occupancy(&self) -> (Vec<usize>, Vec<Vec<bool>>) {
+        let mut counts = vec![0usize; self.n_drawers];
         let mut per_svc = Vec::with_capacity(self.svcs.len());
         for svc in &self.svcs {
-            let mut d = [false; 2];
+            let mut d = vec![false; self.n_drawers];
             for r in &svc.replicas {
-                d[usize::from(r.slot.drawer.0)] = true;
+                d[r.slot.global_drawer()] = true;
             }
-            if d[0] {
-                counts[0] += 1;
-            }
-            if d[1] {
-                counts[1] += 1;
+            for (gd, &on) in d.iter().enumerate() {
+                if on {
+                    counts[gd] += 1;
+                }
             }
             per_svc.push(d);
         }
@@ -689,8 +700,8 @@ impl ServeState {
     pub fn slice_view(
         &self,
         tenant: u32,
-        wholly_free: &[SlotAddr],
-        free_gpus: [usize; 2],
+        wholly_free: &[RackAddr],
+        free_gpus: Vec<usize>,
         at_quota: bool,
     ) -> SliceView {
         let mut slots: Vec<SliceSlot> = self
@@ -717,7 +728,7 @@ impl ServeState {
     /// Register a placed replica on `slot` (the cluster has already
     /// attached the slot if it was fresh) and hand it any orphaned
     /// requests.
-    pub fn add_replica(&mut self, i: usize, slot: SlotAddr, ready_at: SimTime) {
+    pub fn add_replica(&mut self, i: usize, slot: RackAddr, ready_at: SimTime) {
         let svc = &mut self.svcs[i];
         let share = self
             .slot_use
@@ -750,8 +761,8 @@ impl ServeState {
     /// Release a `slice`/7 share; returns true when the slot emptied (the
     /// caller must detach it).
     fn release_slice(
-        slot_use: &mut BTreeMap<SlotAddr, SlotShare>,
-        slot: SlotAddr,
+        slot_use: &mut BTreeMap<RackAddr, SlotShare>,
+        slot: RackAddr,
         slice: u8,
     ) -> bool {
         let share = slot_use.get_mut(&slot).expect("serve slot registered");
@@ -771,9 +782,9 @@ impl ServeState {
     pub fn step(
         &mut self,
         now: SimTime,
-        mcs: &ManagementCenter,
+        rack: &Rack,
         interference: f64,
-        training_on_drawer: [usize; 2],
+        training_on_drawer: &[usize],
     ) -> Result<bool, McsError> {
         let mut changed = false;
         let mut last = self.last_activity;
@@ -834,7 +845,7 @@ impl ServeState {
                         svc.target = svc.target.saturating_sub(1).max(svc.spec.min_replicas);
                     }
                     if Self::release_slice(&mut self.slot_use, r.slot, svc.spec.slice) {
-                        mcs.detach(now, tenant_user(svc.spec.tenant.0), r.slot)?;
+                        rack.detach(now, tenant_user(svc.spec.tenant.0), r.slot)?;
                     }
                     changed = true;
                 } else {
@@ -857,13 +868,13 @@ impl ServeState {
         &mut self,
         now: SimTime,
         interference: f64,
-        training_on_drawer: [usize; 2],
+        training_on_drawer: &[usize],
     ) {
         let (counts, per_svc) = self.occupancy();
         let gpu = self.gpu.clone();
         for i in 0..self.svcs.len() {
             for ri in 0..self.svcs[i].replicas.len() {
-                let d = usize::from(self.svcs[i].replicas[ri].slot.drawer.0);
+                let d = self.svcs[i].replicas[ri].slot.global_drawer();
                 let neighbors =
                     training_on_drawer[d] + counts[d] - usize::from(per_svc[i][d]);
                 let dilation = 1.0 + interference * neighbors as f64;
@@ -879,16 +890,16 @@ impl ServeState {
     pub fn evacuate_failed(
         &mut self,
         now: SimTime,
-        mcs: &ManagementCenter,
-        failed: &BTreeSet<SlotAddr>,
+        rack: &Rack,
+        failed: &BTreeSet<RackAddr>,
     ) -> Result<bool, McsError> {
-        let dead: Vec<SlotAddr> =
+        let dead: Vec<RackAddr> =
             self.slot_use.keys().copied().filter(|s| failed.contains(s)).collect();
         if dead.is_empty() {
             return Ok(false);
         }
         for &slot in &dead {
-            mcs.force_detach(now, ADMIN, slot)?;
+            rack.force_detach(now, ADMIN, slot)?;
             self.slot_use.remove(&slot);
         }
         for svc in &mut self.svcs {

@@ -22,7 +22,10 @@ use scheduler::cluster::{ClusterSim, SchedulerConfig};
 use scheduler::fault::DEGRADE_LEVELS;
 use scheduler::policy::all_policies;
 use scheduler::trace::{JobSpec, TenantId, Trace};
-use scheduler::{seeded_fault_plan, FaultEvent, FaultKind, FaultPlan, ProbeCache};
+use scheduler::{
+    seeded_fault_plan, seeded_rack_fault_plan, FaultEvent, FaultKind, FaultPlan, ProbeCache,
+    RackTopology,
+};
 use testkit::{
     prop_assert, prop_assert_eq, property, tuple3, tuple5, u32_in, u64_in, u8_in, vec_of, Gen,
 };
@@ -72,6 +75,7 @@ fn build_plan(raw: &[(u8, u8, u8, u32, u32)]) -> FaultPlan {
         .iter()
         .map(|&(kind, drawer, aux, at_ms, dur_ms)| FaultEvent {
             at: SimTime::from_millis(u64::from(at_ms)),
+            chassis: 0,
             kind: match kind {
                 0 => FaultKind::DrawerOutage { drawer },
                 1 => FaultKind::SlotDeath { drawer, slot: aux },
@@ -144,6 +148,47 @@ property! {
             );
             prop_assert!(r.work_lost_gpu_secs >= 0.0);
         }
+    }
+
+    /// Rack chaos: seeded chassis-routed fault plans — drawer outages and
+    /// thermal trips on either chassis, plus inter-chassis (rack-tier)
+    /// link degradation — over a random trace on a 2-chassis rack always
+    /// drain. Conservation is asserted inside the loop at every event,
+    /// rack-wide *and* per chassis, so a completed replay certifies that
+    /// faults on one chassis never corrupt the other's bookkeeping.
+    #[cases(64)]
+    fn rack_chaos_replay_conserves_and_terminates(
+        input in tuple3(raw_jobs(), u64_in(0..1_000_000), u8_in(0..4))
+    ) {
+        let (rjobs, seed, pol) = input;
+        let topo = RackTopology::with_chassis(2);
+        let trace = build_trace(&rjobs);
+        let plan = seeded_rack_fault_plan(4, Dur::from_secs(45), seed, &topo);
+        plan.validate_for(&topo).expect("generated plans stay in the rack envelope");
+        let n = trace.jobs.len();
+        let n_events = plan.events.len();
+        let probes = shared_cache().lock().unwrap().split();
+        let sim = ClusterSim::with_probe_cache_on(
+            topo,
+            trace,
+            all_policies().remove(usize::from(pol)),
+            SchedulerConfig::default(),
+            probes,
+        )
+        .expect("valid trace")
+        .with_faults(plan)
+        .expect("valid plan");
+        let (report, cache) = sim.run_report().expect("rack replay drains");
+        shared_cache().lock().unwrap().absorb(cache);
+
+        prop_assert_eq!(report.pool_gpus, 32, "two chassis worth of pool");
+        prop_assert_eq!(report.jobs.len(), n, "all jobs terminate");
+        let mut seen: Vec<u64> = report.jobs.iter().map(|o| o.id).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+        let r = report.recovery.as_ref().expect("recovery block present");
+        prop_assert_eq!(r.fault_events, n_events as u32, "every strike applied");
+        prop_assert!(r.work_lost_gpu_secs >= 0.0);
     }
 
     /// Monotone event time: a sorted plan's strikes never step backwards

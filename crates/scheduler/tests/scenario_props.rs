@@ -21,7 +21,7 @@ use scheduler::serve::{ArrivalKind, ServiceSpec};
 use scheduler::trace::{JobSpec, TenantId};
 use scheduler::{
     seeded_fault_plan, FaultEvent, FaultKind, FaultSpec, MetricLevel, Scenario, ScenarioError,
-    SchedulerConfig, TraceSpec,
+    SchedulerConfig, Topology, TraceSpec,
 };
 use testkit::{
     bools, prop_assert, prop_assert_eq, property, tuple3, tuple5, u32_in, u64_in, u8_in, vec_of,
@@ -156,6 +156,7 @@ fn build_scenario(
                 events: (0..1 + seed % 3)
                     .map(|k| FaultEvent {
                         at: SimTime::from_nanos(horizon.as_nanos() * k / 4),
+                        chassis: 0,
                         kind: if k % 2 == 0 {
                             FaultKind::SlotDeath { drawer: (k % 2) as u8, slot: (seed % 8) as u8 }
                         } else {
@@ -189,7 +190,11 @@ property! {
         services_raw in raw_services()
     ) {
         let (kind, seed, fault_mode) = shape;
-        let sc = build_scenario(kind, seed, cfg, mask, &jobs_raw, &services_raw, fault_mode);
+        let mut sc = build_scenario(kind, seed, cfg, mask, &jobs_raw, &services_raw, fault_mode);
+        // Sweep the whole runnable envelope: every chassis count 1..=8 is
+        // a valid, serializable topology (seeded fault specs switch to the
+        // chassis-routed rack generator above one chassis).
+        sc.topology = Topology::with_chassis(1 + (seed % 8) as u8);
         sc.validate().expect("constructed scenarios are valid");
 
         let text = sc.to_json_string();
@@ -272,6 +277,7 @@ property! {
                     name: "late".into(),
                     events: vec![FaultEvent {
                         at: horizon + Dur::from_nanos(1 + seed % 1_000_000),
+                        chassis: 0,
                         kind: FaultKind::DrawerOutage { drawer: 0 },
                         duration: Dur::from_secs(1),
                     }],
@@ -297,10 +303,12 @@ property! {
                 );
             }
             _ => {
-                sc.topology.chassis = 2 + (seed % 6) as u8;
+                // Everything in 1..=8 chassis is runnable now; zero and
+                // over-tall racks are the out-of-envelope shapes.
+                sc.topology.chassis = if seed % 2 == 0 { 0 } else { 9 + (seed % 8) as u8 };
                 prop_assert!(
                     matches!(sc.validate(), Err(ScenarioError::UnsupportedTopology(_))),
-                    "non-default topology -> UnsupportedTopology, got {:?}", sc.validate()
+                    "out-of-envelope topology -> UnsupportedTopology, got {:?}", sc.validate()
                 );
             }
         }

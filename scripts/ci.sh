@@ -34,9 +34,10 @@ TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 
 # The per-feature smokes (repro cluster/faults/serve) and per-golden
 # guard invocations are subsumed by the scenario harness: one matrix
-# pass runs every checked-in scenario — training, faults, and serving —
-# and one test binary guards every pinned golden through
-# testkit::check_scenario_golden.
+# pass runs every checked-in scenario — training, faults, serving, and
+# the multi-chassis scale-out specs (cluster_scale32/64/128, up to 8
+# chassis / 128 GPUs) — and one test binary guards every pinned golden
+# (including cluster_scale32) through testkit::check_scenario_golden.
 echo "== scenario-matrix smoke (every scenarios/*.json, 2 parallel workers) =="
 cargo run --release --offline -p bench --bin repro -- scenario-matrix scenarios --jobs 2
 

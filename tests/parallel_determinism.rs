@@ -8,9 +8,9 @@
 use composable_core::{recommend_jobs, ExperimentOpts, HostConfig, Objective};
 use dlmodels::Benchmark;
 use scheduler::{
-    all_policies, compare_policies_cached, compare_policies_faulty, compare_policies_mixed,
-    paper_fault_plan, run_matrix, seeded_pai_mix, serving_policies, trace, warm_set_for_trace,
-    ProbeCache, Scenario, SchedulerConfig,
+    all_policies, compare_policies_cached, compare_policies_cached_on, compare_policies_faulty,
+    compare_policies_mixed, paper_fault_plan, run_matrix, seeded_pai_mix, serving_policies, trace,
+    warm_set_for_trace, ProbeCache, RackTopology, Scenario, SchedulerConfig,
 };
 
 fn replay_snapshot(jobs: usize) -> (Vec<String>, String) {
@@ -34,6 +34,34 @@ fn cluster_replay_identical_across_worker_counts() {
     assert_eq!(serial.0, parallel.0, "reports must not depend on worker count");
     assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
     assert_eq!(parallel, parallel_again, "parallel runs must not race");
+}
+
+fn scale_snapshot(jobs: usize) -> (Vec<String>, String) {
+    let topo = RackTopology::with_chassis(2); // 32 pooled GPUs across the rack fabric
+    let t = trace::seeded_two_tenant(24, 0xBEEF);
+    let cfg = SchedulerConfig { quota_gpus_per_tenant: 20, ..SchedulerConfig::default() };
+    let mut cache = ProbeCache::new_for(cfg.probe_iters, topo);
+    let reports = compare_policies_cached_on(topo, &t, all_policies(), &cfg, jobs, &mut cache)
+        .expect("trace drains under every policy on the 2-chassis rack");
+    let reports: Vec<String> = reports.iter().map(|r| r.to_json_string()).collect();
+    (reports, cache.save_json())
+}
+
+/// The multi-chassis rack keeps the contract: a 32-GPU (2-chassis) study
+/// replayed at `--jobs 1` and `--jobs 4` (and across repeated parallel
+/// runs) yields byte-identical reports — cross-chassis placement pricing
+/// included — and byte-identical probe caches.
+#[test]
+fn rack_scale_replay_identical_across_worker_counts() {
+    let serial = scale_snapshot(1);
+    let parallel = scale_snapshot(4);
+    let parallel_again = scale_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "scale reports must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel scale runs must not race");
+    for r in &serial.0 {
+        assert!(r.contains("\"pool_gpus\": 32"), "the rack pools 32 GPUs: {r}");
+    }
 }
 
 fn faulty_snapshot(jobs: usize) -> (Vec<String>, String) {
