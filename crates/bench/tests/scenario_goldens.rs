@@ -28,11 +28,16 @@ fn load(name: &str) -> Scenario {
 
 /// The pinned studies, each as (scenario file, golden file). One table,
 /// one guard loop — adding a pinned study is adding a row.
-const PINNED: [(&str, &str); 4] = [
+const PINNED: [(&str, &str); 5] = [
     ("cluster_fifo.json", "cluster_fifo.json"),
     ("cluster_faults.json", "cluster_faults.json"),
     ("cluster_serve.json", "cluster_serve.json"),
     ("cluster_scale32.json", "cluster_scale32.json"),
+    // The production-scale replay workload (10k jobs + 60 services on
+    // 128 GPUs, summary metrics) that the replay_scale bench times; its
+    // summary golden pins the *semantics* of the optimized engine so a
+    // perf regression fix can never silently change the answer.
+    ("pai_magnitude.json", "pai_magnitude.json"),
 ];
 
 /// Every pinned scenario's canonical output still matches its golden —

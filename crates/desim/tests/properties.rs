@@ -33,6 +33,16 @@ fn ops() -> Gen<Vec<Op>> {
     )
 }
 
+#[derive(Debug, Clone)]
+enum QOp {
+    /// Push an event at an absolute time (ns).
+    Push(u64),
+    /// Cancel the k-th oldest still-tracked handle.
+    Cancel(usize),
+    /// Pop the head and compare against the reference model.
+    Pop,
+}
+
 #[derive(Default)]
 struct World {
     fired: Vec<(u64, u32)>,
@@ -118,6 +128,74 @@ property! {
         prop_assert_eq!(early, times.iter().filter(|&&t| t <= horizon).count());
         sim.run(&mut w);
         prop_assert_eq!(w.fired.len(), times.len());
+    }
+
+    /// The calendar queue is observationally a heap: arbitrary interleaved
+    /// push/cancel/pop sequences yield exactly the pops a reference
+    /// min-heap ordered by (time, insertion seq) yields — the pop-order
+    /// contract DESIGN §14 leans on for replay byte-identity.
+    #[cases(128)]
+    fn calendar_queue_matches_reference_heap(
+        ops in vec_of(
+            one_of(vec![
+                u64_in(0..5_000_000).map(|v| QOp::Push(*v)),
+                usize_in(0..8).map(|k| QOp::Cancel(*k)),
+                usize_in(0..1).map(|_| QOp::Pop),
+            ]),
+            1..400,
+        )
+    ) {
+        use desim::EventQueue;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut handles = Vec::new(); // (handle, (time, seq)) still pending in the model
+        let mut seq = 0u64;
+        for op in &ops {
+            match op {
+                QOp::Push(t) => {
+                    let h = q.push(SimTime::from_nanos(*t), seq);
+                    model.push(Reverse((*t, seq)));
+                    handles.push((h, (*t, seq)));
+                    seq += 1;
+                }
+                QOp::Cancel(k) => {
+                    if !handles.is_empty() {
+                        let (h, key) = handles.remove(k % handles.len());
+                        let cancelled = q.cancel(h).is_some();
+                        // The model cancels iff the queue does (a popped
+                        // event's handle is dead in both worlds).
+                        let in_model = model.iter().any(|Reverse(e)| *e == key);
+                        prop_assert_eq!(cancelled, in_model);
+                        if cancelled {
+                            let mut rest: Vec<_> = model.into_vec();
+                            rest.retain(|Reverse(e)| *e != key);
+                            model = rest.into_iter().collect();
+                        }
+                    }
+                }
+                QOp::Pop => {
+                    let got = q.pop().map(|(t, p)| (t.as_nanos(), p));
+                    let want = model.pop().map(|Reverse(e)| e);
+                    prop_assert_eq!(got, want, "pop order diverged from the reference heap");
+                    if let Some(key) = want {
+                        handles.retain(|(_, k)| *k != key);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Drain both: the tails must agree element-for-element.
+        loop {
+            let got = q.pop().map(|(t, p)| (t.as_nanos(), p));
+            let want = model.pop().map(|Reverse(e)| e);
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
     }
 
     /// The stats busy-tracker agrees with a brute-force boolean timeline.

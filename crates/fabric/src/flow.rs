@@ -18,7 +18,7 @@
 //! paper's Table IV microbenchmark behavior.
 
 use crate::ports::PortStats;
-use crate::topology::{NodeId, Route, Topology};
+use crate::topology::{DirLink, NodeId, Route, Topology};
 use desim::queue::EventHandle;
 use desim::{Dur, Sim, SimTime};
 use std::fmt;
@@ -83,11 +83,21 @@ struct FlowState<S> {
 pub struct FabricState<S> {
     pub topo: Topology,
     pub ports: PortStats,
+    /// When set (the default), a flow start/finish/abort re-prices only the
+    /// connected component of flows sharing links with the change, found
+    /// through [`FabricState::link_flows`]. Clearing it restores the
+    /// PR-7 global recompute on every change — the bench baseline.
+    pub incremental: bool,
     slots: Vec<Option<FlowState<S>>>,
     generations: Vec<u32>,
     free: Vec<u32>,
     last_settle: SimTime,
     active_count: usize,
+    /// Reverse index: dense directed-link index → slots of *active* flows
+    /// crossing it. Maintained on activate/complete/abort so that
+    /// incremental repricing can walk the link-sharing graph without
+    /// scanning every flow.
+    link_flows: std::collections::HashMap<usize, Vec<u32>>,
     scratch: Scratch,
 }
 
@@ -105,6 +115,10 @@ struct Scratch {
     rate: Vec<f64>,
     residual: std::collections::HashMap<usize, (f64, u32)>,
     users: std::collections::HashMap<usize, Vec<usize>>,
+    /// Component-walk state for incremental repricing.
+    visited: Vec<bool>,
+    link_stack: Vec<usize>,
+    link_seen: std::collections::HashSet<usize>,
 }
 
 impl Scratch {
@@ -115,6 +129,9 @@ impl Scratch {
         self.rate.clear();
         self.residual.clear();
         self.users.clear();
+        self.visited.clear();
+        self.link_stack.clear();
+        self.link_seen.clear();
     }
 }
 
@@ -126,11 +143,13 @@ impl<S: FlowWorld> FabricState<S> {
         FabricState {
             topo,
             ports: PortStats::new(),
+            incremental: true,
             slots: Vec::new(),
             generations: Vec::new(),
             free: Vec::new(),
             last_settle: SimTime::ZERO,
             active_count: 0,
+            link_flows: std::collections::HashMap::new(),
             scratch: Scratch::default(),
         }
     }
@@ -216,10 +235,34 @@ impl<S: FlowWorld> FabricState<S> {
         sim.cancel(state.event);
         if state.phase == Phase::Active {
             self.active_count -= 1;
+            self.index_remove(id.slot, &state.route);
         }
         self.retire_slot(id.slot);
-        self.recompute_and_reschedule(sim);
+        self.reprice_component(sim, None, &state.route.hops);
         true
+    }
+
+    /// Register an active flow's links in the reverse index.
+    fn index_add(&mut self, slot: u32, route: &Route) {
+        for dl in &route.hops {
+            self.link_flows
+                .entry(dl.dense_index())
+                .or_default()
+                .push(slot);
+        }
+    }
+
+    /// Remove an active flow's links from the reverse index.
+    fn index_remove(&mut self, slot: u32, route: &Route) {
+        for dl in &route.hops {
+            let idx = dl.dense_index();
+            if let Some(users) = self.link_flows.get_mut(&idx) {
+                users.retain(|&s| s != slot);
+                if users.is_empty() {
+                    self.link_flows.remove(&idx);
+                }
+            }
+        }
     }
 
     fn is_live(&self, id: FlowId) -> bool {
@@ -240,13 +283,15 @@ impl<S: FlowWorld> FabricState<S> {
             return;
         }
         fab.settle(sim.now());
-        {
+        let route = {
             let state = fab.slots[id.slot as usize].as_mut().expect("live");
             debug_assert_eq!(state.phase, Phase::Latency);
             state.phase = Phase::Active;
             fab.active_count += 1;
-        }
-        fab.recompute_and_reschedule(sim);
+            state.route.clone()
+        };
+        fab.index_add(id.slot, &route);
+        fab.reprice_component(sim, Some(id.slot), &route.hops);
     }
 
     fn on_complete(world: &mut S, sim: &mut Sim<S>, id: FlowId) {
@@ -263,8 +308,9 @@ impl<S: FlowWorld> FabricState<S> {
                 state.remaining
             );
             fab.active_count -= 1;
+            fab.index_remove(id.slot, &state.route);
             fab.retire_slot(id.slot);
-            fab.recompute_and_reschedule(sim);
+            fab.reprice_component(sim, None, &state.route.hops);
             state.on_complete
         };
         if let Some(cb) = cb {
@@ -376,8 +422,126 @@ impl<S: FlowWorld> FabricState<S> {
                 .filter(|s| s.phase == Phase::Active)
                 .map(|_| i as u32)
         }));
+        debug_assert_eq!(sc.active.len(), self.active_count);
+
+        self.fill_rates(&mut sc);
+        self.apply_rates(sim, &sc);
+
+        // Hand the buffers back for the next recompute.
+        self.scratch = sc;
+    }
+
+    /// Re-price only the flows affected by a change touching `seed_hops`
+    /// (and `seed_slot`, for a newly activated flow): the connected
+    /// component of the link-sharing graph reached from those links. Flows
+    /// in other components keep their rates and completion events — their
+    /// max-min allocation is independent of the change. Falls back to the
+    /// global recompute when `incremental` is off or the component spans
+    /// every active flow (the common small-replay case), which runs the
+    /// exact legacy code path.
+    fn reprice_component(&mut self, sim: &mut Sim<S>, seed_slot: Option<u32>, seed_hops: &[DirLink]) {
+        if !self.incremental {
+            self.recompute_and_reschedule(sim);
+            return;
+        }
+        if self.active_count == 0 {
+            return;
+        }
+        let mut sc = std::mem::take(&mut self.scratch);
+        sc.clear();
+        sc.visited.resize(self.slots.len(), false);
+
+        // Breadth-first walk of the link-sharing graph: links seed flows,
+        // flows seed their other links. `sc.active` accumulates the
+        // component's member slots.
+        if let Some(slot) = seed_slot {
+            sc.visited[slot as usize] = true;
+            sc.active.push(slot);
+        }
+        for dl in seed_hops {
+            let idx = dl.dense_index();
+            if sc.link_seen.insert(idx) {
+                sc.link_stack.push(idx);
+            }
+        }
+        while let Some(idx) = sc.link_stack.pop() {
+            let Some(users) = self.link_flows.get(&idx) else {
+                continue;
+            };
+            for &slot in users {
+                if !sc.visited[slot as usize] {
+                    sc.visited[slot as usize] = true;
+                    sc.active.push(slot);
+                    let st = self.slots[slot as usize].as_ref().expect("indexed flow is live");
+                    for dl in &st.route.hops {
+                        let li = dl.dense_index();
+                        if sc.link_seen.insert(li) {
+                            sc.link_stack.push(li);
+                        }
+                    }
+                }
+            }
+        }
+
+        if sc.active.is_empty() {
+            // A departed flow shared no links with anyone still active.
+            self.scratch = sc;
+            return;
+        }
+        if sc.active.len() == self.active_count {
+            // Component spans everything: run the global path (identical
+            // arithmetic to the pre-index engine).
+            self.scratch = sc;
+            self.recompute_and_reschedule(sim);
+            return;
+        }
+        // Water-fill the component alone. Links crossed by the component
+        // are, by construction, used by no flow outside it, so starting
+        // them at full capacity is exact — not an approximation.
+        sc.active.sort_unstable();
+        self.fill_rates(&mut sc);
+        self.apply_rates(sim, &sc);
+        self.scratch = sc;
+
+        #[cfg(debug_assertions)]
+        self.debug_assert_matches_full_recompute();
+    }
+
+    /// Differential guard (debug builds): the rates applied by incremental
+    /// repricing must match what a full global recompute would assign.
+    /// Compared with a small relative tolerance — component-restricted
+    /// filling accumulates the shared water level in a different order, so
+    /// last-ULP equality is not guaranteed.
+    #[cfg(debug_assertions)]
+    fn debug_assert_matches_full_recompute(&self) {
+        let mut sc = Scratch::default();
+        sc.active.extend(self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref()
+                .filter(|s| s.phase == Phase::Active)
+                .map(|_| i as u32)
+        }));
+        self.fill_rates(&mut sc);
+        for (p, &i) in sc.active.iter().enumerate() {
+            let applied = self.slots[i as usize].as_ref().unwrap().rate;
+            let full = sc.rate[p];
+            let ok = if full.is_infinite() {
+                applied.is_infinite()
+            } else {
+                (applied - full).abs() <= 1e-9 * full.max(1.0)
+            };
+            assert!(
+                ok,
+                "incremental reprice diverged from full recompute for slot {i}: \
+                 applied {applied} vs full {full}"
+            );
+        }
+    }
+
+    /// Progressive-filling core: compute the max-min fair rate for each
+    /// flow in `sc.active` (which must list a union of complete
+    /// link-sharing components in ascending slot order) into `sc.rate`.
+    fn fill_rates(&self, sc: &mut Scratch) {
         let active = &sc.active;
-        debug_assert_eq!(active.len(), self.active_count);
 
         // Residual capacity per directed link (dense index), counting only
         // links actually used.
@@ -481,12 +645,15 @@ impl<S: FlowWorld> FabricState<S> {
                 }
             }
         }
+    }
 
-        // Apply rates and reschedule completions.
+    /// Apply `sc.rate` to the flows in `sc.active` and reschedule their
+    /// completion events.
+    fn apply_rates(&mut self, sim: &mut Sim<S>, sc: &Scratch) {
         let now = sim.now();
-        for (p, &i) in active.iter().enumerate() {
+        for (p, &i) in sc.active.iter().enumerate() {
             let st = self.slots[i as usize].as_mut().unwrap();
-            st.rate = rate[p];
+            st.rate = sc.rate[p];
             sim.cancel(st.event);
             let id = FlowId {
                 slot: i,
@@ -501,9 +668,6 @@ impl<S: FlowWorld> FabricState<S> {
                 Self::on_complete(world, sim, id);
             });
         }
-
-        // Hand the buffers back for the next recompute.
-        self.scratch = sc;
     }
 }
 

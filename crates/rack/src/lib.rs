@@ -292,6 +292,15 @@ impl Rack {
         self.mcs(chassis).with_chassis(f)
     }
 
+    /// Total attachments across the rack, without materializing the list —
+    /// the cheap side of the scheduler's amortized conservation check.
+    pub fn n_attachments(&self) -> usize {
+        self.chassis
+            .iter()
+            .map(|mcs| mcs.with_chassis(|ch| ch.attachments().count()))
+            .sum()
+    }
+
     /// Every attachment in the rack, chassis-major sorted.
     pub fn attachments(&self) -> Vec<(RackAddr, HostId)> {
         let mut v: Vec<(RackAddr, HostId)> = Vec::new();

@@ -80,6 +80,22 @@ pub struct SchedulerConfig {
     pub probe_iters: u64,
     /// Fractional slowdown per co-resident job sharing a drawer.
     pub interference: f64,
+    /// Run the full rack-wide + per-chassis conservation audit every N
+    /// events; the O(1) ledger check covers the events in between. 1 =
+    /// audit every event (the historical behavior).
+    pub audit_every: u64,
+    /// Re-price only jobs a link-health change can actually affect
+    /// (touching the degraded chassis, or multi-chassis gangs for a
+    /// rack-tier degrade). Exact: unaffected placements price to the same
+    /// bits either way.
+    pub incremental_reprice: bool,
+    /// Absorb per-service serving micro events (arrivals, batch
+    /// completions, launches) inside epochs between global events instead
+    /// of surfacing each as a global event, sharding services across the
+    /// replay's workers. Epoch dilation is frozen at epoch start, so this
+    /// is a (deterministic) modeling change — off by default to keep
+    /// existing replays byte-identical.
+    pub shard_serving: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -89,6 +105,9 @@ impl Default for SchedulerConfig {
             elastic: true,
             probe_iters: 3,
             interference: 0.05,
+            audit_every: 1,
+            incremental_reprice: true,
+            shard_serving: false,
         }
     }
 }
@@ -205,6 +224,30 @@ struct FaultState {
     work_lost_gpu_secs: f64,
 }
 
+/// Reusable buffers of the replay loop, hoisted out of the per-event path
+/// so steady-state events allocate nothing.
+#[derive(Default)]
+struct LoopScratch {
+    finished: Vec<u64>,
+    tod: Vec<usize>,
+    job_masks: Vec<u64>,
+    svc_masks: Vec<u64>,
+    reprice_ids: Vec<u64>,
+}
+
+/// Which running jobs a link-health change can re-price. Skipping the
+/// rest is exact, not approximate: a job's price depends only on the
+/// drawer healths of the chassis it touches, plus the rack-tier stretch —
+/// and [`cross_chassis_stretch`] is exactly 1.0 for single-chassis gangs
+/// regardless of rack health.
+#[derive(Clone, Copy)]
+enum RepriceScope {
+    /// Jobs touching this chassis (an intra-chassis link degrade).
+    Chassis(u8),
+    /// Multi-chassis gangs only (a rack-tier degrade).
+    RackTier,
+}
+
 /// One trace replay under one policy on one fresh test bed.
 pub struct ClusterSim {
     rack: Rack,
@@ -218,6 +261,18 @@ pub struct ClusterSim {
     bmc: Vec<Bmc>,
     fstate: FaultState,
     serve: ServeState,
+    /// O(1) mirror of the running set's slot holdings (total and per
+    /// tenant), updated at every attach/detach. The cheap between-audit
+    /// conservation check compares it against the rack's attachment
+    /// count; the full audit re-derives and cross-checks it.
+    ledger_slots: usize,
+    ledger_tenant: Vec<usize>,
+    /// Events replayed so far — drives the `audit_every` cadence.
+    events_seen: u64,
+    /// Worker count for intra-replay serving shards (see
+    /// [`SchedulerConfig::shard_serving`]).
+    workers: usize,
+    scratch: LoopScratch,
 }
 
 impl ClusterSim {
@@ -345,7 +400,20 @@ impl ClusterSim {
             bmc: (0..topo.chassis).map(|_| Bmc::falcon_defaults()).collect(),
             fstate: FaultState::default(),
             serve: ServeState::empty_for(n_drawers),
+            ledger_slots: 0,
+            ledger_tenant: vec![0; MAX_TENANTS as usize],
+            events_seen: 0,
+            workers: 1,
+            scratch: LoopScratch::default(),
         })
+    }
+
+    /// Set the worker count for intra-replay serving shards. Only takes
+    /// effect under [`SchedulerConfig::shard_serving`]; the replay is
+    /// byte-identical at any worker count.
+    pub fn with_workers(mut self, workers: usize) -> ClusterSim {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Admit a mixed workload: training jobs plus latency-SLO inference
@@ -503,18 +571,34 @@ impl ClusterSim {
         loop {
             let next_finish = running.values().map(|r| r.finish_at).min();
             let next_fault_at = timeline.get(next_fault).map(|&(t, _, _)| t);
+            let next_arrival_at = jobs.get(next_arrival).map(|j| j.arrival);
             // Heals are event sources too: a queued or displaced job may be
             // placeable only once capacity returns, so the loop must keep
             // advancing through the timeline even with nothing running.
-            let t = [
-                jobs.get(next_arrival).map(|j| j.arrival),
-                next_finish,
-                next_fault_at,
-                self.serve.next_event(),
-            ]
-            .into_iter()
-            .flatten()
-            .min();
+            let serve_next = if !self.serve.has_services() || self.serve.idle() {
+                // No services, or all of them retired: the serving side
+                // can never produce another event.
+                None
+            } else if self.cfg.shard_serving {
+                // Sharded loop: training cannot act before `cap`, so every
+                // service absorbs its own micro events up to there and only
+                // boundaries (starts, ends, reclaims, scale-ups) surface as
+                // global events.
+                let cap =
+                    [next_arrival_at, next_finish, next_fault_at].into_iter().flatten().min();
+                let mut tod = std::mem::take(&mut self.scratch.tod);
+                self.training_on_drawer_into(&running, &mut tod);
+                let b =
+                    self.serve.run_epoch(now, cap, self.cfg.interference, &tod, self.workers);
+                self.scratch.tod = tod;
+                b
+            } else {
+                self.serve.next_event()
+            };
+            let t = [next_arrival_at, next_finish, next_fault_at, serve_next]
+                .into_iter()
+                .flatten()
+                .min();
             let Some(t) = t else { break };
             assert!(t >= now, "event time regressed: {t} < {now}");
 
@@ -548,17 +632,16 @@ impl ClusterSim {
                 next_arrival += 1;
             }
 
-            let finished: Vec<u64> = running
-                .iter()
-                .filter(|(_, r)| r.finish_at <= t)
-                .map(|(&id, _)| id)
-                .collect();
+            let mut finished = std::mem::take(&mut self.scratch.finished);
+            finished.clear();
+            finished.extend(running.iter().filter(|(_, r)| r.finish_at <= t).map(|(&id, _)| id));
             let mut membership_changed = !finished.is_empty();
-            for id in finished {
+            for id in finished.drain(..) {
                 let r = running.remove(&id).expect("id from the running set");
                 for &slot in &r.slots {
                     self.rack.detach(now, tenant_user(r.spec.tenant.0), slot)?;
                 }
+                self.unbook(r.spec.tenant.0, r.slots.len());
                 makespan = makespan.max(now);
                 outcomes.push(JobOutcome {
                     id: r.spec.id,
@@ -574,6 +657,7 @@ impl ClusterSim {
                     shrunk: r.shrunk,
                 });
             }
+            self.scratch.finished = finished;
 
             while next_fault < timeline.len() && timeline[next_fault].0 <= t {
                 let (_, _, action) = timeline[next_fault];
@@ -585,9 +669,15 @@ impl ClusterSim {
                 membership_changed |= changed;
             }
 
-            if self.serve.has_services() {
-                let tod = self.training_on_drawer(&running);
-                if self.serve.step(now, &self.rack, self.cfg.interference, &tod)? {
+            // Once every service has retired (`idle`), the serving step
+            // and placement pass are guaranteed no-ops — skip them (and
+            // the per-drawer training census they would need).
+            if self.serve.has_services() && !self.serve.idle() {
+                let mut tod = std::mem::take(&mut self.scratch.tod);
+                self.training_on_drawer_into(&running, &mut tod);
+                let stepped = self.serve.step(now, &self.rack, self.cfg.interference, &tod)?;
+                self.scratch.tod = tod;
+                if stepped {
                     membership_changed = true;
                 }
                 if self.serve_place_pass(now, &mut running)? {
@@ -600,9 +690,18 @@ impl ClusterSim {
             if membership_changed {
                 self.recompute_rates(&mut running);
             }
-            self.assert_conservation(&running);
+            // Amortized invariant checking: the full rack-wide and
+            // per-chassis audit runs every `audit_every` events (and at
+            // terminal states); the O(1) ledger check covers the rest.
+            self.events_seen += 1;
+            if self.events_seen % self.cfg.audit_every.max(1) == 0 {
+                self.assert_conservation(&running);
+            } else {
+                self.check_ledger();
+            }
         }
 
+        self.assert_conservation(&running);
         self.serve.assert_drained();
         makespan = makespan.max(self.serve.last_activity());
         if let Some((_, stuck)) = self.fstate.displaced.first() {
@@ -706,16 +805,68 @@ impl ClusterSim {
         worst * cross_chassis_stretch(parts.len(), self.rack_health())
     }
 
-    /// Re-price every running job after a link-health change. Rates are
-    /// rebuilt by the `recompute_rates` the caller triggers.
-    fn reprice_all(&mut self, running: &mut BTreeMap<u64, Running>) {
-        for id in running.keys().copied().collect::<Vec<_>>() {
+    /// Re-price running jobs after a link-health change; under
+    /// [`SchedulerConfig::incremental_reprice`], only jobs inside `scope`.
+    /// Skipped jobs would have priced to the same bits: prices are pure in
+    /// (benchmark, per-chassis shape, that chassis's drawer healths, rack
+    /// health), and single-chassis gangs ignore rack health entirely.
+    /// Rates are rebuilt by the `recompute_rates` the caller triggers.
+    fn reprice_all(&mut self, running: &mut BTreeMap<u64, Running>, scope: RepriceScope) {
+        let mut ids = std::mem::take(&mut self.scratch.reprice_ids);
+        ids.clear();
+        ids.extend(running.keys().copied());
+        for id in ids.drain(..) {
             let (benchmark, slots) = {
                 let r = &running[&id];
+                let affected = !self.cfg.incremental_reprice
+                    || match scope {
+                        RepriceScope::Chassis(c) => r.slots.iter().any(|s| s.chassis == c),
+                        RepriceScope::RackTier => {
+                            r.slots.iter().any(|s| s.chassis != r.slots[0].chassis)
+                        }
+                    };
+                if !affected {
+                    continue;
+                }
                 (r.spec.benchmark, r.slots.clone())
             };
             let base = self.price_base(benchmark, &slots);
             running.get_mut(&id).expect("listed id").base_iter_secs = base;
+        }
+        self.scratch.reprice_ids = ids;
+    }
+
+    /// Record `n` training slots attached for `tenant` in the O(1) ledger.
+    fn book(&mut self, tenant: u32, n: usize) {
+        self.ledger_slots += n;
+        self.ledger_tenant[tenant as usize] += n;
+    }
+
+    /// Record `n` training slots detached for `tenant` in the O(1) ledger.
+    fn unbook(&mut self, tenant: u32, n: usize) {
+        self.ledger_slots -= n;
+        self.ledger_tenant[tenant as usize] -= n;
+    }
+
+    /// The cheap between-audit conservation check: the training ledger
+    /// plus serving's slot count must equal the rack's attachment count
+    /// exactly, the pool must not be oversubscribed, and no tenant may
+    /// exceed quota. O(chassis count), no allocation.
+    fn check_ledger(&self) {
+        let total = self.ledger_slots + self.serve.n_slots();
+        assert_eq!(
+            total,
+            self.rack.n_attachments(),
+            "ledger diverged from rack attachments"
+        );
+        assert!(total <= self.topo.total_gpus(), "pool oversubscribed");
+        let serve_used = self.serve.slots_per_tenant();
+        for (t, &u) in self.ledger_tenant.iter().enumerate() {
+            assert!(
+                u + serve_used[t] <= self.cfg.quota_gpus_per_tenant,
+                "tenant {t} over quota: {u} training + {} serving",
+                serve_used[t]
+            );
         }
     }
 
@@ -739,12 +890,12 @@ impl ClusterSim {
             FaultKind::SlotDeath { drawer, slot } => vec![RackAddr::new(chassis, drawer, slot)],
             FaultKind::LinkDegrade { drawer, pct } => {
                 self.fstate.degrades.insert(i, (chassis * 2 + drawer, pct));
-                self.reprice_all(running);
+                self.reprice_all(running, RepriceScope::Chassis(chassis));
                 return Ok(true);
             }
             FaultKind::RackLinkDegrade { pct } => {
                 self.fstate.rack_degrades.insert(i, pct);
-                self.reprice_all(running);
+                self.reprice_all(running, RepriceScope::RackTier);
                 return Ok(true);
             }
             FaultKind::ThermalTrip { drawer } => {
@@ -792,6 +943,7 @@ impl ClusterSim {
             for &slot in &r.slots {
                 self.rack.force_detach(now, ADMIN, slot)?;
             }
+            self.unbook(r.spec.tenant.0, r.slots.len());
             let lost = r.iters_since_placement % CHECKPOINT_ITERS as f64;
             r.remaining_iters += lost;
             self.fstate.work_lost_gpu_secs += lost * r.base_iter_secs * r.slots.len() as f64;
@@ -816,7 +968,11 @@ impl ClusterSim {
         if matches!(kind, FaultKind::LinkDegrade { .. } | FaultKind::RackLinkDegrade { .. }) {
             self.fstate.degrades.remove(&i);
             self.fstate.rack_degrades.remove(&i);
-            self.reprice_all(running);
+            let scope = match kind {
+                FaultKind::LinkDegrade { .. } => RepriceScope::Chassis(chassis),
+                _ => RepriceScope::RackTier,
+            };
+            self.reprice_all(running, scope);
             return Ok(true);
         }
         if let FaultKind::ThermalTrip { drawer } = kind {
@@ -857,15 +1013,14 @@ impl ClusterSim {
         }
         loop {
             let free = self.free_view();
-            let mut used = vec![0usize; MAX_TENANTS as usize];
-            for r in running.values() {
-                used[r.spec.tenant.0 as usize] += r.slots.len();
-            }
-            for (t, n) in self.serve.slots_per_tenant().into_iter().enumerate() {
-                used[t] += n;
-            }
+            // Tenant usage comes from the O(1) ledger (training) plus the
+            // serving slot counters — the full audit proves both exact.
             let head = pending.iter().enumerate().find(|(_, j)| {
-                used[j.tenant.0 as usize] + usize::from(j.gpus) <= self.cfg.quota_gpus_per_tenant
+                let t = j.tenant.0 as usize;
+                self.ledger_tenant[t]
+                    + self.serve.slots_per_tenant()[t]
+                    + usize::from(j.gpus)
+                    <= self.cfg.quota_gpus_per_tenant
             });
             let Some((i, job)) = head else { break };
             match self.policy.place(job, &free, &mut self.probes) {
@@ -910,13 +1065,6 @@ impl ClusterSim {
         let mut i = 0;
         while i < self.fstate.displaced.len() {
             let free = self.free_view();
-            let mut used = vec![0usize; MAX_TENANTS as usize];
-            for r in running.values() {
-                used[r.spec.tenant.0 as usize] += r.slots.len();
-            }
-            for (t, n) in self.serve.slots_per_tenant().into_iter().enumerate() {
-                used[t] += n;
-            }
             let (want, tenant, min_gpus, probe_spec) = {
                 let (_, r) = &self.fstate.displaced[i];
                 (
@@ -926,7 +1074,9 @@ impl ClusterSim {
                     JobSpec { gpus: r.slots.len() as u8, ..r.spec.clone() },
                 )
             };
-            if used[tenant as usize] + want > self.cfg.quota_gpus_per_tenant {
+            let used = self.ledger_tenant[tenant as usize]
+                + self.serve.slots_per_tenant()[tenant as usize];
+            if used + want > self.cfg.quota_gpus_per_tenant {
                 // Pending jobs of this tenant may have filled the quota
                 // while the job was displaced; step over, retry on the
                 // next completion.
@@ -943,6 +1093,7 @@ impl ClusterSim {
                         self.rack.grant(now, ADMIN, slot, user)?;
                         self.rack.attach(now, user, slot, host)?;
                     }
+                    self.book(tenant, slots.len());
                     r.slots = slots;
                     r.base_iter_secs = self.price_base(r.spec.benchmark, &r.slots);
                     r.resume_at = now + RECOMPOSE_LATENCY;
@@ -979,20 +1130,28 @@ impl ClusterSim {
     /// Running training jobs touching each global drawer — the serving
     /// side's interference neighbors.
     fn training_on_drawer(&self, running: &BTreeMap<u64, Running>) -> Vec<usize> {
+        let mut c = Vec::new();
+        self.training_on_drawer_into(running, &mut c);
+        c
+    }
+
+    /// [`Self::training_on_drawer`] into a reusable buffer, counting via
+    /// per-job drawer bitmasks instead of a fresh bool vector per job.
+    fn training_on_drawer_into(&self, running: &BTreeMap<u64, Running>, out: &mut Vec<usize>) {
         let nd = self.topo.n_drawers();
-        let mut c = vec![0usize; nd];
+        debug_assert!(nd <= 64, "drawer mask overflow");
+        out.clear();
+        out.resize(nd, 0);
         for r in running.values() {
-            let mut mine = vec![false; nd];
+            let mut m = 0u64;
             for s in &r.slots {
-                mine[s.global_drawer()] = true;
+                m |= 1u64 << s.global_drawer();
             }
-            for (d, &on) in mine.iter().enumerate() {
-                if on {
-                    c[d] += 1;
-                }
+            while m != 0 {
+                out[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
             }
         }
-        c
     }
 
     /// Compose replicas for every service below its replica target. The
@@ -1020,15 +1179,9 @@ impl ClusterSim {
                     for s in free.slots() {
                         free_gpus[s.global_drawer()] += 1;
                     }
-                    let mut used = vec![0usize; MAX_TENANTS as usize];
-                    for r in running.values() {
-                        used[r.spec.tenant.0 as usize] += r.slots.len();
-                    }
-                    for (t, n) in self.serve.slots_per_tenant().into_iter().enumerate() {
-                        used[t] += n;
-                    }
-                    let at_quota =
-                        used[tenant as usize] + 1 > self.cfg.quota_gpus_per_tenant;
+                    let used = self.ledger_tenant[tenant as usize]
+                        + self.serve.slots_per_tenant()[tenant as usize];
+                    let at_quota = used + 1 > self.cfg.quota_gpus_per_tenant;
                     let view =
                         self.serve.slice_view(tenant, free.slots(), free_gpus, at_quota);
                     match self.policy.place_replica(slice, &view) {
@@ -1089,6 +1242,7 @@ impl ClusterSim {
             self.rack.grant(now, ADMIN, slot, user)?;
             self.rack.attach(now, user, slot, host)?;
         }
+        self.book(spec.tenant.0, slots.len());
         let base = self.price_base(spec.benchmark, &slots);
         running.insert(
             spec.id,
@@ -1149,9 +1303,11 @@ impl ClusterSim {
         r.slots
             .sort_by_key(|s| (s.global_drawer() != major, s.global_drawer(), s.slot.slot));
         let released = r.slots.split_off(new);
+        let tenant = r.spec.tenant.0;
         for &slot in &released {
-            self.rack.detach(now, tenant_user(r.spec.tenant.0), slot)?;
+            self.rack.detach(now, tenant_user(tenant), slot)?;
         }
+        self.unbook(tenant, released.len());
         // Constant total work in GPU-iterations: fewer GPUs, more
         // remaining iterations at the new (cheaper per-iteration) shape.
         r.remaining_iters *= old as f64 / new as f64;
@@ -1196,6 +1352,18 @@ impl ClusterSim {
                 serve_used[t]
             );
         }
+        // The O(1) ledgers the cheap between-audit check leans on must
+        // match the ground truth re-derived above.
+        assert_eq!(self.ledger_slots, booked.len(), "training slot ledger diverged");
+        for (t, &u) in used.iter().enumerate() {
+            assert_eq!(self.ledger_tenant[t], u, "tenant {t} training ledger diverged");
+        }
+        assert_eq!(
+            self.serve.audit_slots_per_tenant().as_slice(),
+            serve_used,
+            "serving tenant-slot counters diverged"
+        );
+        assert_eq!(serve_slots.len(), self.serve.n_slots(), "serving slot count diverged");
         let attached = self.rack.attachments();
         assert_eq!(
             attached.len(),
@@ -1229,40 +1397,41 @@ impl ClusterSim {
     /// placement change re-prices each running job as its alone-on-bed
     /// iteration rate diluted by co-residents sharing a drawer switch.
     fn recompute_rates(&mut self, running: &mut BTreeMap<u64, Running>) {
-        let nd = self.topo.n_drawers();
-        let drawers: Vec<(u64, Vec<bool>)> = running
-            .values()
-            .map(|r| {
-                let mut d = vec![false; nd];
-                for s in &r.slots {
-                    d[s.global_drawer()] = true;
-                }
-                (r.spec.id, d)
-            })
-            .collect();
+        debug_assert!(self.topo.n_drawers() <= 64, "drawer mask overflow");
+        // Per-job drawer occupancy as bitmasks in running-set (id) order —
+        // neighbor counts are identical to the old bool-vector scan, so
+        // dilation floats are bit-identical, with no per-job allocation.
+        let mut masks = std::mem::take(&mut self.scratch.job_masks);
+        masks.clear();
+        masks.extend(running.values().map(|r| {
+            let mut m = 0u64;
+            for s in &r.slots {
+                m |= 1u64 << s.global_drawer();
+            }
+            m
+        }));
         // Each live service counts once as a neighbor to training jobs
         // sharing its drawer(s) — co-location costs both sides. Empty for
         // training-only replays, leaving their float math bit-identical.
-        let service_drawers = self.serve.live_service_drawers();
-        for r in running.values_mut() {
-            let mine = drawers
+        let mut svc_masks = std::mem::take(&mut self.scratch.svc_masks);
+        svc_masks.clear();
+        self.serve.live_service_drawer_masks_into(&mut svc_masks);
+        for (j, r) in running.values_mut().enumerate() {
+            let mine = masks[j];
+            let neighbors = masks
                 .iter()
-                .find(|(id, _)| *id == r.spec.id)
-                .map(|(_, d)| d.clone())
-                .expect("job listed");
-            let overlaps =
-                |d: &[bool]| d.iter().zip(&mine).any(|(&a, &b)| a && b);
-            let neighbors = drawers
-                .iter()
-                .filter(|(id, d)| *id != r.spec.id && overlaps(d))
+                .enumerate()
+                .filter(|&(k, &m)| k != j && m & mine != 0)
                 .count()
-                + service_drawers.iter().filter(|d| overlaps(d)).count();
+                + svc_masks.iter().filter(|&&m| m & mine != 0).count();
             let dilation = 1.0 + self.cfg.interference * neighbors as f64;
             r.rate = 1.0 / (r.base_iter_secs * dilation);
             // Progress resumes only after any re-composition window.
             r.finish_at = r.last_progress.max(r.resume_at)
                 + Dur::from_secs_f64(r.remaining_iters / r.rate);
         }
+        self.scratch.job_masks = masks;
+        self.scratch.svc_masks = svc_masks;
     }
 }
 

@@ -129,9 +129,19 @@ pub struct Probe {
 pub struct ProbeCache {
     probe_iters: u64,
     topo: RackTopology,
-    map: BTreeMap<(&'static str, Shape, LinkHealth), Probe>,
+    map: BTreeMap<ProbeKey, Probe>,
     probes_run: u64,
+    /// Keys inserted since this cache was [`split`](Self::split) off —
+    /// `Some` only for split children, so [`absorb`](Self::absorb) can
+    /// merge append-only (visiting just the additions) instead of
+    /// re-inserting the whole shared baseline. `None` for root caches,
+    /// which fall back to the full-map merge.
+    added: Option<Vec<ProbeKey>>,
 }
+
+/// The canonical cache key: benchmark label × placement shape × per-drawer
+/// link health.
+type ProbeKey = (&'static str, Shape, LinkHealth);
 
 impl ProbeCache {
     /// A cache for the paper's single-chassis test bed.
@@ -150,6 +160,14 @@ impl ProbeCache {
             topo,
             map: BTreeMap::new(),
             probes_run: 0,
+            added: None,
+        }
+    }
+
+    /// Record an insertion for the append-only absorb path.
+    fn note_added(&mut self, key: ProbeKey) {
+        if let Some(added) = &mut self.added {
+            added.push(key);
         }
     }
 
@@ -192,6 +210,7 @@ impl ProbeCache {
         let p = run_probe(benchmark, shape, health, self.probe_iters);
         self.probes_run += 1;
         self.map.insert((benchmark.label(), shape, health), p);
+        self.note_added((benchmark.label(), shape, health));
         p
     }
 
@@ -222,6 +241,7 @@ impl ProbeCache {
         );
         for ((b, s), p) in missing.into_iter().zip(priced) {
             self.map.insert((b.label(), s, LinkHealth::FULL), p);
+            self.note_added((b.label(), s, LinkHealth::FULL));
             self.probes_run += 1;
         }
     }
@@ -235,16 +255,38 @@ impl ProbeCache {
             topo: self.topo,
             map: self.map.clone(),
             probes_run: 0,
+            added: Some(Vec::new()),
         }
     }
 
     /// Merge a split cache back: union the entries (probes are
     /// deterministic, so colliding keys hold equal values — first write
     /// wins) and add the split's probe count to ours.
+    ///
+    /// A cache produced by [`split`](Self::split) tracks exactly the keys
+    /// it added, so the merge is **append-only**: only those keys are
+    /// visited, never the shared baseline (which is already ours). Caches
+    /// from other origins fall back to the full-map merge.
     pub fn absorb(&mut self, other: ProbeCache) {
         self.probes_run += other.probes_run;
-        for (k, v) in other.map {
-            self.map.entry(k).or_insert(v);
+        match other.added {
+            Some(keys) => {
+                for k in keys {
+                    let v = other.map[&k];
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.map.entry(k) {
+                        e.insert(v);
+                        self.note_added(k);
+                    }
+                }
+            }
+            None => {
+                for (k, v) in other.map {
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.map.entry(k) {
+                        e.insert(v);
+                        self.note_added(k);
+                    }
+                }
+            }
         }
     }
 
@@ -682,6 +724,56 @@ mod tests {
         shared.absorb(replay);
         assert_eq!(shared.probes_run(), 2);
         assert_eq!(shared.len(), 2);
+    }
+
+    /// The append-only absorb path: merging split caches with disjoint
+    /// additions yields exactly the union of entries and the sum of probe
+    /// counters, byte-identical to a cache that probed every key itself —
+    /// and additions keep propagating through chained split/absorb.
+    #[test]
+    fn absorb_is_append_only_with_exact_merged_counters() {
+        let base = (Benchmark::MobileNetV2, Shape::new(1, 0));
+        let add_a = (Benchmark::MobileNetV2, Shape::new(2, 0));
+        let add_b = (Benchmark::ResNet50, Shape::new(1, 0));
+        let mut parent = ProbeCache::new(2);
+        parent.warm(&[base], 1);
+        let base_probes = parent.probes_run();
+
+        // Two splits add disjoint key sets.
+        let mut a = parent.split();
+        let mut b = parent.split();
+        a.warm(&[add_a], 1);
+        b.warm(&[add_b], 1);
+        let (ra, rb) = (a.probes_run(), b.probes_run());
+        assert_eq!((ra, rb), (1, 1));
+        parent.absorb(a);
+        parent.absorb(b);
+        assert_eq!(parent.probes_run(), base_probes + ra + rb, "counter is the exact sum");
+        assert_eq!(parent.len(), 3, "merged map is the union");
+
+        // Byte-identical to a cache that probed all three keys directly.
+        let mut direct = ProbeCache::new(2);
+        direct.warm(&[base, add_a, add_b], 1);
+        assert_eq!(parent.save_json(), direct.save_json());
+
+        // Overlapping additions collide on equal values: no growth, and
+        // the counter still accounts the duplicate probe work.
+        let mut c = parent.split();
+        c.price(Benchmark::MobileNetV2, Shape::new(2, 0)); // hit: no probe
+        assert_eq!(c.probes_run(), 0);
+        parent.absorb(c);
+        assert_eq!(parent.len(), 3);
+        assert_eq!(parent.probes_run(), base_probes + ra + rb);
+
+        // Chained: a grandchild's additions flow through its parent's
+        // `added` log into the root on the second absorb.
+        let mut mid = parent.split();
+        let mut leaf = mid.split();
+        leaf.warm(&[(Benchmark::ResNet50, Shape::new(2, 0))], 1);
+        mid.absorb(leaf);
+        parent.absorb(mid);
+        assert_eq!(parent.len(), 4, "grandchild addition reached the root");
+        assert_eq!(parent.probes_run(), base_probes + ra + rb + 1);
     }
 
     #[test]

@@ -473,6 +473,12 @@ impl Scenario {
                 msg: format!("interference {} must be finite and >= 0", self.config.interference),
             });
         }
+        if self.config.audit_every == 0 {
+            return Err(ScenarioError::BadConfig {
+                scenario: scenario(),
+                msg: "audit_every must be at least 1".into(),
+            });
+        }
         let (mixed, plan) = self.materialize();
         if mixed.jobs.is_empty() && mixed.services.is_empty() {
             return Err(ScenarioError::EmptyTrace { scenario: scenario() });
@@ -533,9 +539,8 @@ impl ToJson for Scenario {
                 "policies",
                 Value::Arr(self.policies.iter().map(|p| Value::str(p.clone())).collect()),
             ),
-            (
-                "config",
-                Value::obj(vec![
+            ("config", {
+                let mut fields = vec![
                     (
                         "quota_gpus_per_tenant",
                         Value::from_u64(self.config.quota_gpus_per_tenant as u64),
@@ -543,8 +548,24 @@ impl ToJson for Scenario {
                     ("elastic", Value::Bool(self.config.elastic)),
                     ("probe_iters", Value::from_u64(self.config.probe_iters)),
                     ("interference", Value::Num(self.config.interference)),
-                ]),
-            ),
+                ];
+                // Performance knobs are emitted only when non-default, so
+                // pre-existing scenario files round-trip byte-identically.
+                let defaults = SchedulerConfig::default();
+                if self.config.audit_every != defaults.audit_every {
+                    fields.push(("audit_every", Value::from_u64(self.config.audit_every)));
+                }
+                if self.config.incremental_reprice != defaults.incremental_reprice {
+                    fields.push((
+                        "incremental_reprice",
+                        Value::Bool(self.config.incremental_reprice),
+                    ));
+                }
+                if self.config.shard_serving != defaults.shard_serving {
+                    fields.push(("shard_serving", Value::Bool(self.config.shard_serving)));
+                }
+                Value::obj(fields)
+            }),
             ("metrics", Value::str(self.metrics.as_str())),
         ])
     }
@@ -570,6 +591,18 @@ impl FromJson for Scenario {
                 interference: match c.get("interference") {
                     Ok(x) => x.as_f64()?,
                     Err(_) => defaults.interference,
+                },
+                audit_every: match c.get("audit_every") {
+                    Ok(x) => x.as_u64()?,
+                    Err(_) => defaults.audit_every,
+                },
+                incremental_reprice: match c.get("incremental_reprice") {
+                    Ok(x) => x.as_bool()?,
+                    Err(_) => defaults.incremental_reprice,
+                },
+                shard_serving: match c.get("shard_serving") {
+                    Ok(x) => x.as_bool()?,
+                    Err(_) => defaults.shard_serving,
                 },
             },
             Err(_) => defaults,
@@ -712,7 +745,11 @@ pub fn run_scenario(
                         ClusterSim::with_probe_cache_mixed_on(topo, mixed, policy, cfg.clone(), split)?
                     };
                     let sim = if plan.is_empty() { sim } else { sim.with_faults(plan)? };
-                    sim.run_report()
+                    // Intra-replay serving shards reuse the sweep's worker
+                    // budget (byte-identical at any count, so over-asking
+                    // while policies also fan out is only a scheduling
+                    // matter, not a correctness one).
+                    sim.with_workers(jobs).run_report()
                 })
             })
             .collect();

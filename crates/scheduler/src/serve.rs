@@ -45,6 +45,9 @@ pub const SERVE_QUEUE_CAP_BATCHES: usize = 8;
 pub const SERVE_BACKLOG_SCALE_UP: usize = 2;
 /// Hard cap on generated requests per service (seeded streams are finite).
 const MAX_REQUESTS: usize = 200_000;
+/// The sharded event loop fans services out across workers only when at
+/// least this many are live — below it, thread spawn costs dominate.
+const SHARD_MIN_SERVICES: usize = 8;
 
 /// The open-loop arrival process of a service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -489,6 +492,126 @@ impl SvcState {
         true
     }
 
+    fn backlog(&self) -> usize {
+        self.replicas.iter().map(|r| r.queue.len()).sum::<usize>() + self.orphans.len()
+    }
+
+    fn scale_up_wanted(&self) -> bool {
+        self.started
+            && !self.ended
+            && self.target < self.spec.max_replicas
+            && self.backlog()
+                > SERVE_BACKLOG_SCALE_UP * self.replicas.len().max(1) * self.spec.max_batch as usize
+    }
+
+    /// Earliest pending micro event of this service: an arrival, a batch
+    /// completion, a due launch, or an idle check.
+    fn next_micro(&self) -> Option<SimTime> {
+        let mut t: Option<SimTime> = None;
+        let mut fold = |x: SimTime| t = Some(t.map_or(x, |c: SimTime| c.min(x)));
+        if let Some(&a) = self.arrivals.get(self.cursor) {
+            fold(a);
+        }
+        for r in &self.replicas {
+            if let Some(e) = r.next_event(self.ended, self.spec.max_batch, self.spec.max_wait) {
+                fold(e);
+            }
+        }
+        t
+    }
+
+    /// Advance this service through its own micro events (completions,
+    /// arrivals, launches) strictly before `cap`, stopping at the first
+    /// *boundary* — an event that needs the global loop because it changes
+    /// replica/slot membership or the scale target. Returns the boundary
+    /// time (if one falls before `cap`) and the latest completion folded
+    /// into activity. Dilation is frozen per epoch (`dil`, one factor per
+    /// global drawer); replica sets and training membership only change at
+    /// global events, so the frozen factors are constant over the epoch.
+    ///
+    /// The per-service evolution is a pure function of (service state,
+    /// frozen dilation, cap), so sharding services across workers cannot
+    /// change the outcome — the replay is byte-identical at any `--jobs`.
+    fn advance_until(
+        &mut self,
+        now: SimTime,
+        cap: Option<SimTime>,
+        dil: &[f64],
+        gpu: &GpuSpec,
+    ) -> (Option<SimTime>, SimTime) {
+        let below = |t: SimTime| cap.map_or(true, |c| t < c);
+        let mut last = SimTime::ZERO;
+        if !self.started {
+            // Nothing can happen before the start boundary: the arrival
+            // stream begins strictly after `spec.start`.
+            let s = self.spec.start;
+            return (below(s).then_some(s), last);
+        }
+        let mut t_low = now;
+        loop {
+            if self.ended {
+                // The drain tail (final completions, flush launches, idle
+                // reclaims) all touch membership; hand each remaining
+                // micro event to the global loop one at a time.
+                return (self.next_micro().filter(|&t| below(t)), last);
+            }
+            if self.scale_up_wanted() {
+                // The global step bumps the target and the placement pass
+                // composes the replica — stop where the backlog crossed.
+                return (below(t_low).then_some(t_low), last);
+            }
+            let end = self.spec.end();
+            let tm = self.next_micro().map_or(end, |t| t.min(end));
+            if !below(tm) {
+                return (None, last);
+            }
+            if tm >= end {
+                // Everything due at the end instant (arrival drain, the
+                // ended flag, reclaims) runs through the legacy step.
+                return (Some(end), last);
+            }
+            // Absorb the micro events at `tm`, in the legacy step() order:
+            // completions, then arrivals, then reclaim checks, then
+            // launches. The scale-up check re-runs at the loop top.
+            for ri in 0..self.replicas.len() {
+                if let Some(done) = self.replicas[ri].busy_until {
+                    if done <= tm {
+                        self.complete_batch(ri, done, tm);
+                        last = last.max(done);
+                    }
+                }
+            }
+            while self.cursor < self.arrivals.len() && self.arrivals[self.cursor] <= tm {
+                let a = self.arrivals[self.cursor];
+                self.cursor += 1;
+                self.generated += 1;
+                self.dispatch(a);
+            }
+            // A reclaim removes a replica and possibly detaches a slot —
+            // that is the global loop's job. A due check on a busy or
+            // queued replica just clears, exactly like the legacy branch.
+            let above_floor = self.replicas.len() > usize::from(self.spec.min_replicas);
+            let mut reclaim = false;
+            for r in &mut self.replicas {
+                if r.idle_check.is_some_and(|c| c <= tm) {
+                    if r.busy_until.is_none() && r.queue.is_empty() && above_floor {
+                        reclaim = true; // leave idle_check set for the global step
+                    } else {
+                        r.idle_check = None;
+                    }
+                }
+            }
+            if reclaim {
+                return (Some(tm), last);
+            }
+            for ri in 0..self.replicas.len() {
+                let d = self.replicas[ri].slot.global_drawer();
+                self.try_launch(ri, tm, dil[d], gpu);
+            }
+            t_low = tm;
+        }
+    }
+
     fn outcome(&self) -> ServiceOutcome {
         let dur = self.spec.duration.as_secs_f64();
         ServiceOutcome {
@@ -526,10 +649,25 @@ struct SlotShare {
 /// All serving state of one replay, driven by the cluster event loop.
 pub struct ServeState {
     svcs: Vec<SvcState>,
+    /// Indices of services that can still do anything — not yet ended,
+    /// or ended with replicas left to drain. A retired service (ended,
+    /// drained, reclaimed) contributes nothing to any event-loop scan,
+    /// so the hot paths iterate this list instead of every service; on
+    /// PAI-magnitude traces most of the replay runs long after the
+    /// serving window closed.
+    active: Vec<usize>,
     slot_use: BTreeMap<RackAddr, SlotShare>,
+    /// O(1) mirror of `slot_use`: whole slots held per tenant. The full
+    /// conservation audit recounts and cross-checks it.
+    tenant_slots: Vec<usize>,
     gpu: GpuSpec,
     n_drawers: usize,
     last_activity: SimTime,
+    /// Per-epoch scratch (service-count per drawer, per-service drawer
+    /// masks, frozen dilation rows), hoisted out of the event loop.
+    epoch_counts: Vec<usize>,
+    epoch_masks: Vec<u64>,
+    epoch_dil: Vec<f64>,
 }
 
 impl ServeState {
@@ -549,17 +687,30 @@ impl ServeState {
     }
 
     pub fn new_for(specs: Vec<ServiceSpec>, n_drawers: usize) -> ServeState {
+        let svcs: Vec<SvcState> = specs.into_iter().map(SvcState::new).collect();
         ServeState {
-            svcs: specs.into_iter().map(SvcState::new).collect(),
+            active: (0..svcs.len()).collect(),
+            svcs,
             slot_use: BTreeMap::new(),
+            tenant_slots: vec![0; MAX_TENANTS as usize],
             gpu: GpuSpec::v100_pcie_16gb(),
             n_drawers,
             last_activity: SimTime::ZERO,
+            epoch_counts: Vec::new(),
+            epoch_masks: Vec::new(),
+            epoch_dil: Vec::new(),
         }
     }
 
     pub fn has_services(&self) -> bool {
         !self.svcs.is_empty()
+    }
+
+    /// True once no service can ever act again — every one has ended,
+    /// drained its queue, and had all replicas reclaimed. From that point
+    /// the serving side of the event loop is a guaranteed no-op.
+    pub fn idle(&self) -> bool {
+        self.active.is_empty()
     }
 
     /// Latest serving activity (batch completions and service ends) — the
@@ -573,7 +724,7 @@ impl ServeState {
     pub fn next_event(&self) -> Option<SimTime> {
         let mut t: Option<SimTime> = None;
         let mut fold = |x: SimTime| t = Some(t.map_or(x, |c| c.min(x)));
-        for svc in &self.svcs {
+        for svc in self.active.iter().map(|&i| &self.svcs[i]) {
             if !svc.started {
                 fold(svc.spec.start);
             }
@@ -600,7 +751,8 @@ impl ServeState {
         if dt <= 0.0 {
             return;
         }
-        for svc in &mut self.svcs {
+        for &i in &self.active {
+            let svc = &mut self.svcs[i];
             let n = svc.replicas.len() as f64;
             if n > 0.0 {
                 let add = f64::from(svc.spec.slice) / f64::from(SLICES_PER_GPU) * n * dt;
@@ -613,12 +765,24 @@ impl ServeState {
 
     /// Whole slots currently held by serving, per tenant (for quota
     /// accounting: a partially-used slot still occupies the whole slot).
-    pub fn slots_per_tenant(&self) -> Vec<usize> {
+    /// Served from the cached counters — O(1), no allocation.
+    pub fn slots_per_tenant(&self) -> &[usize] {
+        &self.tenant_slots
+    }
+
+    /// Recount per-tenant slots from `slot_use` ground truth; the full
+    /// conservation audit asserts this equals the cached counters.
+    pub fn audit_slots_per_tenant(&self) -> Vec<usize> {
         let mut v = vec![0usize; MAX_TENANTS as usize];
         for share in self.slot_use.values() {
             v[share.tenant as usize] += 1;
         }
         v
+    }
+
+    /// Number of slots currently held by serving.
+    pub fn n_slots(&self) -> usize {
+        self.slot_use.len()
     }
 
     /// Slots currently held by serving.
@@ -647,30 +811,52 @@ impl ServeState {
             .collect()
     }
 
-    fn occupancy(&self) -> (Vec<usize>, Vec<Vec<bool>>) {
-        let mut counts = vec![0usize; self.n_drawers];
-        let mut per_svc = Vec::with_capacity(self.svcs.len());
-        for svc in &self.svcs {
-            let mut d = vec![false; self.n_drawers];
+    /// Drawer bitmasks of live services (one bit per global drawer), the
+    /// allocation-free form of [`Self::live_service_drawers`] the hot
+    /// training-rate recompute uses.
+    pub fn live_service_drawer_masks_into(&self, out: &mut Vec<u64>) {
+        debug_assert!(self.n_drawers <= 64, "drawer mask overflow");
+        for svc in self.active.iter().map(|&i| &self.svcs[i]) {
+            let mut m = 0u64;
             for r in &svc.replicas {
-                d[r.slot.global_drawer()] = true;
+                m |= 1u64 << r.slot.global_drawer();
             }
-            for (gd, &on) in d.iter().enumerate() {
-                if on {
-                    counts[gd] += 1;
-                }
+            if m != 0 {
+                out.push(m);
             }
-            per_svc.push(d);
         }
-        (counts, per_svc)
+    }
+
+    /// Fill the epoch scratch: per-drawer counts of services with a live
+    /// replica there, plus each service's drawer bitmask. Retired
+    /// services hold no replicas, so restricting the scan to the active
+    /// list is exact; scratch buffers make this allocation-free on the
+    /// per-event path.
+    fn fill_occupancy_scratch(&mut self) {
+        debug_assert!(self.n_drawers <= 64, "drawer mask overflow");
+        self.epoch_counts.clear();
+        self.epoch_counts.resize(self.n_drawers, 0);
+        self.epoch_masks.clear();
+        self.epoch_masks.resize(self.svcs.len(), 0);
+        for &i in &self.active {
+            let mut m = 0u64;
+            for r in &self.svcs[i].replicas {
+                m |= 1u64 << r.slot.global_drawer();
+            }
+            self.epoch_masks[i] = m;
+            while m != 0 {
+                self.epoch_counts[m.trailing_zeros() as usize] += 1;
+                m &= m - 1;
+            }
+        }
     }
 
     /// Services wanting a replica placed: `(svc index, tenant, slice,
     /// start)` for each live service below its target.
     pub fn placement_wants(&self) -> Vec<(usize, u32, u8, SimTime)> {
-        self.svcs
+        self.active
             .iter()
-            .enumerate()
+            .map(|&i| (i, &self.svcs[i]))
             .filter(|(_, s)| s.started && !s.ended && s.replicas.len() < usize::from(s.target))
             .map(|(i, s)| (i, s.spec.tenant.0, s.spec.slice, s.spec.start))
             .collect()
@@ -730,10 +916,11 @@ impl ServeState {
     /// requests.
     pub fn add_replica(&mut self, i: usize, slot: RackAddr, ready_at: SimTime) {
         let svc = &mut self.svcs[i];
-        let share = self
-            .slot_use
-            .entry(slot)
-            .or_insert(SlotShare { tenant: svc.spec.tenant.0, used_sevenths: 0 });
+        let tenant = svc.spec.tenant.0;
+        let share = self.slot_use.entry(slot).or_insert_with(|| {
+            self.tenant_slots[tenant as usize] += 1;
+            SlotShare { tenant, used_sevenths: 0 }
+        });
         debug_assert_eq!(share.tenant, svc.spec.tenant.0, "slot shared across tenants");
         share.used_sevenths += svc.spec.slice;
         debug_assert!(share.used_sevenths <= SLICES_PER_GPU, "slot oversliced");
@@ -762,12 +949,14 @@ impl ServeState {
     /// caller must detach it).
     fn release_slice(
         slot_use: &mut BTreeMap<RackAddr, SlotShare>,
+        tenant_slots: &mut [usize],
         slot: RackAddr,
         slice: u8,
     ) -> bool {
         let share = slot_use.get_mut(&slot).expect("serve slot registered");
         share.used_sevenths -= slice;
         if share.used_sevenths == 0 {
+            tenant_slots[share.tenant as usize] -= 1;
             slot_use.remove(&slot);
             true
         } else {
@@ -788,7 +977,8 @@ impl ServeState {
     ) -> Result<bool, McsError> {
         let mut changed = false;
         let mut last = self.last_activity;
-        for i in 0..self.svcs.len() {
+        for idx in 0..self.active.len() {
+            let i = self.active[idx];
             let svc = &mut self.svcs[i];
             if !svc.started && svc.spec.start <= now {
                 svc.started = true;
@@ -844,7 +1034,12 @@ impl ServeState {
                     if !svc.ended {
                         svc.target = svc.target.saturating_sub(1).max(svc.spec.min_replicas);
                     }
-                    if Self::release_slice(&mut self.slot_use, r.slot, svc.spec.slice) {
+                    if Self::release_slice(
+                        &mut self.slot_use,
+                        &mut self.tenant_slots,
+                        r.slot,
+                        svc.spec.slice,
+                    ) {
                         rack.detach(now, tenant_user(svc.spec.tenant.0), r.slot)?;
                     }
                     changed = true;
@@ -856,9 +1051,127 @@ impl ServeState {
                 }
             }
         }
+        // Retire services that can never act again (ended, drained,
+        // every replica reclaimed): the hot scans skip them from here on.
+        self.active.retain(|&i| {
+            let s = &self.svcs[i];
+            let retired = s.ended && s.replicas.is_empty();
+            if retired {
+                debug_assert_eq!(s.cursor, s.arrivals.len(), "retired service left arrivals");
+                debug_assert!(s.orphans.is_empty(), "retired service left orphans");
+            }
+            !retired
+        });
         self.last_activity = last;
         self.try_launch_all(now, interference, training_on_drawer);
         Ok(changed)
+    }
+
+    /// Advance every service through its private micro events strictly
+    /// before `cap` (the next training-side event), returning the earliest
+    /// serving *boundary* — the next instant the global loop must handle
+    /// (start, end, reclaim, scale-up). This is the sharded event loop:
+    /// instead of surfacing every arrival/completion/launch as a global
+    /// event, each service absorbs its own micro-traffic locally with
+    /// dilation frozen at epoch start, and services fan out across
+    /// `workers` when enough of them are live. Per-service evolution is
+    /// independent of the sharding, so replays are byte-identical at any
+    /// worker count.
+    pub fn run_epoch(
+        &mut self,
+        now: SimTime,
+        cap: Option<SimTime>,
+        interference: f64,
+        training_on_drawer: &[usize],
+        workers: usize,
+    ) -> Option<SimTime> {
+        if self.active.is_empty() {
+            return None;
+        }
+        // Freeze the per-(service, drawer) dilation factors for the epoch.
+        // Replica sets and training membership only change at global
+        // events, so these are constant until the next boundary. Rows are
+        // indexed by absolute service index; only active rows are written
+        // (and only active rows are read).
+        self.fill_occupancy_scratch();
+        let nd = self.n_drawers;
+        let mut dil = std::mem::take(&mut self.epoch_dil);
+        dil.clear();
+        dil.resize(self.svcs.len() * nd, 1.0);
+        for &i in &self.active {
+            let m = self.epoch_masks[i];
+            for d in 0..nd {
+                let neighbors =
+                    training_on_drawer[d] + self.epoch_counts[d] - ((m >> d) & 1) as usize;
+                dil[i * nd + d] = 1.0 + interference * neighbors as f64;
+            }
+        }
+        let gpu = self.gpu.clone();
+        let mut boundary: Option<SimTime> = None;
+        let mut last = self.last_activity;
+        let fold = |b: Option<SimTime>, l: SimTime, bd: &mut Option<SimTime>| {
+            if let Some(t) = b {
+                *bd = Some(bd.map_or(t, |c| c.min(t)));
+            }
+            l
+        };
+        let live = self
+            .active
+            .iter()
+            .filter(|&&i| self.svcs[i].started && !self.svcs[i].ended)
+            .count();
+        if workers > 1 && live >= SHARD_MIN_SERVICES {
+            // Disjoint &mut views of the active services, chunked across
+            // the workers. Per-service evolution is independent, so the
+            // chunking cannot change a byte.
+            let mut ai = self.active.iter().peekable();
+            let mut refs: Vec<(usize, &mut SvcState)> = self
+                .svcs
+                .iter_mut()
+                .enumerate()
+                .filter(|t| {
+                    if ai.peek().is_some_and(|&&a| a == t.0) {
+                        ai.next();
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .collect();
+            let chunk = refs.len().div_ceil(workers);
+            let dil = &dil;
+            let gpu = &gpu;
+            let jobs: Vec<parsweep::Job<'_, (Option<SimTime>, SimTime)>> = refs
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, part)| {
+                    parsweep::Job::new(format!("serve-shard-{ci}"), move || {
+                        let mut b: Option<SimTime> = None;
+                        let mut l = SimTime::ZERO;
+                        for (i, svc) in part.iter_mut() {
+                            let (sb, sl) =
+                                svc.advance_until(now, cap, &dil[*i * nd..(*i + 1) * nd], gpu);
+                            if let Some(t) = sb {
+                                b = Some(b.map_or(t, |c| c.min(t)));
+                            }
+                            l = l.max(sl);
+                        }
+                        (b, l)
+                    })
+                })
+                .collect();
+            for (b, l) in parsweep::run(workers, jobs) {
+                last = last.max(fold(b, l, &mut boundary));
+            }
+        } else {
+            for &i in &self.active {
+                let (sb, sl) = self.svcs[i].advance_until(now, cap, &dil[i * nd..(i + 1) * nd], &gpu);
+                last = last.max(fold(sb, sl, &mut boundary));
+            }
+        }
+        self.epoch_dil = dil;
+        self.last_activity = last;
+        boundary
     }
 
     /// Launch every due batch. Dilation is frozen per batch at launch:
@@ -870,13 +1183,15 @@ impl ServeState {
         interference: f64,
         training_on_drawer: &[usize],
     ) {
-        let (counts, per_svc) = self.occupancy();
+        self.fill_occupancy_scratch();
         let gpu = self.gpu.clone();
-        for i in 0..self.svcs.len() {
+        for idx in 0..self.active.len() {
+            let i = self.active[idx];
+            let m = self.epoch_masks[i];
             for ri in 0..self.svcs[i].replicas.len() {
                 let d = self.svcs[i].replicas[ri].slot.global_drawer();
                 let neighbors =
-                    training_on_drawer[d] + counts[d] - usize::from(per_svc[i][d]);
+                    training_on_drawer[d] + self.epoch_counts[d] - ((m >> d) & 1) as usize;
                 let dilation = 1.0 + interference * neighbors as f64;
                 self.svcs[i].try_launch(ri, now, dilation, &gpu);
             }
@@ -900,7 +1215,9 @@ impl ServeState {
         }
         for &slot in &dead {
             rack.force_detach(now, ADMIN, slot)?;
-            self.slot_use.remove(&slot);
+            if let Some(share) = self.slot_use.remove(&slot) {
+                self.tenant_slots[share.tenant as usize] -= 1;
+            }
         }
         for svc in &mut self.svcs {
             let (dead_reps, alive): (Vec<Replica>, Vec<Replica>) = svc

@@ -1,0 +1,121 @@
+//! Differential property tests for the replay-engine performance knobs
+//! (DESIGN §14). Each knob trades per-event work for amortized or
+//! incremental bookkeeping, and each is required to be *semantically
+//! free*: the canonical report bytes must not depend on it.
+//!
+//! Invariants covered (testkit, 64 cases each):
+//! * `audit_every` — amortized conservation auditing (O(1) ledger check
+//!   between full audits) yields byte-identical reports at cadence 1
+//!   (the exhaustive legacy behavior) and cadence 7, and the ledger
+//!   itself survives every full audit's cross-check en route;
+//! * `incremental_reprice` — fault-scoped repricing (only jobs touching
+//!   the degraded chassis / rack tier) matches a full recompute of every
+//!   running job, byte-for-byte;
+//! * `shard_serving` — the epoch-sharded serving engine is worker-count
+//!   independent: `--jobs 1` and `--jobs 4` produce identical bytes.
+//!
+//! Scenarios are PAI-mix based (training jobs + autoscaling services)
+//! with seeded fault plans, so all five ledger book/unbook sites —
+//! start, finish, evacuation, re-placement, elastic shrink — and both
+//! fault reprice scopes are exercised.
+
+use desim::Dur;
+use scheduler::{run_scenario, FaultSpec, ProbeCache, Scenario, Topology, TraceSpec};
+use testkit::{bools, property, tuple2, tuple5, u64_in, u8_in, prop_assert_eq, Gen};
+
+/// Raw scenario shape: (seed, n_jobs, n_services, chassis, faulty).
+fn shape() -> Gen<(u64, u8, u8, u8, bool)> {
+    tuple5(u64_in(0..1_000_000), u8_in(2..14), u8_in(0..5), u8_in(1..5), bools())
+}
+
+/// A runnable PAI-mix scenario with enough going on to hit every ledger
+/// transition: elastic training, services that scale, seeded faults.
+fn build(seed: u64, n_jobs: u8, n_services: u8, chassis: u8, faulty: bool) -> Scenario {
+    let mut sc = Scenario::new(
+        format!("perf-knobs-{seed:#x}"),
+        TraceSpec::PaiMix {
+            n_jobs: usize::from(n_jobs),
+            n_services: usize::from(n_services),
+            seed,
+        },
+        vec!["slo-aware-pack".into()],
+    );
+    sc.topology = Topology::with_chassis(chassis);
+    sc.config.elastic = true;
+    if faulty {
+        let (mixed, _) = sc.materialize();
+        let horizon = Scenario::horizon(&mixed);
+        sc.faults = FaultSpec::Seeded {
+            n_events: 1 + (seed % 3) as usize,
+            horizon: Dur::from_nanos(horizon.as_nanos()),
+            seed: seed ^ 0xFA17,
+        };
+    }
+    sc.validate().expect("constructed scenarios are valid");
+    sc
+}
+
+/// Canonical report bytes for a scenario at a worker count. Each run gets
+/// a fresh probe cache so cache warm-up cannot leak between the two sides
+/// of a differential.
+fn bytes(sc: &Scenario, jobs: usize) -> String {
+    let mut cache = ProbeCache::new(sc.config.probe_iters);
+    run_scenario(sc, jobs, &mut cache)
+        .unwrap_or_else(|e| panic!("{}: {e}", sc.name))
+        .canonical_json_string()
+}
+
+property! {
+    /// Amortized auditing is invisible: cadence 7 (ledger check between
+    /// full audits) reproduces cadence 1 (full audit every event)
+    /// byte-for-byte, and every full audit's ledger cross-check passes.
+    #[cases(64)]
+    fn amortized_audit_is_byte_invisible(s in shape()) {
+        let (seed, n_jobs, n_services, chassis, faulty) = s;
+        let every = build(seed, n_jobs, n_services, chassis, faulty);
+        let mut amortized = every.clone();
+        amortized.config.audit_every = 7;
+        prop_assert_eq!(bytes(&every, 1), bytes(&amortized, 1), "audit cadence changed the report");
+    }
+
+    /// Fault-scoped repricing matches a full recompute of every running
+    /// job: prices are pure in (shape, drawer healths, rack health), so
+    /// skipping unaffected jobs must not move a byte.
+    #[cases(64)]
+    fn incremental_reprice_matches_full_recompute(s in shape()) {
+        let (seed, n_jobs, n_services, chassis, _) = s;
+        // Always faulty — without faults there is nothing to reprice.
+        let incremental = build(seed, n_jobs, n_services, chassis, true);
+        let mut full = incremental.clone();
+        full.config.incremental_reprice = false;
+        prop_assert_eq!(
+            bytes(&incremental, 1),
+            bytes(&full, 1),
+            "fault-scoped repricing diverged from the global recompute"
+        );
+    }
+
+    /// The epoch-sharded serving engine is chunking-independent: each
+    /// service's micro-events are priced from per-service state and an
+    /// epoch-frozen dilation snapshot, so fanning services across 4
+    /// workers is byte-identical to a serial pass.
+    #[cases(64)]
+    fn sharded_serving_is_worker_count_independent(
+        s in shape(),
+        extra in tuple2(u8_in(4..9), bools())
+    ) {
+        let (seed, n_jobs, _, chassis, faulty) = s;
+        let (n_services, big_audit) = extra;
+        // Always enough services to cross the shard fan-out threshold.
+        let mut sc = build(seed, n_jobs, n_services, chassis, faulty);
+        sc.config.shard_serving = true;
+        if big_audit {
+            sc.config.audit_every = 64;
+        }
+        prop_assert_eq!(
+            bytes(&sc, 1),
+            bytes(&sc, 4),
+            "sharded serving depends on the worker count"
+        );
+    }
+}

@@ -144,6 +144,7 @@ fn build_scenario(
         elastic,
         probe_iters: u64::from(probe_iters),
         interference: f64::from(interference) / 100.0,
+        ..SchedulerConfig::default()
     };
     sc.metrics = if summary { MetricLevel::Summary } else { MetricLevel::Full };
     let (mixed, _) = sc.materialize();

@@ -29,7 +29,11 @@ cargo test -q --offline
 echo "== workspace tests (all property + golden suites) =="
 cargo test -q --offline --workspace
 
-echo "== benches compile (smoke run, 1 iteration) =="
+echo "== benches compile (smoke run, 1 iteration; refreshes BENCH_*.json) =="
+# This pass regenerates every BENCH_*.json baseline, so a stale baseline
+# never outlives the engine change that invalidated it. replay_scale
+# rides along and *asserts* the >= 5x replay-engine speedup and the
+# --jobs 1 vs --jobs 4 byte identity even at smoke iteration counts.
 TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 
 # The per-feature smokes (repro cluster/faults/serve) and per-golden
@@ -41,7 +45,24 @@ TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 echo "== scenario-matrix smoke (every scenarios/*.json, 2 parallel workers) =="
 cargo run --release --offline -p bench --bin repro -- scenario-matrix scenarios --jobs 2
 
+# The production-scale replay (10k jobs + 60 services, ~188k trace
+# events) must stay interactive in release mode: the optimized engine
+# replays it in well under a second, so a 60-second wall-clock budget
+# only trips if the event loop regresses by more than an order of
+# magnitude. POSIX sh, whole seconds — coarse on purpose.
+echo "== production-scale replay under wall-clock budget (pai_magnitude, 2 workers) =="
+pai_start=$(date +%s)
+cargo run --release --offline -p bench --bin repro -- scenario scenarios/pai_magnitude.json --jobs 2
+pai_elapsed=$(( $(date +%s) - pai_start ))
+echo "pai_magnitude replayed in ${pai_elapsed}s (budget 60s)"
+if [ "$pai_elapsed" -gt 60 ]; then
+    echo "ERROR: pai_magnitude replay took ${pai_elapsed}s > 60s budget" >&2
+    exit 1
+fi
+
 echo "== byte-determinism guard: pinned scenario goldens still match =="
+# Guards all five frozen goldens, including the pai_magnitude summary
+# report that pins the optimized replay engine's semantics.
 cargo test -q --offline -p bench --test scenario_goldens
 
 echo "CI OK"

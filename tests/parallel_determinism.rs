@@ -9,8 +9,9 @@ use composable_core::{recommend_jobs, ExperimentOpts, HostConfig, Objective};
 use dlmodels::Benchmark;
 use scheduler::{
     all_policies, compare_policies_cached, compare_policies_cached_on, compare_policies_faulty,
-    compare_policies_mixed, paper_fault_plan, run_matrix, seeded_pai_mix, serving_policies, trace,
-    warm_set_for_trace, ProbeCache, RackTopology, Scenario, SchedulerConfig,
+    compare_policies_mixed, paper_fault_plan, run_matrix, run_scenario, seeded_pai_mix,
+    serving_policies, trace, warm_set_for_trace, ProbeCache, RackTopology, Scenario,
+    SchedulerConfig,
 };
 
 fn replay_snapshot(jobs: usize) -> (Vec<String>, String) {
@@ -159,6 +160,25 @@ fn scenario_matrix_identical_across_worker_counts() {
     assert_eq!(serial.0, parallel.0, "scenario reports must not depend on worker count");
     assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
     assert_eq!(parallel, parallel_again, "parallel matrix runs must not race");
+}
+
+/// The production-scale replay workload keeps the contract on its own
+/// terms: `scenarios/pai_magnitude.json` (10k training jobs + 60
+/// services on the 128-GPU rack, epoch-sharded serving, amortized
+/// audits) replayed at `--jobs 1` and `--jobs 4` yields byte-identical
+/// canonical reports. This is the same identity `benches/replay_scale.rs`
+/// asserts in release mode; pinning it here keeps it in the plain test
+/// suite where every CI run sees it.
+#[test]
+fn pai_magnitude_replay_identical_across_worker_counts() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/pai_magnitude.json");
+    let sc = Scenario::from_json_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let mut cache = ProbeCache::new(sc.config.probe_iters);
+    let serial = run_scenario(&sc, 1, &mut cache).unwrap().canonical_json_string();
+    let parallel = run_scenario(&sc, 4, &mut cache).unwrap().canonical_json_string();
+    assert_eq!(serial, parallel, "epoch-sharded serving must not depend on worker count");
+    assert!(serial.contains("\"n_jobs\": 10000"), "the full 10k-job trace ran");
+    assert!(serial.contains("\"n_services\": 60"), "all 48 mixed + 12 pinned services ran");
 }
 
 /// `recommend` ranks identically (same order, same scores, same attached
