@@ -28,7 +28,7 @@ fn load(name: &str) -> Scenario {
 
 /// The pinned studies, each as (scenario file, golden file). One table,
 /// one guard loop — adding a pinned study is adding a row.
-const PINNED: [(&str, &str); 5] = [
+const PINNED: [(&str, &str); 6] = [
     ("cluster_fifo.json", "cluster_fifo.json"),
     ("cluster_faults.json", "cluster_faults.json"),
     ("cluster_serve.json", "cluster_serve.json"),
@@ -38,6 +38,11 @@ const PINNED: [(&str, &str); 5] = [
     // summary golden pins the *semantics* of the optimized engine so a
     // perf regression fix can never silently change the answer.
     ("pai_magnitude.json", "pai_magnitude.json"),
+    // The preemption study the migrate bench measures: checkpoint
+    // preemption + migration defrag on a contended two-chassis mix. Its
+    // golden pins the priority engine's decisions — who got preempted,
+    // who migrated, and the work-loss ledger.
+    ("cluster_priority.json", "cluster_priority.json"),
 ];
 
 /// Every pinned scenario's canonical output still matches its golden —

@@ -34,8 +34,8 @@
 //! the placement policy, reported in [`crate::metrics::RecoveryMetrics`].
 
 use crate::fault::{FaultKind, FaultPlan, CHECKPOINT_ITERS, RECOMPOSE_LATENCY};
-use crate::metrics::{JobOutcome, RecoveryMetrics, ScheduleReport};
-use crate::policy::{FreeView, PlacePolicy};
+use crate::metrics::{JobOutcome, MigrationMetrics, RecoveryMetrics, ScheduleReport};
+use crate::policy::{FreeView, PlacePolicy, RunningView};
 use crate::probe::{degraded_key, ProbeCache};
 use crate::serve::{MixedTrace, ServeState, SLICES_PER_GPU};
 use crate::trace::{JobSpec, Trace};
@@ -96,6 +96,22 @@ pub struct SchedulerConfig {
     /// is a (deterministic) modeling change — off by default to keep
     /// existing replays byte-identical.
     pub shard_serving: bool,
+    /// Let a capacity-blocked queue head preempt the cheapest
+    /// strictly-lower-tier running job (chosen by
+    /// [`PlacePolicy::choose_victim`]): the victim checkpoints, detaches
+    /// through the MCS, and re-queues at its priority position. Off by
+    /// default — existing replays never preempt.
+    pub preempt: bool,
+    /// Periodic migration-based defragmentation: when the queue is empty,
+    /// relocate at most one drawer-spanning job per event to a placement
+    /// spanning fewer drawers (chosen by [`PlacePolicy::migrate`]),
+    /// paying the checkpoint rollback and [`RECOMPOSE_LATENCY`].
+    pub defrag: bool,
+    /// SLO clawback relocates training instead of shrinking it in place:
+    /// the victim's gang re-places one GPU smaller through the policy,
+    /// compacting over its own freed slots, instead of merely releasing
+    /// its highest-address slot.
+    pub relocate_slo: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -108,6 +124,9 @@ impl Default for SchedulerConfig {
             audit_every: 1,
             incremental_reprice: true,
             shard_serving: false,
+            preempt: false,
+            defrag: false,
+            relocate_slo: false,
         }
     }
 }
@@ -194,6 +213,33 @@ struct Running {
     shrunk: bool,
 }
 
+/// Residual state of a preempted job while it waits in the queue: the
+/// checkpoint-rolled-back remaining work plus the flags its eventual
+/// [`JobOutcome`] must carry. The job itself re-enters `pending` as a
+/// spec sized to its pre-preemption allocation; `start_job` restores this
+/// state (instead of starting fresh) when the queue re-places it.
+struct Suspended {
+    remaining_iters: f64,
+    started: SimTime,
+    /// The originally requested gang size (the re-queued spec's `gpus` is
+    /// the current allocation, which a prior shrink may have reduced).
+    gpus: u8,
+    min_gpus: u8,
+    ever_spanned: bool,
+    shrunk: bool,
+}
+
+/// Preemption/migration counters of one replay (reported as
+/// [`MigrationMetrics`] when any of the preempt/defrag/relocate knobs is
+/// on; absent otherwise so legacy reports stay byte-identical).
+#[derive(Default)]
+struct MigState {
+    preemptions: u32,
+    migrations: u32,
+    relocations: u32,
+    work_lost_gpu_secs: f64,
+}
+
 /// The one fault-timeline action type: each plan event strikes once and
 /// heals once.
 #[derive(Debug, Clone, Copy)]
@@ -260,6 +306,10 @@ pub struct ClusterSim {
     /// One BMC per chassis, indexed like [`Rack::mcs`].
     bmc: Vec<Bmc>,
     fstate: FaultState,
+    mig: MigState,
+    /// Preempted jobs awaiting re-placement, keyed by job id; every entry
+    /// has a matching spec in the pending queue.
+    suspended: BTreeMap<u64, Suspended>,
     serve: ServeState,
     /// O(1) mirror of the running set's slot holdings (total and per
     /// tenant), updated at every attach/detach. The cheap between-audit
@@ -399,6 +449,8 @@ impl ClusterSim {
             faults: FaultPlan::none(),
             bmc: (0..topo.chassis).map(|_| Bmc::falcon_defaults()).collect(),
             fstate: FaultState::default(),
+            mig: MigState::default(),
+            suspended: BTreeMap::new(),
             serve: ServeState::empty_for(n_drawers),
             ledger_slots: 0,
             ledger_tenant: vec![0; MAX_TENANTS as usize],
@@ -687,6 +739,16 @@ impl ClusterSim {
             if self.schedule_pass(now, &mut pending, &mut running)? {
                 membership_changed = true;
             }
+            // Defragment only when nothing is waiting: queued or displaced
+            // jobs have first claim on free capacity, and relocating under
+            // them could steal the hole they are about to take.
+            if self.cfg.defrag
+                && pending.is_empty()
+                && self.fstate.displaced.is_empty()
+                && self.defrag_pass(now, &mut running)?
+            {
+                membership_changed = true;
+            }
             if membership_changed {
                 self.recompute_rates(&mut running);
             }
@@ -716,6 +778,9 @@ impl ClusterSim {
                 policy: policy_name.to_string(),
             });
         }
+        // Every suspended entry shadows a pending spec, so a drained queue
+        // means every preempted job resumed and finished.
+        assert!(self.suspended.is_empty(), "preempted job never resumed");
         let recovery = if self.faults.is_empty() {
             None
         } else {
@@ -726,6 +791,18 @@ impl ClusterSim {
                 &self.fstate.recovery_times,
                 self.fstate.work_lost_gpu_secs,
             ))
+        };
+        // The migration block reports only when one of its levers was
+        // armed: legacy configs keep their reports byte-identical.
+        let migration = if self.cfg.preempt || self.cfg.defrag || self.cfg.relocate_slo {
+            Some(MigrationMetrics::assemble(
+                self.mig.preemptions,
+                self.mig.migrations,
+                self.mig.relocations,
+                self.mig.work_lost_gpu_secs,
+            ))
+        } else {
+            None
         };
         let audit = self.rack.audit_len(ADMIN)? as u64;
         let report = ScheduleReport::assemble(
@@ -739,6 +816,7 @@ impl ClusterSim {
             tenant_gpu_secs,
             audit,
             recovery,
+            migration,
             self.serve.assemble(),
         );
         Ok((report, self.probes))
@@ -1031,10 +1109,19 @@ impl ClusterSim {
                     changed = true;
                 }
                 None => {
-                    // Shrink only on a genuine capacity shortage; if the
-                    // policy is holding out for a better-shaped placement,
-                    // clawing back a victim's GPUs would not unblock it.
-                    if !self.cfg.elastic || free.total() >= usize::from(job.gpus) {
+                    // Preempt or shrink only on a genuine capacity
+                    // shortage; if the policy is holding out for a
+                    // better-shaped placement, clawing back a victim's
+                    // GPUs would not unblock it.
+                    let shortage = free.total() < usize::from(job.gpus);
+                    if shortage && self.cfg.preempt {
+                        let head = job.clone();
+                        if self.preempt_for(now, &head, pending, running)? {
+                            changed = true;
+                            continue;
+                        }
+                    }
+                    if !self.cfg.elastic || !shortage {
                         break;
                     }
                     if !self.try_shrink(now, running, false)? {
@@ -1127,6 +1214,162 @@ impl ClusterSim {
         Ok(changed)
     }
 
+    /// Checkpoint-preempt the victim [`PlacePolicy::choose_victim`] picks
+    /// for the capacity-blocked queue head: roll the victim back to its
+    /// last checkpoint, detach its whole gang through the MCS, and
+    /// re-queue it at its current allocation. Queue discipline (priority
+    /// desc) re-places it behind every higher tier, and a victim's tier is
+    /// strictly below the head's, so a preempted job can never preempt its
+    /// preemptor — the pass terminates.
+    fn preempt_for(
+        &mut self,
+        now: SimTime,
+        head: &JobSpec,
+        pending: &mut Vec<JobSpec>,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let views: Vec<RunningView> = running
+            .values()
+            .map(|r| RunningView {
+                id: r.spec.id,
+                tenant: r.spec.tenant.0,
+                priority: r.spec.priority,
+                slots: r.slots.clone(),
+            })
+            .collect();
+        let Some(vid) = self.policy.choose_victim(head, &views) else { return Ok(false) };
+        // A policy may only sacrifice strictly lower tiers; anything else
+        // could cycle (preemptor and victim trading places forever).
+        if !running.get(&vid).is_some_and(|r| r.spec.priority < head.priority) {
+            return Ok(false);
+        }
+        let mut r = running.remove(&vid).expect("victim is running");
+        for &slot in &r.slots {
+            self.rack.detach(now, tenant_user(r.spec.tenant.0), slot)?;
+        }
+        self.unbook(r.spec.tenant.0, r.slots.len());
+        let lost = r.iters_since_placement % CHECKPOINT_ITERS as f64;
+        r.remaining_iters += lost;
+        self.mig.work_lost_gpu_secs += lost * r.base_iter_secs * r.slots.len() as f64;
+        self.mig.preemptions += 1;
+        let held = r.slots.len() as u8;
+        self.suspended.insert(
+            r.spec.id,
+            Suspended {
+                remaining_iters: r.remaining_iters,
+                started: r.started,
+                gpus: r.spec.gpus,
+                min_gpus: r.spec.min_gpus,
+                ever_spanned: r.ever_spanned,
+                shrunk: r.shrunk,
+            },
+        );
+        // Re-queue sized to the held allocation (a prior shrink may have
+        // reduced it below the original request).
+        let spec = JobSpec { gpus: held, min_gpus: r.spec.min_gpus.min(held), ..r.spec };
+        Self::enqueue(pending, spec);
+        Ok(true)
+    }
+
+    /// Live-migrate running job `id` onto `new_slots`: detach the slots it
+    /// leaves, grant/attach the ones it gains (both MCS-audited), roll the
+    /// job back to its last checkpoint, re-price the new shape — paying
+    /// the rack-tier stretch if the new gang spans chassis — and hold
+    /// progress until [`RECOMPOSE_LATENCY`] passes. Slots shared between
+    /// the old and new placements stay attached throughout.
+    fn migrate_job(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        new_slots: Vec<RackAddr>,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<(), SchedulerError> {
+        let (tenant, old_slots) = {
+            let r = &running[&id];
+            (r.spec.tenant.0, r.slots.clone())
+        };
+        let user = tenant_user(tenant);
+        let host = tenant_host(tenant);
+        let keep: BTreeSet<RackAddr> = new_slots.iter().copied().collect();
+        for slot in old_slots.iter().filter(|s| !keep.contains(s)) {
+            self.rack.detach(now, user, *slot)?;
+        }
+        let had: BTreeSet<RackAddr> = old_slots.iter().copied().collect();
+        for slot in new_slots.iter().filter(|s| !had.contains(s)) {
+            self.rack.grant(now, ADMIN, *slot, user)?;
+            self.rack.attach(now, user, *slot, host)?;
+        }
+        self.unbook(tenant, old_slots.len());
+        self.book(tenant, new_slots.len());
+        let r = running.get_mut(&id).expect("migrating a running job");
+        let lost = r.iters_since_placement % CHECKPOINT_ITERS as f64;
+        r.remaining_iters += lost;
+        self.mig.work_lost_gpu_secs += lost * r.base_iter_secs * old_slots.len() as f64;
+        r.slots = new_slots;
+        let (benchmark, slots) = (r.spec.benchmark, r.slots.clone());
+        let base = self.price_base(benchmark, &slots);
+        let r = running.get_mut(&id).expect("migrating a running job");
+        r.base_iter_secs = base;
+        r.resume_at = now + RECOMPOSE_LATENCY;
+        r.iters_since_placement = 0.0;
+        r.last_progress = now;
+        r.ever_spanned |= spans(&r.slots);
+        Ok(())
+    }
+
+    /// Migration-based defragmentation: relocate at most one
+    /// drawer-spanning job per event onto the placement
+    /// [`PlacePolicy::migrate`] proposes, but only when the move is a net
+    /// win — the rolled-back remainder at the new shape, plus the
+    /// re-composition latency, beats the remainder at the old shape. The
+    /// net-win gate (and the strictly-fewer-drawers requirement) prevents
+    /// relocation thrash.
+    fn defrag_pass(
+        &mut self,
+        now: SimTime,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let free = self.free_view();
+        let ids: Vec<u64> = running.keys().copied().collect();
+        for id in ids {
+            let (spec, slots, resume_at, remaining, lost, old_base) = {
+                let r = &running[&id];
+                (
+                    r.spec.clone(),
+                    r.slots.clone(),
+                    r.resume_at,
+                    r.remaining_iters,
+                    r.iters_since_placement % CHECKPOINT_ITERS as f64,
+                    r.base_iter_secs,
+                )
+            };
+            // Mid-recompose jobs are already paying a relocation; spanning
+            // is the only fragmentation this pass exists to reduce.
+            if resume_at > now || drawers_spanned(&slots) <= 1 {
+                continue;
+            }
+            let Some(new_slots) = self.policy.migrate(&spec, &slots, &free, &mut self.probes)
+            else {
+                continue;
+            };
+            if new_slots.len() != slots.len()
+                || drawers_spanned(&new_slots) >= drawers_spanned(&slots)
+            {
+                continue;
+            }
+            let new_base = self.price_base(spec.benchmark, &new_slots);
+            let old_secs = remaining * old_base;
+            let new_secs = (remaining + lost) * new_base + RECOMPOSE_LATENCY.as_secs_f64();
+            if new_secs >= old_secs {
+                continue;
+            }
+            self.migrate_job(now, id, new_slots, running)?;
+            self.mig.migrations += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
     /// Running training jobs touching each global drawer — the serving
     /// side's interference neighbors.
     fn training_on_drawer(&self, running: &BTreeMap<u64, Running>) -> Vec<usize> {
@@ -1208,10 +1451,19 @@ impl ClusterSim {
                             if self.cfg.elastic
                                 && self.policy.evict_for_slo()
                                 && self.serve.under_pressure(i, now)
-                                && self.try_shrink(now, running, true)?
                             {
-                                changed = true;
-                                continue;
+                                // Relocation claws back the same single
+                                // slot but lets the victim re-place as a
+                                // compact gang; in-place shrink is the
+                                // fallback (and the legacy behavior).
+                                if self.cfg.relocate_slo && self.try_relocate(now, running)? {
+                                    changed = true;
+                                    continue;
+                                }
+                                if self.try_shrink(now, running, true)? {
+                                    changed = true;
+                                    continue;
+                                }
                             }
                             break;
                         }
@@ -1244,24 +1496,90 @@ impl ClusterSim {
         }
         self.book(spec.tenant.0, slots.len());
         let base = self.price_base(spec.benchmark, &slots);
+        // A preempted job resumes rather than starts: its checkpointed
+        // remainder, original request, and outcome flags carry over, and
+        // it pays the re-composition latency before progressing again.
+        let mut spec = spec;
+        let (remaining, started, resume_at, ever_spanned, shrunk) =
+            match self.suspended.remove(&spec.id) {
+                Some(s) => {
+                    spec.gpus = s.gpus;
+                    spec.min_gpus = s.min_gpus;
+                    (
+                        s.remaining_iters,
+                        s.started,
+                        now + RECOMPOSE_LATENCY,
+                        s.ever_spanned || spans(&slots),
+                        s.shrunk,
+                    )
+                }
+                None => (spec.iters as f64, now, now, spans(&slots), false),
+            };
         running.insert(
             spec.id,
             Running {
-                remaining_iters: spec.iters as f64,
+                remaining_iters: remaining,
                 base_iter_secs: base,
                 rate: 1.0 / base,
                 last_progress: now,
                 finish_at: SimTime::MAX, // recompute_rates sets the real value
-                started: now,
-                resume_at: now,
+                started,
+                resume_at,
                 iters_since_placement: 0.0,
-                ever_spanned: spans(&slots),
-                shrunk: false,
+                ever_spanned,
+                shrunk,
                 slots,
                 spec,
             },
         );
         Ok(())
+    }
+
+    /// SLO clawback by relocation: the same victim [`Self::try_shrink`]
+    /// would pick re-places its whole gang one GPU smaller through the
+    /// policy, compacting over the free pool *plus its own slots* — the
+    /// net effect is one freed slot for the pressured replica, but the
+    /// victim keeps a policy-shaped placement instead of a shrink hole.
+    /// Pays the checkpoint rollback and re-composition latency that any
+    /// migration pays.
+    fn try_relocate(
+        &mut self,
+        now: SimTime,
+        running: &mut BTreeMap<u64, Running>,
+    ) -> Result<bool, SchedulerError> {
+        let victim = running
+            .values()
+            .filter(|r| r.slots.len() > usize::from(r.spec.min_gpus) && r.resume_at <= now)
+            .max_by_key(|r| (r.slots.len(), std::cmp::Reverse(r.spec.id)))
+            .map(|r| r.spec.id);
+        let Some(id) = victim else { return Ok(false) };
+        let (spec, old_slots) = {
+            let r = &running[&id];
+            (r.spec.clone(), r.slots.clone())
+        };
+        let old = old_slots.len();
+        let new = old - 1;
+        let free = self.free_view();
+        let mut pool: Vec<RackAddr> = free.slots().to_vec();
+        pool.extend(old_slots.iter().copied());
+        pool.sort();
+        pool.dedup();
+        let view = FreeView::new(pool, self.topo.n_drawers());
+        let probe_spec = JobSpec { gpus: new as u8, ..spec };
+        let Some(new_slots) = self.policy.place(&probe_spec, &view, &mut self.probes) else {
+            return Ok(false);
+        };
+        if new_slots.len() != new {
+            return Ok(false);
+        }
+        // Constant total work in GPU-iterations across the resize, then
+        // the audited re-composition.
+        running.get_mut(&id).expect("victim is running").remaining_iters *=
+            old as f64 / new as f64;
+        self.migrate_job(now, id, new_slots, running)?;
+        running.get_mut(&id).expect("victim is running").shrunk = true;
+        self.mig.relocations += 1;
+        Ok(true)
     }
 
     /// Claw back GPUs from the running elastic job holding the most slots

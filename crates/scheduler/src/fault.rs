@@ -195,6 +195,39 @@ impl FaultPlan {
     pub fn from_json_str(s: &str) -> Result<FaultPlan, JsonError> {
         FaultPlan::from_json(&Value::parse(s)?)
     }
+
+    /// Normalize same-target capacity collisions: random draws can land
+    /// two strikes of the same `(chassis, kind)` at the same instant, or
+    /// so that one's repair coincides exactly with the other's strike —
+    /// which would schedule a heal for a slot struck again in the same
+    /// tick. Each colliding pair merges into one event spanning both, to
+    /// a fixpoint, so no capacity target is ever repaired and re-struck
+    /// at one instant. Link degrades are untouched (overlaps compose via
+    /// min-health) and collision-free plans pass through bit-identically.
+    pub fn dedup_capacity_collisions(mut self) -> FaultPlan {
+        fn is_capacity(k: FaultKind) -> bool {
+            !matches!(k, FaultKind::LinkDegrade { .. } | FaultKind::RackLinkDegrade { .. })
+        }
+        'outer: loop {
+            for i in 0..self.events.len() {
+                for j in (i + 1)..self.events.len() {
+                    let (a, b) = (self.events[i], self.events[j]);
+                    if a.chassis != b.chassis || a.kind != b.kind || !is_capacity(a.kind) {
+                        continue;
+                    }
+                    if a.at == b.at || a.heals_at() == b.at || b.heals_at() == a.at {
+                        let at = a.at.min(b.at);
+                        let heal = a.heals_at().max(b.heals_at());
+                        self.events[i] =
+                            FaultEvent { at, chassis: a.chassis, kind: a.kind, duration: heal.since(at) };
+                        self.events.remove(j);
+                        continue 'outer;
+                    }
+                }
+            }
+            return self.sorted();
+        }
+    }
 }
 
 impl ToJson for FaultEvent {
@@ -302,7 +335,9 @@ pub fn seeded_fault_plan(n_events: usize, horizon: Dur, seed: u64) -> FaultPlan 
             FaultEvent { at, chassis: 0, kind, duration }
         })
         .collect();
-    FaultPlan { name: format!("seeded-{n_events}x{seed:#x}"), events }.sorted()
+    FaultPlan { name: format!("seeded-{n_events}x{seed:#x}"), events }
+        .sorted()
+        .dedup_capacity_collisions()
 }
 
 /// A seeded random plan over a whole rack: like [`seeded_fault_plan`] but
@@ -343,7 +378,9 @@ pub fn seeded_rack_fault_plan(
             FaultEvent { at, chassis, kind, duration }
         })
         .collect();
-    FaultPlan { name: format!("seeded-rack-{n_events}x{seed:#x}"), events }.sorted()
+    FaultPlan { name: format!("seeded-rack-{n_events}x{seed:#x}"), events }
+        .sorted()
+        .dedup_capacity_collisions()
 }
 
 /// The pinned 3-event plan behind `repro faults`, the `cluster_faults`
@@ -423,6 +460,88 @@ mod tests {
         };
         assert!(zero_dur.validate().is_err());
         assert!(paper_fault_plan().validate().is_ok());
+    }
+
+    /// No capacity event may heal at the exact instant another event of
+    /// the same target strikes, and no target may be struck twice at one
+    /// instant — the invariant `dedup_capacity_collisions` establishes.
+    fn assert_no_capacity_collisions(plan: &FaultPlan) {
+        let caps: Vec<&FaultEvent> = plan
+            .events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    FaultKind::LinkDegrade { .. } | FaultKind::RackLinkDegrade { .. }
+                )
+            })
+            .collect();
+        for (i, a) in caps.iter().enumerate() {
+            for b in &caps[i + 1..] {
+                if a.chassis != b.chassis || a.kind != b.kind {
+                    continue;
+                }
+                assert_ne!(a.at, b.at, "duplicate strike of {} at one tick", a.kind);
+                assert_ne!(a.heals_at(), b.at, "{} repaired and re-struck at one tick", a.kind);
+                assert_ne!(b.heals_at(), a.at, "{} repaired and re-struck at one tick", a.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_merges_same_tick_strike_and_repair_pairs() {
+        let ev = |at_s: u64, dur_s: u64| FaultEvent {
+            at: SimTime::from_secs(at_s),
+            chassis: 0,
+            kind: FaultKind::SlotDeath { drawer: 1, slot: 3 },
+            duration: Dur::from_secs(dur_s),
+        };
+        // b strikes exactly when a heals (merge), c duplicates b's strike
+        // tick, and d chains off c's heal: the fixpoint leaves two
+        // *overlapping* events (which compose fine) with no same-tick
+        // repair/strike pair left.
+        let plan = FaultPlan {
+            name: "collide".into(),
+            events: vec![ev(0, 10), ev(10, 5), ev(10, 8), ev(18, 4)],
+        }
+        .dedup_capacity_collisions();
+        assert_eq!(plan.events.len(), 2, "collisions merge to a fixpoint");
+        assert_eq!(plan.events[0].at, SimTime::ZERO);
+        assert_eq!(plan.events[0].heals_at(), SimTime::from_secs(15));
+        assert_eq!(plan.events[1].at, SimTime::from_secs(10));
+        assert_eq!(plan.events[1].heals_at(), SimTime::from_secs(22));
+        assert_no_capacity_collisions(&plan);
+        // A pure strike/heal chain collapses to a single spanning event.
+        let chain = FaultPlan { name: "chain".into(), events: vec![ev(0, 10), ev(10, 5), ev(15, 3)] }
+            .dedup_capacity_collisions();
+        assert_eq!(chain.events.len(), 1);
+        assert_eq!(chain.events[0].at, SimTime::ZERO);
+        assert_eq!(chain.events[0].heals_at(), SimTime::from_secs(18));
+        // Distinct targets at the same tick are NOT merged.
+        let other = FaultEvent {
+            at: SimTime::from_secs(10),
+            chassis: 0,
+            kind: FaultKind::SlotDeath { drawer: 0, slot: 3 },
+            duration: Dur::from_secs(5),
+        };
+        let plan = FaultPlan { name: "distinct".into(), events: vec![ev(0, 10), other] }
+            .dedup_capacity_collisions();
+        assert_eq!(plan.events.len(), 2);
+    }
+
+    #[test]
+    fn seeded_generators_never_repair_into_a_same_tick_strike() {
+        let topo = RackTopology { chassis: 4, drawers_per_chassis: 2, slots_per_drawer: 8 };
+        for seed in 0..64 {
+            // Dense plans over a short horizon to force collisions.
+            assert_no_capacity_collisions(&seeded_fault_plan(24, Dur::from_secs(30), seed));
+            assert_no_capacity_collisions(&seeded_rack_fault_plan(
+                32,
+                Dur::from_secs(30),
+                seed,
+                &topo,
+            ));
+        }
     }
 
     #[test]

@@ -56,12 +56,12 @@ pub use rack::{
     cross_chassis_stretch, supported_envelope, Rack, RackAddr, RackTopology, MAX_CHASSIS,
 };
 pub use metrics::{
-    comparison_table, jain_fairness, serve_comparison_table, JobOutcome, RecoveryMetrics,
-    ScheduleReport, ServeMetrics, ServiceOutcome,
+    comparison_table, jain_fairness, serve_comparison_table, JobOutcome, MigrationMetrics,
+    RecoveryMetrics, ScheduleReport, ServeMetrics, ServiceOutcome,
 };
 pub use policy::{
-    all_policies, policy_by_name, serving_policies, FreeView, PlacePolicy, SliceSlot, SliceView,
-    SloAwarePack,
+    all_policies, policy_by_name, serving_policies, FreeView, PlacePolicy, RunningView, SliceSlot,
+    SliceView, SloAwarePack,
 };
 pub use probe::{warm_set_for_trace, Probe, ProbeCache, Shape};
 pub use scenario::{
@@ -72,4 +72,7 @@ pub use serve::{
     batch_latency, request_times, seeded_pai_mix, ArrivalKind, MixedTrace, ServeState,
     ServiceSpec, SERVE_COMPUTE_EFF, SLICES_PER_GPU,
 };
-pub use trace::{seeded_two_tenant, JobSpec, PoissonMix, TenantId, Trace};
+pub use trace::{
+    priority_tier_from_label, priority_tier_label, seeded_two_tenant, JobSpec, PoissonMix,
+    TenantId, Trace, PRIORITY_TIERS,
+};

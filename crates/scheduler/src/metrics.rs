@@ -151,6 +151,65 @@ impl FromJson for RecoveryMetrics {
     }
 }
 
+/// Preemption/migration accounting for a replay with priority tiers,
+/// defragmentation, or SLO relocation enabled. Absent (`None` on
+/// [`ScheduleReport`]) when none of those knobs are on, so legacy
+/// serialized reports stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationMetrics {
+    /// Checkpoint-preempt-resume events: a running low-tier job rolled
+    /// back to its checkpoint and re-queued to make room for a
+    /// higher-tier arrival.
+    pub preemptions: u32,
+    /// Live migrations: a running job detached and re-attached at a new
+    /// placement (defragmentation passes).
+    pub migrations: u32,
+    /// SLO-clawback relocations: training moved (not shrunk) to free a
+    /// slot for serving.
+    pub relocations: u32,
+    /// GPU-seconds of training redone because preemption or migration
+    /// rolled jobs back to their last checkpoint.
+    pub work_lost_gpu_secs: f64,
+}
+
+impl MigrationMetrics {
+    pub fn assemble(
+        preemptions: u32,
+        migrations: u32,
+        relocations: u32,
+        work_lost_gpu_secs: f64,
+    ) -> MigrationMetrics {
+        MigrationMetrics {
+            preemptions,
+            migrations,
+            relocations,
+            work_lost_gpu_secs: round4(work_lost_gpu_secs),
+        }
+    }
+}
+
+impl ToJson for MigrationMetrics {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("preemptions", Value::from_u64(u64::from(self.preemptions))),
+            ("migrations", Value::from_u64(u64::from(self.migrations))),
+            ("relocations", Value::from_u64(u64::from(self.relocations))),
+            ("work_lost_gpu_secs", Value::Num(self.work_lost_gpu_secs)),
+        ])
+    }
+}
+
+impl FromJson for MigrationMetrics {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(MigrationMetrics {
+            preemptions: v.get("preemptions")?.as_u32()?,
+            migrations: v.get("migrations")?.as_u32()?,
+            relocations: v.get("relocations")?.as_u32()?,
+            work_lost_gpu_secs: v.get("work_lost_gpu_secs")?.as_f64()?,
+        })
+    }
+}
+
 /// The lifecycle record of one inference service over its whole window.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceOutcome {
@@ -345,6 +404,8 @@ pub struct ScheduleReport {
     pub tenant_gpu_secs: Vec<f64>,
     /// Present only when the replay injected faults.
     pub recovery: Option<RecoveryMetrics>,
+    /// Present only when preemption, defrag, or SLO relocation was on.
+    pub migration: Option<MigrationMetrics>,
     /// Present only when the trace carried inference services.
     pub serve: Option<ServeMetrics>,
     pub jobs: Vec<JobOutcome>,
@@ -390,6 +451,7 @@ impl ScheduleReport {
         tenant_gpu_secs: Vec<f64>,
         audit_entries: u64,
         recovery: Option<RecoveryMetrics>,
+        migration: Option<MigrationMetrics>,
         serve: Option<ServeMetrics>,
     ) -> ScheduleReport {
         outcomes.sort_by_key(|o| o.id);
@@ -414,6 +476,7 @@ impl ScheduleReport {
             audit_entries,
             tenant_gpu_secs: tenant_gpu_secs.into_iter().map(round4).collect(),
             recovery,
+            migration,
             serve,
             jobs: outcomes,
         }
@@ -454,6 +517,11 @@ impl ToJson for ScheduleReport {
         if let Some(r) = &self.recovery {
             fields.push(("recovery", r.to_json()));
         }
+        // Same contract for preemption/migration: replays with every knob
+        // off keep their pre-priority-model bytes (all five goldens).
+        if let Some(m) = &self.migration {
+            fields.push(("migration", m.to_json()));
+        }
         // Same contract for serving: training-only reports (the
         // cluster_fifo / cluster_faults goldens) keep their bytes.
         if let Some(s) = &self.serve {
@@ -483,6 +551,10 @@ impl FromJson for ScheduleReport {
             tenant_gpu_secs: Vec::<f64>::from_json(v.get("tenant_gpu_secs")?)?,
             recovery: match v.get("recovery") {
                 Ok(rv) => Some(RecoveryMetrics::from_json(rv)?),
+                Err(_) => None,
+            },
+            migration: match v.get("migration") {
+                Ok(mv) => Some(MigrationMetrics::from_json(mv)?),
                 Err(_) => None,
             },
             serve: match v.get("serve") {
@@ -610,6 +682,7 @@ mod tests {
             42,
             None,
             None,
+            None,
         );
         assert_eq!(r.jobs[0].id, 0, "stored by id");
         assert_eq!(r.n_jobs, 2);
@@ -636,6 +709,7 @@ mod tests {
             7,
             None,
             None,
+            None,
         );
         let t = comparison_table(&[r]);
         assert!(t.contains("fifo-first-fit"));
@@ -654,6 +728,7 @@ mod tests {
             0.0,
             vec![4.0, 0.0],
             7,
+            None,
             None,
             None,
         );
@@ -677,6 +752,35 @@ mod tests {
         let back = ScheduleReport::from_json_str(&faulty.to_json_string()).unwrap();
         assert_eq!(back, faulty);
         assert_eq!(back.recovery.as_ref().unwrap().evacuations, 2);
+    }
+
+    #[test]
+    fn migration_block_round_trips_and_stays_absent_by_default() {
+        let base = ScheduleReport::assemble(
+            "best-fit",
+            "t",
+            16,
+            vec![outcome(0, 0, 1, 3)],
+            Dur::from_secs(3),
+            4.0,
+            0.0,
+            vec![4.0, 0.0],
+            7,
+            None,
+            None,
+            None,
+        );
+        assert!(
+            !base.to_json_string().contains("migration"),
+            "knob-free reports must keep their pre-priority-model bytes"
+        );
+        let mig = MigrationMetrics::assemble(3, 2, 1, 9.876543);
+        assert_eq!(mig.work_lost_gpu_secs, 9.8765, "round4 keeps bytes stable");
+        let mut tiered = base.clone();
+        tiered.migration = Some(mig);
+        let back = ScheduleReport::from_json_str(&tiered.to_json_string()).unwrap();
+        assert_eq!(back, tiered);
+        assert_eq!(back.migration.as_ref().unwrap().preemptions, 3);
     }
 
     fn service(id: u64, generated: u64, within: u64) -> ServiceOutcome {
@@ -712,6 +816,7 @@ mod tests {
             0.0,
             vec![4.0, 0.0],
             7,
+            None,
             None,
             None,
         );

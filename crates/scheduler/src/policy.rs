@@ -26,7 +26,7 @@
 use crate::probe::{ProbeCache, Shape};
 use crate::trace::JobSpec;
 use falcon::SlotAddr;
-use rack::{cross_chassis_stretch, RackAddr};
+use rack::{cross_chassis_stretch, drawers_spanned, RackAddr};
 use std::cmp::Reverse;
 
 /// Snapshot of the rack's unattached GPU slots, in global (chassis-major)
@@ -93,6 +93,16 @@ pub struct SliceView {
     pub free_gpus: Vec<usize>,
 }
 
+/// What a policy sees of one running job when choosing a preemption
+/// victim: identity, tier, and the slots a preemption would free.
+#[derive(Debug, Clone)]
+pub struct RunningView {
+    pub id: u64,
+    pub tenant: u32,
+    pub priority: u8,
+    pub slots: Vec<RackAddr>,
+}
+
 /// A slot-selection strategy. Returning `None` means "this job cannot (or
 /// should not) be placed right now"; the cluster loop decides whether that
 /// blocks the queue.
@@ -116,6 +126,48 @@ pub trait PlacePolicy: Send {
     /// for a service at risk of violating its SLO?
     fn evict_for_slo(&self) -> bool {
         false
+    }
+
+    /// Pick the running job a capacity-blocked `job` may checkpoint-
+    /// preempt, or `None` to let it wait. The contract: the victim's tier
+    /// must be **strictly below** `job.priority` (the cluster loop
+    /// enforces this; anything else could preempt in cycles). The default
+    /// sacrifices the cheapest eligible victim — fewest held slots, ties
+    /// to the lowest id — so high tiers displace as little work as
+    /// possible.
+    fn choose_victim(&self, job: &JobSpec, running: &[RunningView]) -> Option<u64> {
+        running
+            .iter()
+            .filter(|r| r.priority < job.priority)
+            .min_by_key(|r| (r.slots.len(), r.id))
+            .map(|r| r.id)
+    }
+
+    /// Propose a live-migration target for a running job currently on
+    /// `current`, or `None` to leave it in place. The cluster's defrag
+    /// pass only accepts same-size placements spanning strictly fewer
+    /// global drawers (and only when the move beats its rollback +
+    /// re-composition cost). The default relocates a drawer-spanning gang
+    /// to the first whole drawer that fits it; single-drawer gangs never
+    /// move.
+    fn migrate(
+        &self,
+        job: &JobSpec,
+        current: &[RackAddr],
+        free: &FreeView,
+        probes: &mut ProbeCache,
+    ) -> Option<Vec<RackAddr>> {
+        let _ = (job, probes);
+        if drawers_spanned(current) <= 1 {
+            return None;
+        }
+        let k = current.len();
+        (0..free.n_drawers()).map(|d| free.in_drawer(d)).find(|slots| slots.len() >= k).map(
+            |mut slots| {
+                slots.truncate(k);
+                slots
+            },
+        )
     }
 }
 
@@ -597,6 +649,49 @@ mod tests {
         assert!(SloAwarePack
             .place_replica(4, &SliceView { slots: vec![], free_gpus: vec![0, 0] })
             .is_none());
+    }
+
+    #[test]
+    fn default_victim_is_the_cheapest_strictly_lower_tier() {
+        let rv = |id: u64, priority: u8, n: usize| RunningView {
+            id,
+            tenant: 0,
+            priority,
+            slots: (0..n as u8).map(|s| ra(0, s)).collect(),
+        };
+        let running = [rv(3, 1, 4), rv(5, 1, 2), rv(7, 2, 1), rv(9, 1, 2)];
+        let mut head = job(8);
+        head.priority = 2;
+        // Cheapest low-tier victim: 2 slots, lowest id — never the
+        // equal-tier job 7 even though it is cheapest overall.
+        assert_eq!(FifoFirstFit.choose_victim(&head, &running), Some(5));
+        head.priority = 1;
+        assert_eq!(FifoFirstFit.choose_victim(&head, &running), None, "no strictly lower tier");
+    }
+
+    #[test]
+    fn default_migration_compacts_spanning_gangs_only() {
+        let mut probes = ProbeCache::new(2);
+        // d0 holds {2,3}+d1 holds {0,1,2,3} free; a gang on d0{0,1}+d1{4,5}
+        // spans and fits whole into d1.
+        let current = vec![ra(0, 0), ra(0, 1), ra(1, 4), ra(1, 5)];
+        let got = FifoFirstFit.migrate(&job(4), &current, &fragmented(), &mut probes).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(!spans(&got), "default migration lands a whole drawer: {got:?}");
+        // A single-drawer gang never moves; nor does one no drawer fits.
+        let compact = vec![ra(0, 0), ra(0, 1)];
+        assert!(FifoFirstFit.migrate(&job(2), &compact, &fragmented(), &mut probes).is_none());
+        let wide = vec![
+            ra(0, 0),
+            ra(0, 1),
+            ra(0, 4),
+            ra(0, 5),
+            ra(1, 4),
+            ra(1, 5),
+            ra(1, 6),
+            ra(1, 7),
+        ];
+        assert!(FifoFirstFit.migrate(&job(8), &wide, &fragmented(), &mut probes).is_none());
     }
 
     #[test]

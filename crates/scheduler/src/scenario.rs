@@ -285,6 +285,8 @@ pub enum ScenarioError {
     DuplicatePolicy { scenario: String, policy: String },
     DuplicateJobId { scenario: String, id: u64 },
     DuplicateServiceId { scenario: String, id: u64 },
+    /// A job's `priority` field is outside the supported tiers (1..=3).
+    BadPriority { scenario: String, job: u64, priority: u8 },
     BadSlice { scenario: String, service: u64, slice: u8 },
     BadConfig { scenario: String, msg: String },
     BadFault { scenario: String, msg: String },
@@ -324,6 +326,9 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::DuplicateServiceId { scenario, id } => {
                 write!(f, "{scenario}: service id {id} appears more than once")
+            }
+            ScenarioError::BadPriority { scenario, job, priority } => {
+                write!(f, "{scenario}: job {job}: priority tier {priority} outside 1..=3")
             }
             ScenarioError::BadSlice { scenario, service, slice } => {
                 write!(f, "{scenario}: service {service} slice {slice}/7 not in {{1,2,4,7}}")
@@ -488,6 +493,15 @@ impl Scenario {
         if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
             return Err(ScenarioError::DuplicateJobId { scenario: scenario(), id: w[0] });
         }
+        for j in &mixed.jobs {
+            if !(1..=3).contains(&j.priority) {
+                return Err(ScenarioError::BadPriority {
+                    scenario: scenario(),
+                    job: j.id,
+                    priority: j.priority,
+                });
+            }
+        }
         let mut sids: Vec<u64> = mixed.services.iter().map(|s| s.id).collect();
         sids.sort_unstable();
         if let Some(w) = sids.windows(2).find(|w| w[0] == w[1]) {
@@ -564,6 +578,15 @@ impl ToJson for Scenario {
                 if self.config.shard_serving != defaults.shard_serving {
                     fields.push(("shard_serving", Value::Bool(self.config.shard_serving)));
                 }
+                if self.config.preempt != defaults.preempt {
+                    fields.push(("preempt", Value::Bool(self.config.preempt)));
+                }
+                if self.config.defrag != defaults.defrag {
+                    fields.push(("defrag", Value::Bool(self.config.defrag)));
+                }
+                if self.config.relocate_slo != defaults.relocate_slo {
+                    fields.push(("relocate_slo", Value::Bool(self.config.relocate_slo)));
+                }
                 Value::obj(fields)
             }),
             ("metrics", Value::str(self.metrics.as_str())),
@@ -603,6 +626,18 @@ impl FromJson for Scenario {
                 shard_serving: match c.get("shard_serving") {
                     Ok(x) => x.as_bool()?,
                     Err(_) => defaults.shard_serving,
+                },
+                preempt: match c.get("preempt") {
+                    Ok(x) => x.as_bool()?,
+                    Err(_) => defaults.preempt,
+                },
+                defrag: match c.get("defrag") {
+                    Ok(x) => x.as_bool()?,
+                    Err(_) => defaults.defrag,
+                },
+                relocate_slo: match c.get("relocate_slo") {
+                    Ok(x) => x.as_bool()?,
+                    Err(_) => defaults.relocate_slo,
                 },
             },
             Err(_) => defaults,

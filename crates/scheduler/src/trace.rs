@@ -26,6 +26,26 @@ impl fmt::Display for TenantId {
     }
 }
 
+/// The named priority tiers a job may carry, as `(label, tier)` pairs.
+/// Tier 1 (`"low"`) is the default batch tier every legacy trace parses
+/// to; higher tiers may preempt lower ones when the scheduler runs with
+/// preemption enabled (see [`crate::cluster::SchedulerConfig::preempt`]).
+pub const PRIORITY_TIERS: [(&str, u8); 3] = [("low", 1), ("high", 2), ("urgent", 3)];
+
+/// Look a priority tier up by its label (`"low"` / `"high"` / `"urgent"`,
+/// case-insensitive) — the form scenario JSON may spell tiers in.
+pub fn priority_tier_from_label(label: &str) -> Option<u8> {
+    PRIORITY_TIERS
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case(label))
+        .map(|&(_, tier)| tier)
+}
+
+/// The label for a numeric tier, if it is one of the named tiers.
+pub fn priority_tier_label(tier: u8) -> Option<&'static str> {
+    PRIORITY_TIERS.iter().find(|&&(_, t)| t == tier).map(|&(name, _)| name)
+}
+
 /// Look a benchmark up by its paper label (the form traces serialize).
 ///
 /// Matching is case-insensitive and ignores `-`/`_`, so the aliases that
@@ -95,13 +115,30 @@ impl FromJson for JobSpec {
         let label = v.get("benchmark")?.as_str()?;
         let benchmark = benchmark_from_label(label)
             .ok_or_else(|| JsonError::decode(format!("unknown benchmark \"{label}\"")))?;
+        // `priority` is optional (legacy traces predate tiers and parse to
+        // the default low tier) and accepts either a numeric tier or one of
+        // the named tiers from [`PRIORITY_TIERS`].
+        let priority = match v.get("priority") {
+            Err(_) => 1,
+            Ok(pv) => match pv.as_u8() {
+                Ok(n) => n,
+                Err(_) => {
+                    let tier = pv.as_str()?;
+                    priority_tier_from_label(tier).ok_or_else(|| {
+                        JsonError::decode(format!(
+                            "unknown priority tier \"{tier}\" (tiers: low=1, high=2, urgent=3)"
+                        ))
+                    })?
+                }
+            },
+        };
         Ok(JobSpec {
             id: v.get("id")?.as_u64()?,
             tenant: TenantId(v.get("tenant")?.as_u32()?),
             benchmark,
             gpus: v.get("gpus")?.as_u8()?,
             min_gpus: v.get("min_gpus")?.as_u8()?,
-            priority: v.get("priority")?.as_u8()?,
+            priority,
             arrival: SimTime::from_json(v.get("arrival_ns")?)?,
             iters: v.get("iters")?.as_u64()?,
         })
@@ -326,6 +363,48 @@ mod tests {
         let back = Trace::from_json_str(&t.to_json_string()).unwrap();
         assert!(back.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         assert_eq!(back, t.sorted());
+    }
+
+    #[test]
+    fn missing_priority_defaults_to_low_tier() {
+        let t = seeded_two_tenant(4, 5);
+        let mut stripped = t.clone();
+        for j in &mut stripped.jobs {
+            j.priority = 1;
+        }
+        // Drop every "priority" line from the emitted JSON: legacy traces
+        // that predate tiers must still parse, to the default low tier.
+        let legacy: String = t
+            .to_json_string()
+            .lines()
+            .filter(|l| !l.contains("\"priority\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = Trace::from_json_str(&legacy).unwrap();
+        assert_eq!(back, stripped);
+    }
+
+    #[test]
+    fn priority_tier_names_parse_and_round_trip() {
+        for (label, tier) in PRIORITY_TIERS {
+            assert_eq!(priority_tier_from_label(label), Some(tier));
+            assert_eq!(priority_tier_from_label(&label.to_uppercase()), Some(tier));
+            assert_eq!(priority_tier_label(tier), Some(label));
+        }
+        assert_eq!(priority_tier_from_label("platinum"), None);
+        assert_eq!(priority_tier_label(0), None);
+
+        let t = seeded_two_tenant(3, 5);
+        let named = t.to_json_string().replace("\"priority\": 1", "\"priority\": \"low\"");
+        assert_eq!(Trace::from_json_str(&named).unwrap(), t);
+    }
+
+    #[test]
+    fn unknown_priority_tier_rejected_by_name() {
+        let t = seeded_two_tenant(3, 5);
+        let bad = t.to_json_string().replace("\"priority\": 1", "\"priority\": \"platinum\"");
+        let err = Trace::from_json_str(&bad).unwrap_err();
+        assert!(err.to_string().contains("platinum"), "error names the bad tier: {err}");
     }
 
     #[test]

@@ -191,6 +191,60 @@ property! {
         prop_assert!(r.work_lost_gpu_secs >= 0.0);
     }
 
+    /// Migration under fire: the same rack chaos with checkpoint
+    /// preemption and migration defrag switched on still drains — every
+    /// job terminates exactly once, preempted gangs all resume (the
+    /// event loop panics at drain otherwise), both the migration and
+    /// recovery ledgers are coherent, and the whole replay is a pure
+    /// function of its inputs (run twice, byte-identical reports), so
+    /// fault timing can never race the preempt/defrag decisions.
+    #[cases(64)]
+    fn migration_under_faults_conserves_and_terminates(
+        input in tuple3(raw_jobs(), u64_in(0..1_000_000), u8_in(0..4))
+    ) {
+        let (rjobs, seed, pol) = input;
+        let topo = RackTopology::with_chassis(2);
+        let trace = build_trace(&rjobs);
+        let plan = seeded_rack_fault_plan(4, Dur::from_secs(45), seed, &topo);
+        let n = trace.jobs.len();
+        let cfg = SchedulerConfig { preempt: true, defrag: true, ..SchedulerConfig::default() };
+        let run = || {
+            let probes = shared_cache().lock().unwrap().split();
+            let sim = ClusterSim::with_probe_cache_on(
+                topo,
+                trace.clone(),
+                all_policies().remove(usize::from(pol)),
+                cfg.clone(),
+                probes,
+            )
+            .expect("valid trace")
+            .with_faults(plan.clone())
+            .expect("valid plan");
+            let (report, cache) = sim.run_report().expect("migrating replay drains");
+            shared_cache().lock().unwrap().absorb(cache);
+            report
+        };
+        let report = run();
+
+        prop_assert_eq!(report.jobs.len(), n, "all jobs terminate");
+        let mut seen: Vec<u64> = report.jobs.iter().map(|o| o.id).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n as u64).collect::<Vec<_>>());
+        for o in &report.jobs {
+            prop_assert!(o.start >= o.arrival, "started before arrival");
+            prop_assert!(o.finish > o.start, "zero-length run");
+        }
+        let mig = report.migration.as_ref().expect("preempt-enabled replay reports migration");
+        prop_assert!(mig.work_lost_gpu_secs >= 0.0);
+        let rec = report.recovery.as_ref().expect("recovery block present");
+        prop_assert!(rec.work_lost_gpu_secs >= 0.0);
+        prop_assert_eq!(
+            run().to_json_string(),
+            report.to_json_string(),
+            "faults and migration decisions replay deterministically"
+        );
+    }
+
     /// Monotone event time: a sorted plan's strikes never step backwards
     /// and every heal lands strictly after its strike, for both the
     /// integer-raw generator and the seeded generator.

@@ -144,6 +144,11 @@ fn build_scenario(
         elastic,
         probe_iters: u64::from(probe_iters),
         interference: f64::from(interference) / 100.0,
+        // The priority/migration knobs ride the seed so the round-trip
+        // property covers every emit-only-when-set combination.
+        preempt: seed & 1 != 0,
+        defrag: seed & 2 != 0,
+        relocate_slo: seed & 4 != 0,
         ..SchedulerConfig::default()
     };
     sc.metrics = if summary { MetricLevel::Summary } else { MetricLevel::Full };
@@ -232,7 +237,7 @@ property! {
     /// beyond the horizon, policy-list abuse, unsupported topology.
     #[cases(64)]
     fn validate_rejects_each_malformation(
-        mutation in u8_in(0..7),
+        mutation in u8_in(0..8),
         seed in u64_in(0..1_000_000),
         cfg in raw_config(),
         jobs_raw in raw_jobs(),
@@ -303,7 +308,7 @@ property! {
                     "duplicate policy -> DuplicatePolicy, got {:?}", sc.validate()
                 );
             }
-            _ => {
+            6 => {
                 // Everything in 1..=8 chassis is runnable now; zero and
                 // over-tall racks are the out-of-envelope shapes.
                 sc.topology.chassis = if seed % 2 == 0 { 0 } else { 9 + (seed % 8) as u8 };
@@ -312,6 +317,85 @@ property! {
                     "out-of-envelope topology -> UnsupportedTopology, got {:?}", sc.validate()
                 );
             }
+            _ => {
+                // Priority tiers live in 1..=3; zero and anything above
+                // urgent is rejected naming the scenario and the job.
+                let bad = if seed % 2 == 0 { 0u8 } else { 4 + (seed % 200) as u8 };
+                let TraceSpec::Jobs { jobs, .. } = &mut sc.trace else { unreachable!() };
+                jobs[0].priority = bad;
+                prop_assert!(
+                    matches!(
+                        sc.validate(),
+                        Err(ScenarioError::BadPriority { job: 0, priority, .. }) if priority == bad
+                    ),
+                    "tier outside 1..=3 -> BadPriority, got {:?}", sc.validate()
+                );
+            }
+        }
+    }
+
+    /// Priority tiers at the scenario schema level: named tiers parse to
+    /// their numeric values and re-emit canonically; an unknown tier
+    /// label is rejected at parse time with an error naming the bogus
+    /// tier; legacy scenarios — no `priority` fields, no
+    /// preempt/defrag/relocate knobs — parse to the low tier with every
+    /// knob off, and the knob-free canonical emission never mentions the
+    /// priority machinery (the bytes predate it).
+    #[cases(64)]
+    fn priority_schema_accepts_tiers_and_rejects_strangers(
+        seed in u64_in(0..1_000_000),
+        jobs_raw in raw_jobs()
+    ) {
+        let mut sc = Scenario::new(
+            format!("tiers-{seed:#x}"),
+            TraceSpec::Jobs { name: "t".into(), jobs: build_jobs(&jobs_raw) },
+            vec!["fifo-first-fit".into()],
+        );
+        sc.config.preempt = true;
+        sc.validate().expect("base scenario is valid");
+        let text = sc.to_json_string();
+        prop_assert!(text.contains("\"preempt\": true"), "set knobs are emitted");
+
+        // Named tiers are sugar for their numeric values.
+        let named = text
+            .replace("\"priority\": 1", "\"priority\": \"low\"")
+            .replace("\"priority\": 2", "\"priority\": \"high\"");
+        let back = Scenario::from_json_str(&named).expect("named tiers parse");
+        prop_assert_eq!(&back, &sc, "labels decode to the same numeric tiers");
+
+        // An unknown label is a parse error that names the bogus tier.
+        // (Every generated job is tier 1 or 2, so one of these rewrites
+        // the first priority field.)
+        let bogus = match text.replacen("\"priority\": 1", "\"priority\": \"platinum\"", 1) {
+            same if same == text => text.replacen("\"priority\": 2", "\"priority\": \"platinum\"", 1),
+            changed => changed,
+        };
+        let err = Scenario::from_json_str(&bogus).expect_err("unknown tier rejected");
+        prop_assert!(
+            err.to_string().contains("platinum"),
+            "the error names the unknown tier: {err}"
+        );
+
+        // Legacy spelling: no priority fields, no knobs. Parses to the
+        // defaults (tier 1, knobs off) and its canonical emission stays
+        // free of the priority vocabulary. (Knobs are dropped by
+        // emitting a knob-free clone; priority lines sit mid-object, so
+        // filtering them keeps the JSON well-formed.)
+        let mut plain = sc.clone();
+        plain.config.preempt = false;
+        let legacy: String = plain
+            .to_json_string()
+            .lines()
+            .filter(|l| !l.contains("\"priority\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let old = Scenario::from_json_str(&legacy).expect("legacy scenarios parse");
+        let TraceSpec::Jobs { jobs, .. } = &old.trace else { unreachable!() };
+        prop_assert!(jobs.iter().all(|j| j.priority == 1), "legacy jobs land on the low tier");
+        prop_assert!(!old.config.preempt && !old.config.defrag && !old.config.relocate_slo);
+        let re = old.to_json_string();
+        for knob in ["\"preempt\"", "\"defrag\"", "\"relocate_slo\""] {
+            prop_assert!(!re.contains(knob), "default knobs stay un-emitted: {knob}");
         }
     }
 

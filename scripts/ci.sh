@@ -45,6 +45,12 @@ TESTKIT_BENCH_ITERS=1 TESTKIT_BENCH_WARMUP=0 cargo bench --offline -p bench
 echo "== scenario-matrix smoke (every scenarios/*.json, 2 parallel workers) =="
 cargo run --release --offline -p bench --bin repro -- scenario-matrix scenarios --jobs 2
 
+# The preemption study exercised on its own: checkpoint preemption +
+# migration defrag must replay cleanly through the CLI path too, not
+# just inside the matrix fan-out.
+echo "== priority-scenario smoke (cluster_priority, 2 workers) =="
+cargo run --release --offline -p bench --bin repro -- scenario scenarios/cluster_priority.json --jobs 2
+
 # The production-scale replay (10k jobs + 60 services, ~188k trace
 # events) must stay interactive in release mode: the optimized engine
 # replays it in well under a second, so a 60-second wall-clock budget
@@ -61,8 +67,9 @@ if [ "$pai_elapsed" -gt 60 ]; then
 fi
 
 echo "== byte-determinism guard: pinned scenario goldens still match =="
-# Guards all five frozen goldens, including the pai_magnitude summary
-# report that pins the optimized replay engine's semantics.
+# Guards all six frozen goldens, including the pai_magnitude summary
+# report that pins the optimized replay engine's semantics and the
+# cluster_priority report that pins the preemption engine's decisions.
 cargo test -q --offline -p bench --test scenario_goldens
 
 echo "CI OK"

@@ -65,6 +65,41 @@ fn rack_scale_replay_identical_across_worker_counts() {
     }
 }
 
+fn priority_snapshot(jobs: usize) -> (Vec<String>, String) {
+    let topo = RackTopology::with_chassis(2);
+    let t = trace::seeded_two_tenant(24, 0xBEEF);
+    let cfg = SchedulerConfig {
+        preempt: true,
+        defrag: true,
+        quota_gpus_per_tenant: 20,
+        ..SchedulerConfig::default()
+    };
+    let mut cache = ProbeCache::new_for(cfg.probe_iters, topo);
+    let reports = compare_policies_cached_on(topo, &t, all_policies(), &cfg, jobs, &mut cache)
+        .expect("tiered trace drains under every policy with preemption on");
+    let reports: Vec<String> = reports.iter().map(|r| r.to_json_string()).collect();
+    (reports, cache.save_json())
+}
+
+/// Checkpoint preemption and migration defrag keep the contract: the same
+/// contended 2-chassis study as `scale_snapshot` with the priority knobs
+/// on — so victims are chosen, rolled back, and resumed mid-replay —
+/// yields byte-identical reports (migration ledger included) and probe
+/// caches at `--jobs 1` and `--jobs 4`, and across repeated parallel runs.
+#[test]
+fn priority_replay_identical_across_worker_counts() {
+    let serial = priority_snapshot(1);
+    let parallel = priority_snapshot(4);
+    let parallel_again = priority_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "priority reports must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel priority runs must not race");
+    for r in &serial.0 {
+        assert!(r.contains("\"preemptions\""), "every priority report carries the ledger: {r}");
+        assert!(r.contains("\"work_lost_gpu_secs\""));
+    }
+}
+
 fn faulty_snapshot(jobs: usize) -> (Vec<String>, String) {
     let t = trace::seeded_two_tenant(12, 0xBEEF);
     let plan = paper_fault_plan();
