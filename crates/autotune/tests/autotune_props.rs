@@ -1,0 +1,129 @@
+//! Property suite for the policy-search subsystem: worker-count
+//! independence of the tuned artifact, preset reachability inside the
+//! search lattice, and `PolicyParams` JSON hygiene. These are the
+//! contracts DESIGN §16 pins; the release-mode bench asserts the
+//! held-out quality claim on top of them.
+
+use autotune::{lattice, tune, Portfolio, SearchSpec};
+use scheduler::{ParamsError, PolicyParams, ProbeCache, Scenario, POLICY_NAMES};
+
+/// A two-scenario in-memory portfolio small enough for debug-mode
+/// search: one packing study and one preemption study, both seeded.
+fn tiny_portfolio() -> Portfolio {
+    let pack = r#"{
+        "name": "tiny_pack",
+        "topology": {"chassis": 1, "drawers": 2, "slots_per_drawer": 8},
+        "trace": {"kind": "poisson", "seed": 49421, "n_jobs": 10,
+                  "tenants": 2, "mean_interarrival_ns": 900000000},
+        "faults": {"kind": "none"},
+        "services": [],
+        "policies": ["fifo-first-fit"],
+        "config": {"quota_gpus_per_tenant": 12, "elastic": true, "probe_iters": 3},
+        "metrics": "summary"
+    }"#;
+    let priority = r#"{
+        "name": "tiny_priority",
+        "topology": {"chassis": 2, "drawers": 2, "slots_per_drawer": 8},
+        "trace": {"kind": "poisson", "seed": 2465, "n_jobs": 12,
+                  "tenants": 2, "mean_interarrival_ns": 400000000},
+        "faults": {"kind": "none"},
+        "services": [],
+        "policies": ["fifo-first-fit"],
+        "config": {"quota_gpus_per_tenant": 24, "elastic": true, "probe_iters": 3,
+                   "preempt": true, "defrag": true},
+        "metrics": "summary"
+    }"#;
+    let scenarios = vec![
+        Scenario::from_json_str(pack).expect("tiny_pack parses"),
+        Scenario::from_json_str(priority).expect("tiny_priority parses"),
+    ];
+    Portfolio::from_scenarios(scenarios, "tiny").expect("tiny portfolio validates")
+}
+
+fn tune_snapshot(jobs: usize) -> (String, String) {
+    let pf = tiny_portfolio();
+    let spec = SearchSpec { seed: 11, budget: 14 };
+    let mut cache = ProbeCache::new(pf.probe_iters());
+    let tuned = tune(&pf, &spec, jobs, &mut cache).expect("tiny tune runs");
+    (tuned.to_json_string(), cache.save_json())
+}
+
+/// Same seed + same portfolio ⇒ byte-identical `TunedPolicy` artifact
+/// and probe cache at 1 and 4 workers, and across repeated 4-worker
+/// runs. The search races candidate evaluations freely; the winner may
+/// not depend on the race.
+#[test]
+fn tune_is_byte_identical_across_worker_counts() {
+    let serial = tune_snapshot(1);
+    let parallel = tune_snapshot(4);
+    let parallel_again = tune_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "artifact must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel tunes must not race");
+}
+
+/// The tuned artifact embeds full provenance: the spec it was searched
+/// under and the hash of the portfolio it was scored on.
+#[test]
+fn tuned_artifact_carries_provenance() {
+    let pf = tiny_portfolio();
+    let (artifact, _) = tune_snapshot(1);
+    assert!(artifact.contains("\"seed\": 11"), "seed pinned: {artifact}");
+    assert!(artifact.contains("\"budget\": 14"), "budget pinned: {artifact}");
+    assert!(
+        artifact.contains(&format!("\"portfolio_hash\": \"{}\"", pf.hash_hex())),
+        "portfolio hash pinned: {artifact}"
+    );
+}
+
+/// Every hand-written preset is a point of the search lattice — the
+/// search space strictly generalizes the shipped policies, so the
+/// incumbent never starts outside it.
+#[test]
+fn every_preset_is_a_lattice_point() {
+    for name in POLICY_NAMES {
+        let p = PolicyParams::preset(name).expect("preset exists");
+        assert!(lattice::contains(&p), "{name} must sit on the search lattice");
+    }
+}
+
+/// `PolicyParams` round-trips through its JSON encoding byte-for-byte,
+/// for every preset and for a lattice sample.
+#[test]
+fn params_round_trip_through_json() {
+    for name in POLICY_NAMES {
+        let p = PolicyParams::preset(name).expect("preset exists");
+        let back = PolicyParams::from_json_str(&p.to_json_string()).expect("round-trips");
+        assert_eq!(p, back, "{name} must survive JSON round-trip");
+        assert_eq!(p.to_json_string(), back.to_json_string());
+    }
+    let mut rng = desim::SimRng::seed_from_u64(0xA11CE);
+    for _ in 0..50 {
+        let p = lattice::sample(&mut rng);
+        let back = PolicyParams::from_json_str(&p.to_json_string()).expect("round-trips");
+        assert_eq!(p, back, "lattice sample must survive JSON round-trip");
+    }
+}
+
+/// Out-of-bounds values are rejected with an error that names the
+/// offending field and its legal range.
+#[test]
+fn out_of_bounds_params_are_rejected_naming_the_field() {
+    let mut p = PolicyParams::preset("best-fit").expect("preset exists");
+    p.defrag_margin = 9.0;
+    let err = p.validate().expect_err("defrag_margin 9.0 is out of bounds");
+    match &err {
+        ParamsError::OutOfBounds { field, value, lo, hi } => {
+            assert_eq!(*field, "defrag_margin");
+            assert_eq!(*value, 9.0);
+            assert!(*lo <= *hi);
+        }
+        other => panic!("expected OutOfBounds, got {other:?}"),
+    }
+    assert!(err.to_string().contains("defrag_margin"), "message names the field: {err}");
+
+    let mut p = PolicyParams::preset("fifo-first-fit").expect("preset exists");
+    p.shrink_aggr = 0.0;
+    let err = p.validate().expect_err("shrink_aggr 0.0 is below the floor");
+    assert!(err.to_string().contains("shrink_aggr"), "message names the field: {err}");
+}

@@ -181,6 +181,28 @@ fn main() {
         })
         .clone();
 
+    // Intra-replay fan-out on the preempting leg, through the shared
+    // suppression convention (null + note) on a 1-core host.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (preempt_jobs4_speedup, fanout_note) = if cores >= 2 {
+        let four_t = s
+            .bench("cluster_priority_preempt_jobs4", || {
+                black_box(replay(topo, &trace, &policy_name, &sc.config, &warm, 4).n_jobs)
+            })
+            .clone();
+        let ratio = tier_t.median_ns as f64 / four_t.median_ns as f64;
+        println!("  -> preempt replay --jobs 4: {ratio:.2}x vs --jobs 1");
+        (
+            testkit::bench::speedup_or_null(cores, ratio),
+            format!("preempt replay fanned to 4 workers on a {cores}-way host"),
+        )
+    } else {
+        (
+            testkit::bench::speedup_or_null(cores, 1.0),
+            testkit::bench::suppressed_speedup_note("preempt_jobs4_speedup"),
+        )
+    };
+
     let round2 = |x: f64| (x * 100.0).round() / 100.0;
     let fields: Vec<(&str, Value)> = vec![
         ("suite", Value::str("migrate")),
@@ -200,6 +222,8 @@ fn main() {
         ("work_lost_gpu_secs", Value::Num(mig.work_lost_gpu_secs)),
         ("baseline_median_ns", Value::from_u64(base_t.median_ns as u64)),
         ("preempt_median_ns", Value::from_u64(tier_t.median_ns as u64)),
+        ("preempt_jobs4_speedup", preempt_jobs4_speedup),
+        ("fanout_note", Value::str(fanout_note)),
         (
             "note",
             Value::str(

@@ -148,13 +148,13 @@ fn main() {
         let ratio = opt.median_ns as f64 / four.median_ns as f64;
         println!("  -> --jobs 4 epoch sharding: {ratio:.2}x vs --jobs 1");
         (
-            Value::Num((ratio * 100.0).round() / 100.0),
+            testkit::bench::speedup_or_null(cores, ratio),
             format!("epoch sharding at 4 workers on a {cores}-way host"),
         )
     } else {
         (
-            Value::Null,
-            "host reports no parallelism (1 core); sharding speedup not measurable".to_string(),
+            testkit::bench::speedup_or_null(cores, 1.0),
+            testkit::bench::suppressed_speedup_note("sharding speedup"),
         )
     };
 

@@ -89,19 +89,18 @@ fn main() {
     // the baseline records what each leg actually ran with; on a 1-core
     // host the speedup ratio is scheduling noise and is recorded as null.
     let workers = |requested: usize| requested.max(1).min(n_scenarios.max(1));
-    let speedup = if cores >= 2 {
-        Value::Num((matrix_speedup * 100.0).round() / 100.0)
-    } else {
-        Value::Null
-    };
+    let speedup = testkit::bench::speedup_or_null(cores, matrix_speedup);
     let note = if cores >= 2 {
         "matrix_speedup is wall-clock only and tracked, not asserted; output is \
          byte-identical at any worker count (asserted above and in \
          tests/parallel_determinism.rs)"
+            .to_string()
     } else {
-        "matrix_speedup suppressed (null): host parallelism < 2, so serial-vs-parallel \
-         wall-clock is noise; output is still byte-identical at any worker count \
-         (asserted above and in tests/parallel_determinism.rs)"
+        format!(
+            "{}; output is still byte-identical at any worker count (asserted above \
+             and in tests/parallel_determinism.rs)",
+            testkit::bench::suppressed_speedup_note("matrix_speedup")
+        )
     };
     let baseline = Value::obj(vec![
         ("suite", Value::str("scenario-matrix")),

@@ -142,22 +142,19 @@ fn main() {
     }
 
     // Speedup ratios are only meaningful when the host can actually run
-    // two workers at once; on a 1-core host they are scheduling noise, so
-    // the baseline records null and says why.
-    let speedup_field = |ratio: f64| {
-        if cores >= 2 {
-            Value::Num((ratio * 100.0).round() / 100.0)
-        } else {
-            Value::Null
-        }
-    };
+    // two workers at once; testkit's shared helper records null (and the
+    // note says why) on a 1-core host.
+    let speedup_field = |ratio: f64| testkit::bench::speedup_or_null(cores, ratio);
     let note = if cores >= 2 {
         "speedups are wall-clock only; output is byte-identical at any worker count \
          (asserted above and in tests/parallel_determinism.rs)"
+            .to_string()
     } else {
-        "speedups suppressed (null): host parallelism < 2, so serial-vs-parallel \
-         wall-clock is noise; output is still byte-identical at any worker count \
-         (asserted above and in tests/parallel_determinism.rs)"
+        format!(
+            "{}; output is still byte-identical at any worker count (asserted above \
+             and in tests/parallel_determinism.rs)",
+            testkit::bench::suppressed_speedup_note("speedups")
+        )
     };
     let n_policies = all_policies().len();
     let baseline = Value::obj(vec![

@@ -42,7 +42,9 @@ fn main() {
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
-        .filter(|a| !is_jobs_value(&args, a))
+        .filter(|a| {
+            ["--jobs", "--budget", "--seed"].iter().all(|f| !is_flag_value(&args, a, f))
+        })
         .map(|s| s.as_str())
         .collect();
 
@@ -53,6 +55,7 @@ fn main() {
     match wanted.split_first() {
         Some((&"scenario", files)) => return scenario_cmd(files),
         Some((&"scenario-matrix", files)) => return scenario_matrix_cmd(files),
+        Some((&"autotune", files)) => return autotune_cmd(files, &args),
         _ => {}
     }
 
@@ -119,24 +122,28 @@ fn main() {
 
 /// Parse `--jobs N` / `--jobs=N`. Invalid or missing values are ignored
 /// (the default — available parallelism — applies).
-fn jobs_flag(args: &[String]) -> Option<usize> {
+/// The numeric value of `--flag N` / `--flag=N`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    let eq = format!("{flag}=");
     for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            return v.parse().ok().filter(|&n| n > 0);
+        if let Some(v) = a.strip_prefix(&eq) {
+            return v.parse().ok();
         }
-        if a == "--jobs" {
-            return args.get(i + 1)?.parse().ok().filter(|&n| n > 0);
+        if a == flag {
+            return args.get(i + 1)?.parse().ok();
         }
     }
     None
 }
 
-/// Is `arg` the value of a space-separated `--jobs N`? (It would otherwise
+fn jobs_flag(args: &[String]) -> Option<usize> {
+    flag_value(args, "--jobs").map(|n| n as usize).filter(|&n| n > 0)
+}
+
+/// Is `arg` the value of a space-separated `--flag N`? (It would otherwise
 /// be mistaken for an experiment name.)
-fn is_jobs_value(args: &[String], arg: &str) -> bool {
-    args.iter()
-        .zip(args.iter().skip(1))
-        .any(|(a, b)| a == "--jobs" && b == arg)
+fn is_flag_value(args: &[String], arg: &str, flag: &str) -> bool {
+    args.iter().zip(args.iter().skip(1)).any(|(a, b)| a == flag && b == arg)
 }
 
 fn heading(title: &str) {
@@ -663,6 +670,40 @@ fn scenario_cmd(files: &[&str]) {
         eprintln!("[scenario] probe cache not saved ({e}); runs stay correct without it");
     }
     print!("{}", report.canonical_json_string());
+}
+
+/// `repro autotune <portfolio-dir> [--budget N] [--seed N] [--jobs N]`:
+/// search the policy-knob space against the portfolio and print the
+/// winning `TunedPolicy` artifact to stdout. The search (artifact bytes
+/// included) is byte-identical at any `--jobs`; progress goes to stderr.
+fn autotune_cmd(files: &[&str], args: &[String]) {
+    let [dir] = files else {
+        die(format!("autotune takes exactly one portfolio directory, got {}", files.len()));
+    };
+    let pf = autotune::Portfolio::load_dir(Path::new(dir)).unwrap_or_else(|e| die(e.to_string()));
+    let default = autotune::SearchSpec::default();
+    let spec = autotune::SearchSpec {
+        seed: flag_value(args, "--seed").unwrap_or(default.seed),
+        budget: flag_value(args, "--budget").map_or(default.budget, |n| n as usize),
+    };
+    // A fresh cache per search: probe prices are pure, so warm state
+    // never changes an answer, and the portfolio may span topologies
+    // while the persisted cache stamp is bound to exactly one.
+    let mut cache = ProbeCache::new(pf.probe_iters());
+    let tuned = autotune::tune(&pf, &spec, parsweep::default_jobs(), &mut cache)
+        .unwrap_or_else(|e| die(e.to_string()));
+    eprintln!(
+        "[autotune {dir}] {} scenarios, budget {} (seed {}): {} evaluations, tuned objective \
+         {:.4} vs best preset {} at {:.4}",
+        pf.scenarios.len(),
+        spec.budget,
+        spec.seed,
+        tuned.evals,
+        tuned.objective,
+        tuned.baseline_name,
+        tuned.baseline_objective
+    );
+    print!("{}", tuned.to_json_string());
 }
 
 /// `repro scenario-matrix <dir|files...>`: run every scenario through one

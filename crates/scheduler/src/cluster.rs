@@ -1360,7 +1360,10 @@ impl ClusterSim {
             let new_base = self.price_base(spec.benchmark, &new_slots);
             let old_secs = remaining * old_base;
             let new_secs = (remaining + lost) * new_base + RECOMPOSE_LATENCY.as_secs_f64();
-            if new_secs >= old_secs {
+            // Tunable policies can demand a migration clear the bar by a
+            // margin; 1.0 (every preset) is the exact legacy gate.
+            let margin = self.policy.defrag_margin();
+            if new_secs * margin >= old_secs {
                 continue;
             }
             self.migrate_job(now, id, new_slots, running)?;
@@ -1450,7 +1453,7 @@ impl ClusterSim {
                         None => {
                             if self.cfg.elastic
                                 && self.policy.evict_for_slo()
-                                && self.serve.under_pressure(i, now)
+                                && self.serve.under_pressure(i, now, self.policy.slo_claw_band())
                             {
                                 // Relocation claws back the same single
                                 // slot but lets the victim re-place as a
@@ -1602,7 +1605,7 @@ impl ClusterSim {
         let Some(id) = victim else { return Ok(false) };
         let r = running.get_mut(&id).expect("victim is running");
         let old = r.slots.len();
-        let floor = if gentle { old - 1 } else { old / 2 };
+        let floor = self.policy.shrink_floor(old, gentle);
         let new = usize::from(r.spec.min_gpus).max(floor);
         debug_assert!(new < old);
         // Keep the global drawer where the job holds the most slots (ties

@@ -60,13 +60,14 @@ pub use metrics::{
     RecoveryMetrics, ScheduleReport, ServeMetrics, ServiceOutcome,
 };
 pub use policy::{
-    all_policies, policy_by_name, serving_policies, FreeView, PlacePolicy, RunningView, SliceSlot,
-    SliceView, SloAwarePack,
+    all_policies, policy_by_name, policy_names, resolve_policy, serving_policies, FreeView,
+    ParamPolicy, ParamsError, PlacePolicy, PolicyParams, RunningView, SliceSlot, SliceView,
+    SloAwarePack, UnknownPolicy, POLICY_NAMES,
 };
 pub use probe::{warm_set_for_trace, Probe, ProbeCache, Shape};
 pub use scenario::{
-    run_matrix, run_scenario, FaultSpec, MetricLevel, Scenario, ScenarioError, ScenarioReport,
-    Topology, TraceSpec,
+    run_matrix, run_scenario, run_scenario_with_policy, FaultSpec, MetricLevel, Scenario,
+    ScenarioError, ScenarioReport, Topology, TraceSpec,
 };
 pub use serve::{
     batch_latency, request_times, seeded_pai_mix, ArrivalKind, MixedTrace, ServeState,

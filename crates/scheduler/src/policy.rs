@@ -25,6 +25,7 @@
 
 use crate::probe::{ProbeCache, Shape};
 use crate::trace::JobSpec;
+use desim::json::Value;
 use falcon::SlotAddr;
 use rack::{cross_chassis_stretch, drawers_spanned, RackAddr};
 use std::cmp::Reverse;
@@ -169,30 +170,158 @@ pub trait PlacePolicy: Send {
             },
         )
     }
+
+    /// The slot floor an elastic shrink may take a job holding `held`
+    /// GPUs down to (the cluster still respects the job's `min_gpus`).
+    /// SLO-side pressure (`gentle`) releases one slot; training-side
+    /// pressure halves the gang — the legacy behavior every hand-written
+    /// policy keeps.
+    fn shrink_floor(&self, held: usize, gentle: bool) -> usize {
+        if gentle {
+            held.saturating_sub(1)
+        } else {
+            held / 2
+        }
+    }
+
+    /// The fraction of a service's SLO a queued request may age before
+    /// SLO clawback arms (see `ServeState::under_pressure`). The legacy
+    /// band is half the SLO.
+    fn slo_claw_band(&self) -> f64 {
+        0.5
+    }
+
+    /// A defrag migration is only taken when its projected cost times
+    /// this margin still beats staying put. 1.0 is the legacy
+    /// break-even gate; larger values demand a bigger win.
+    fn defrag_margin(&self) -> f64 {
+        1.0
+    }
 }
+
+/// The canonical policy names, in the order the comparison tables print
+/// them — the single list every "unknown policy" message quotes, so the
+/// registry and the scenario validator can never drift.
+pub const POLICY_NAMES: [&'static str; 5] =
+    ["fifo-first-fit", "best-fit", "frag-aware", "topology-aware", "slo-aware-pack"];
+
+/// The canonical policy-name list (see [`POLICY_NAMES`]).
+pub fn policy_names() -> &'static [&'static str] {
+    &POLICY_NAMES
+}
+
+/// A policy name that resolves to nothing, carrying the canonical list of
+/// names that would have (and, for `.json` artifact paths, why the
+/// artifact did not load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnknownPolicy {
+    pub name: String,
+    /// `Some` when `name` looked like a `TunedPolicy` artifact path but
+    /// the file failed to load, parse, or validate.
+    pub detail: Option<String>,
+}
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.detail {
+            Some(d) => write!(f, "policy artifact \"{}\": {d}", self.name),
+            None => write!(
+                f,
+                "unknown policy \"{}\" (valid: {}, or a tuned-params .json path)",
+                self.name,
+                POLICY_NAMES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
 
 /// Every built-in training policy, in the order the comparison tables
 /// print them. ([`serving_policies`] appends the serving-aware one.)
+/// Each is the [`ParamPolicy`] preset of that name — the parametric
+/// family replays the hand-written policies bit-for-bit (the pinned
+/// goldens and the differential tests below hold it to that).
 pub fn all_policies() -> Vec<Box<dyn PlacePolicy>> {
-    vec![
-        Box::new(FifoFirstFit),
-        Box::new(BestFit),
-        Box::new(FragAware),
-        Box::new(TopologyAware),
-    ]
+    POLICY_NAMES[..4]
+        .iter()
+        .map(|n| Box::new(ParamPolicy::preset(n).expect("canonical name")) as Box<dyn PlacePolicy>)
+        .collect()
 }
 
 /// The policies mixed (training + serving) comparisons run:
-/// [`all_policies`] plus [`SloAwarePack`].
+/// [`all_policies`] plus the `slo-aware-pack` preset.
 pub fn serving_policies() -> Vec<Box<dyn PlacePolicy>> {
     let mut v = all_policies();
-    v.push(Box::new(SloAwarePack));
+    v.push(Box::new(ParamPolicy::preset("slo-aware-pack").expect("canonical name")));
     v
 }
 
-/// Look a policy up by its `name()` (searches the serving superset).
+/// Resolve a policy name: a canonical preset from [`POLICY_NAMES`], or a
+/// path ending in `.json` holding tuned [`PolicyParams`] — either a bare
+/// params object or a `TunedPolicy` artifact (its `params` field is
+/// used), as written by `repro autotune`.
+pub fn resolve_policy(name: &str) -> Result<Box<dyn PlacePolicy>, UnknownPolicy> {
+    if let Some(p) = ParamPolicy::preset(name) {
+        return Ok(Box::new(p));
+    }
+    if name.ends_with(".json") {
+        let artifact = |detail: String| UnknownPolicy { name: name.to_string(), detail: Some(detail) };
+        let text = std::fs::read_to_string(name).map_err(|e| artifact(e.to_string()))?;
+        let v = Value::parse(&text).map_err(|e| artifact(e.to_string()))?;
+        let params_json = match v.as_obj() {
+            Ok(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == "params")
+                .map(|(_, v)| v.clone())
+                .unwrap_or(v.clone()),
+            Err(_) => v.clone(),
+        };
+        let params = PolicyParams::from_json(&params_json).map_err(|e| artifact(e.to_string()))?;
+        let p = ParamPolicy::new(params).map_err(|e| artifact(e.to_string()))?;
+        return Ok(Box::new(p));
+    }
+    Err(UnknownPolicy { name: name.to_string(), detail: None })
+}
+
+/// Look a policy up by its `name()` (searches the serving superset; see
+/// [`resolve_policy`] for the error-carrying form).
 pub fn policy_by_name(name: &str) -> Option<Box<dyn PlacePolicy>> {
-    serving_policies().into_iter().find(|p| p.name() == name)
+    resolve_policy(name).ok()
+}
+
+/// Free slots grouped by global drawer — the shared first step of every
+/// drawer-shaped selection below.
+fn per_drawer(free: &FreeView) -> Vec<Vec<RackAddr>> {
+    (0..free.n_drawers()).map(|d| free.in_drawer(d)).collect()
+}
+
+/// The first drawer (lowest global index) whose free run fits `k`.
+fn first_fitting_drawer(per: &[Vec<RackAddr>], k: usize) -> Option<usize> {
+    (0..per.len()).find(|&d| per[d].len() >= k)
+}
+
+/// The tightest drawer that fits `k` (fewest free slots; ties to the
+/// lowest global drawer) — an exact fit is necessarily tightest, so
+/// large contiguous holes stay whole for the jobs that need them.
+fn tightest_fitting_drawer(per: &[Vec<RackAddr>], k: usize) -> Option<usize> {
+    (0..per.len()).filter(|&d| per[d].len() >= k).min_by_key(|&d| (per[d].len(), d))
+}
+
+/// Drain drawers fullest-first (ties toward the lower global drawer),
+/// spilling across drawers — and chassis — as the remainder demands.
+/// Caller guarantees `free.total() >= k`.
+fn drain_fullest_first(per: &[Vec<RackAddr>], k: usize) -> Vec<RackAddr> {
+    let mut order: Vec<usize> = (0..per.len()).collect();
+    order.sort_by_key(|&d| (Reverse(per[d].len()), d));
+    let mut slots: Vec<RackAddr> = Vec::with_capacity(k);
+    for d in order {
+        if slots.len() == k {
+            break;
+        }
+        slots.extend(per[d].iter().copied().take(k - slots.len()));
+    }
+    slots
 }
 
 pub struct FifoFirstFit;
@@ -223,28 +352,12 @@ impl PlacePolicy for BestFit {
         if free.total() < k {
             return None;
         }
-        let nd = free.n_drawers();
-        let per: Vec<Vec<RackAddr>> = (0..nd).map(|d| free.in_drawer(d)).collect();
+        let per = per_drawer(free);
         // Tightest single drawer anywhere in the rack that fits.
-        if let Some(d) = (0..nd)
-            .filter(|&d| per[d].len() >= k)
-            .min_by_key(|&d| (per[d].len(), d))
-        {
+        if let Some(d) = tightest_fitting_drawer(&per, k) {
             return Some(per[d][..k].to_vec());
         }
-        // No drawer fits alone: drain drawers fullest-first (ties toward
-        // the lower global drawer), spilling across drawers — and chassis —
-        // as the remainder demands.
-        let mut order: Vec<usize> = (0..nd).collect();
-        order.sort_by_key(|&d| (Reverse(per[d].len()), d));
-        let mut slots: Vec<RackAddr> = Vec::with_capacity(k);
-        for d in order {
-            if slots.len() == k {
-                break;
-            }
-            slots.extend(per[d].iter().copied().take(k - slots.len()));
-        }
-        Some(slots)
+        Some(drain_fullest_first(&per, k))
     }
 }
 
@@ -257,14 +370,10 @@ impl PlacePolicy for FragAware {
 
     fn place(&self, job: &JobSpec, free: &FreeView, _: &mut ProbeCache) -> Option<Vec<RackAddr>> {
         let k = usize::from(job.gpus);
-        // Whole-drawer placements only: a drawer must fit the entire job.
-        // Among fitting drawers, prefer an exact fit, then the tightest —
-        // large contiguous holes stay whole for the jobs that need them.
-        (0..free.n_drawers())
-            .map(|d| free.in_drawer(d))
-            .filter(|slots| slots.len() >= k)
-            .min_by_key(|slots| (slots.len() != k, slots.len()))
-            .map(|slots| slots[..k].to_vec())
+        // Whole-drawer placements only: a drawer must fit the entire job,
+        // or the job waits.
+        let per = per_drawer(free);
+        tightest_fitting_drawer(&per, k).map(|d| per[d][..k].to_vec())
     }
 }
 
@@ -283,6 +392,125 @@ fn score_spanning(probes: &mut ProbeCache, job: &JobSpec, parts: &[Shape]) -> f6
     worst * cross_chassis_stretch(parts.len(), 100)
 }
 
+/// The probe-priced spill path (TopologyAware's stages past the whole-
+/// drawer check): intra-chassis splits scored by micro-probe, then
+/// rack-spanning assemblies charged the cross-chassis stretch. `per` is
+/// [`per_drawer`]'s grouping; caller guarantees `free.total() >= k`.
+fn priced_spill(
+    job: &JobSpec,
+    k: usize,
+    per: &[Vec<RackAddr>],
+    probes: &mut ProbeCache,
+) -> Option<Vec<RackAddr>> {
+    let nd = per.len();
+    // 2. Intra-chassis splits: within each chassis that can hold the
+    // gang, the least-split spill and the balanced split — the probe
+    // decides which split shape hurts less. Candidates are
+    // (take-from-primary, primary drawer, secondary drawer).
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    for c in 0..nd / 2 {
+        let (d0, d1) = (2 * c, 2 * c + 1);
+        if per[d0].len() + per[d1].len() < k {
+            continue;
+        }
+        let (fuller, other) = if per[d0].len() >= per[d1].len() { (d0, d1) } else { (d1, d0) };
+        let spill = per[fuller].len().min(k);
+        candidates.push((spill, fuller, other));
+        let balanced = k.div_ceil(2);
+        if balanced < spill && k - balanced <= per[other].len() {
+            candidates.push((balanced, fuller, other));
+        }
+    }
+    if !candidates.is_empty() {
+        // Highest probe score wins; ties resolve to fewer drawers
+        // spanned, then the lower primary drawer, so the choice is
+        // deterministic.
+        let (take, pd, sd) = candidates
+            .into_iter()
+            .map(|(take, pd, sd)| {
+                let shape = Shape::new(take as u8, (k - take) as u8);
+                (probes.price(job.benchmark, shape).score, take, pd, sd)
+            })
+            .max_by(|(sa, ta, da, _), (sb, tb, db, _)| {
+                sa.partial_cmp(sb)
+                    .expect("finite probe scores")
+                    .then(ta.cmp(tb))
+                    .then(db.cmp(da))
+            })
+            .map(|(_, take, pd, sd)| (take, pd, sd))?;
+        let mut slots: Vec<RackAddr> = per[pd].iter().copied().take(take).collect();
+        slots.extend(per[sd].iter().copied().take(k - take));
+        debug_assert_eq!(slots.len(), k);
+        return Some(slots);
+    }
+    // 3. No chassis can hold the gang alone: it must span the rack
+    // tier. Price the fewest-chassis greedy assembly (freest chassis
+    // first, fuller drawer first within each) against a balanced
+    // two-chassis split, and take the better — the stretch factor
+    // penalizes every extra chassis part.
+    let n_chassis = nd / 2;
+    let chassis_free = |c: usize| per[2 * c].len() + per[2 * c + 1].len();
+    let mut order: Vec<usize> = (0..n_chassis).collect();
+    order.sort_by_key(|&c| (Reverse(chassis_free(c)), c));
+    let take_in_chassis = |c: usize, want: usize| -> (Vec<RackAddr>, Shape) {
+        let (d0, d1) = (2 * c, 2 * c + 1);
+        let (fuller, other) = if per[d0].len() >= per[d1].len() { (d0, d1) } else { (d1, d0) };
+        let t0 = per[fuller].len().min(want);
+        let t1 = per[other].len().min(want - t0);
+        let mut v: Vec<RackAddr> = per[fuller].iter().copied().take(t0).collect();
+        v.extend(per[other].iter().copied().take(t1));
+        (v, Shape::new(t0 as u8, t1 as u8))
+    };
+    let assemble = |plan: &[(usize, usize)]| -> (Vec<RackAddr>, Vec<Shape>) {
+        let mut slots = Vec::with_capacity(k);
+        let mut parts = Vec::new();
+        for &(c, want) in plan {
+            if want == 0 {
+                continue;
+            }
+            let (v, shape) = take_in_chassis(c, want);
+            slots.extend(v);
+            parts.push(shape);
+        }
+        (slots, parts)
+    };
+    // Greedy: drain the freest chassis, then the next, until filled.
+    let mut greedy_plan: Vec<(usize, usize)> = Vec::new();
+    let mut left = k;
+    for &c in &order {
+        let take = chassis_free(c).min(left);
+        greedy_plan.push((c, take));
+        left -= take;
+        if left == 0 {
+            break;
+        }
+    }
+    if left > 0 {
+        return None;
+    }
+    let (greedy_slots, greedy_parts) = assemble(&greedy_plan);
+    let mut best = (
+        score_spanning(probes, job, &greedy_parts),
+        greedy_parts.len(),
+        greedy_slots,
+    );
+    // Balanced across the two freest chassis, when both halves fit.
+    if order.len() >= 2 {
+        let hi = k.div_ceil(2);
+        if chassis_free(order[0]) >= hi && chassis_free(order[1]) >= k - hi {
+            let (slots, parts) = assemble(&[(order[0], hi), (order[1], k - hi)]);
+            let score = score_spanning(probes, job, &parts);
+            // Strictly better only: ties keep the greedy (fewer-part)
+            // assembly.
+            if score > best.0 || (score == best.0 && parts.len() < best.1) {
+                best = (score, parts.len(), slots);
+            }
+        }
+    }
+    debug_assert_eq!(best.2.len(), k);
+    Some(best.2)
+}
+
 impl PlacePolicy for TopologyAware {
     fn name(&self) -> &'static str {
         "topology-aware"
@@ -298,123 +526,40 @@ impl PlacePolicy for TopologyAware {
         if free.total() < k {
             return None;
         }
-        let nd = free.n_drawers();
-        let per: Vec<Vec<RackAddr>> = (0..nd).map(|d| free.in_drawer(d)).collect();
+        let per = per_drawer(free);
         // 1. A whole drawer anywhere in the rack: the unbeatable shape
         // under this cost model (no root-complex hop, no rack hop), so
         // whole-drawer candidates only tie with each other — the lowest
         // global drawer wins, matching the single-chassis tie-break.
-        if let Some(d) = (0..nd).find(|&d| per[d].len() >= k) {
+        if let Some(d) = first_fitting_drawer(&per, k) {
             probes.price(job.benchmark, Shape::new(k as u8, 0));
             return Some(per[d][..k].to_vec());
         }
-        // 2. Intra-chassis splits: within each chassis that can hold the
-        // gang, the least-split spill and the balanced split — the probe
-        // decides which split shape hurts less. Candidates are
-        // (take-from-primary, primary drawer, secondary drawer).
-        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
-        for c in 0..nd / 2 {
-            let (d0, d1) = (2 * c, 2 * c + 1);
-            if per[d0].len() + per[d1].len() < k {
-                continue;
-            }
-            let (fuller, other) = if per[d0].len() >= per[d1].len() { (d0, d1) } else { (d1, d0) };
-            let spill = per[fuller].len().min(k);
-            candidates.push((spill, fuller, other));
-            let balanced = k.div_ceil(2);
-            if balanced < spill && k - balanced <= per[other].len() {
-                candidates.push((balanced, fuller, other));
-            }
-        }
-        if !candidates.is_empty() {
-            // Highest probe score wins; ties resolve to fewer drawers
-            // spanned, then the lower primary drawer, so the choice is
-            // deterministic.
-            let (take, pd, sd) = candidates
-                .into_iter()
-                .map(|(take, pd, sd)| {
-                    let shape = Shape::new(take as u8, (k - take) as u8);
-                    (probes.price(job.benchmark, shape).score, take, pd, sd)
-                })
-                .max_by(|(sa, ta, da, _), (sb, tb, db, _)| {
-                    sa.partial_cmp(sb)
-                        .expect("finite probe scores")
-                        .then(ta.cmp(tb))
-                        .then(db.cmp(da))
-                })
-                .map(|(_, take, pd, sd)| (take, pd, sd))?;
-            let mut slots: Vec<RackAddr> = per[pd].iter().copied().take(take).collect();
-            slots.extend(per[sd].iter().copied().take(k - take));
-            debug_assert_eq!(slots.len(), k);
-            return Some(slots);
-        }
-        // 3. No chassis can hold the gang alone: it must span the rack
-        // tier. Price the fewest-chassis greedy assembly (freest chassis
-        // first, fuller drawer first within each) against a balanced
-        // two-chassis split, and take the better — the stretch factor
-        // penalizes every extra chassis part.
-        let n_chassis = nd / 2;
-        let chassis_free = |c: usize| per[2 * c].len() + per[2 * c + 1].len();
-        let mut order: Vec<usize> = (0..n_chassis).collect();
-        order.sort_by_key(|&c| (Reverse(chassis_free(c)), c));
-        let take_in_chassis = |c: usize, want: usize| -> (Vec<RackAddr>, Shape) {
-            let (d0, d1) = (2 * c, 2 * c + 1);
-            let (fuller, other) = if per[d0].len() >= per[d1].len() { (d0, d1) } else { (d1, d0) };
-            let t0 = per[fuller].len().min(want);
-            let t1 = per[other].len().min(want - t0);
-            let mut v: Vec<RackAddr> = per[fuller].iter().copied().take(t0).collect();
-            v.extend(per[other].iter().copied().take(t1));
-            (v, Shape::new(t0 as u8, t1 as u8))
-        };
-        let assemble = |plan: &[(usize, usize)]| -> (Vec<RackAddr>, Vec<Shape>) {
-            let mut slots = Vec::with_capacity(k);
-            let mut parts = Vec::new();
-            for &(c, want) in plan {
-                if want == 0 {
-                    continue;
-                }
-                let (v, shape) = take_in_chassis(c, want);
-                slots.extend(v);
-                parts.push(shape);
-            }
-            (slots, parts)
-        };
-        // Greedy: drain the freest chassis, then the next, until filled.
-        let mut greedy_plan: Vec<(usize, usize)> = Vec::new();
-        let mut left = k;
-        for &c in &order {
-            let take = chassis_free(c).min(left);
-            greedy_plan.push((c, take));
-            left -= take;
-            if left == 0 {
-                break;
-            }
-        }
-        if left > 0 {
-            return None;
-        }
-        let (greedy_slots, greedy_parts) = assemble(&greedy_plan);
-        let mut best = (
-            score_spanning(probes, job, &greedy_parts),
-            greedy_parts.len(),
-            greedy_slots,
-        );
-        // Balanced across the two freest chassis, when both halves fit.
-        if order.len() >= 2 {
-            let hi = k.div_ceil(2);
-            if chassis_free(order[0]) >= hi && chassis_free(order[1]) >= k - hi {
-                let (slots, parts) = assemble(&[(order[0], hi), (order[1], k - hi)]);
-                let score = score_spanning(probes, job, &parts);
-                // Strictly better only: ties keep the greedy (fewer-part)
-                // assembly.
-                if score > best.0 || (score == best.0 && parts.len() < best.1) {
-                    best = (score, parts.len(), slots);
-                }
-            }
-        }
-        debug_assert_eq!(best.2.len(), k);
-        Some(best.2)
+        priced_spill(job, k, &per, probes)
     }
+}
+
+/// First-fit replica placement: the first slot that fits, in global
+/// order, blind to fragmentation (the trait default's behavior).
+fn first_fit_replica(slice: u8, view: &SliceView) -> Option<RackAddr> {
+    view.slots.iter().find(|s| s.free_sevenths >= slice).map(|s| s.addr)
+}
+
+/// Packing replica placement: partially-used serving slots first, then
+/// the tightest drawer's highest slot, keeping low-address contiguous
+/// runs whole for training gangs.
+fn pack_replica(slice: u8, view: &SliceView) -> Option<RackAddr> {
+    view.slots
+        .iter()
+        .filter(|s| s.free_sevenths >= slice)
+        .min_by_key(|s| {
+            (
+                !s.shared,
+                view.free_gpus[s.addr.global_drawer()],
+                Reverse(s.addr),
+            )
+        })
+        .map(|s| s.addr)
 }
 
 /// The serving-aware policy: training places best-fit (tightest drawer),
@@ -435,21 +580,366 @@ impl PlacePolicy for SloAwarePack {
     }
 
     fn place_replica(&self, slice: u8, view: &SliceView) -> Option<RackAddr> {
-        view.slots
-            .iter()
-            .filter(|s| s.free_sevenths >= slice)
-            .min_by_key(|s| {
-                (
-                    !s.shared,
-                    view.free_gpus[s.addr.global_drawer()],
-                    Reverse(s.addr),
-                )
-            })
-            .map(|s| s.addr)
+        pack_replica(slice, view)
     }
 
     fn evict_for_slo(&self) -> bool {
         true
+    }
+}
+
+/// How many GPUs of whole-drawer patience full `frag_patience` buys: at
+/// 1.0 a job of any schedulable size waits for a whole drawer (the
+/// [`FragAware`] behavior); at 0.5 only jobs up to half this span wait.
+pub const FRAG_WAIT_SPAN: f64 = 16.0;
+
+/// The knob space the hand-written policies are points in. Every field
+/// is bounded (see [`PolicyParams::validate`]); the five presets replay
+/// the legacy policies bit-for-bit, which is what lets `crates/autotune`
+/// search this space while the pinned goldens stand guard.
+///
+/// Placement knobs: `whole_drawer` > 0 tries a single fitting drawer
+/// first; `tie_tight` >= 0.5 picks the tightest such drawer (else the
+/// first); `frag_patience` scales how large a job may be and still wait
+/// for a whole drawer instead of spilling ([`FRAG_WAIT_SPAN`]);
+/// `probe_bias` > 0 prices spills with micro-probes (the
+/// [`TopologyAware`] path); otherwise `spill_pack` >= 0.5 drains drawers
+/// fullest-first (the [`BestFit`] spill) and < 0.5 takes global slot
+/// order (the [`FifoFirstFit`] spill).
+///
+/// Serving/elasticity knobs: `replica_pack` >= 0.5 packs replicas like
+/// [`SloAwarePack`]; `evict_for_slo` arms SLO clawback; `slo_claw_band`
+/// is the SLO fraction a queued request may age before clawback fires;
+/// `shrink_aggr` is the gang fraction a training-side shrink releases.
+///
+/// Priority knobs: `preempt_margin` is the minimum victim size as a
+/// fraction of the preemptor's demand; `defrag_margin` scales the
+/// cost-benefit gate a migration must beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyParams {
+    pub whole_drawer: f64,
+    pub tie_tight: f64,
+    pub frag_patience: f64,
+    pub spill_pack: f64,
+    pub probe_bias: f64,
+    pub replica_pack: f64,
+    pub evict_for_slo: bool,
+    pub shrink_aggr: f64,
+    pub slo_claw_band: f64,
+    pub preempt_margin: f64,
+    pub defrag_margin: f64,
+}
+
+/// Why a [`PolicyParams`] value was rejected — always naming the field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    OutOfBounds { field: &'static str, value: f64, lo: f64, hi: f64 },
+    UnknownField(String),
+    BadField { field: String, msg: String },
+}
+
+impl std::fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamsError::OutOfBounds { field, value, lo, hi } => {
+                write!(f, "params field \"{field}\" = {value} outside [{lo}, {hi}]")
+            }
+            ParamsError::UnknownField(field) => {
+                write!(f, "params field \"{field}\" is not a policy knob")
+            }
+            ParamsError::BadField { field, msg } => {
+                write!(f, "params field \"{field}\": {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl Default for PolicyParams {
+    fn default() -> PolicyParams {
+        PolicyParams::fifo_first_fit()
+    }
+}
+
+impl PolicyParams {
+    pub const fn fifo_first_fit() -> PolicyParams {
+        PolicyParams {
+            whole_drawer: 0.0,
+            tie_tight: 0.0,
+            frag_patience: 0.0,
+            spill_pack: 0.0,
+            probe_bias: 0.0,
+            replica_pack: 0.0,
+            evict_for_slo: false,
+            shrink_aggr: 0.5,
+            slo_claw_band: 0.5,
+            preempt_margin: 0.0,
+            defrag_margin: 1.0,
+        }
+    }
+
+    pub const fn best_fit() -> PolicyParams {
+        PolicyParams {
+            whole_drawer: 1.0,
+            tie_tight: 1.0,
+            spill_pack: 1.0,
+            ..PolicyParams::fifo_first_fit()
+        }
+    }
+
+    pub const fn frag_aware() -> PolicyParams {
+        PolicyParams {
+            whole_drawer: 1.0,
+            tie_tight: 1.0,
+            frag_patience: 1.0,
+            ..PolicyParams::fifo_first_fit()
+        }
+    }
+
+    pub const fn topology_aware() -> PolicyParams {
+        PolicyParams {
+            whole_drawer: 1.0,
+            probe_bias: 1.0,
+            ..PolicyParams::fifo_first_fit()
+        }
+    }
+
+    pub const fn slo_aware_pack() -> PolicyParams {
+        PolicyParams {
+            replica_pack: 1.0,
+            evict_for_slo: true,
+            ..PolicyParams::best_fit()
+        }
+    }
+
+    /// The params behind a canonical preset name, `None` otherwise.
+    pub fn preset(name: &str) -> Option<PolicyParams> {
+        match name {
+            "fifo-first-fit" => Some(PolicyParams::fifo_first_fit()),
+            "best-fit" => Some(PolicyParams::best_fit()),
+            "frag-aware" => Some(PolicyParams::frag_aware()),
+            "topology-aware" => Some(PolicyParams::topology_aware()),
+            "slo-aware-pack" => Some(PolicyParams::slo_aware_pack()),
+            _ => None,
+        }
+    }
+
+    /// `(field, value, lo, hi)` for every bounded (f64) knob, in the
+    /// canonical emission order.
+    fn bounded(&self) -> [(&'static str, f64, f64, f64); 10] {
+        [
+            ("whole_drawer", self.whole_drawer, 0.0, 1.0),
+            ("tie_tight", self.tie_tight, 0.0, 1.0),
+            ("frag_patience", self.frag_patience, 0.0, 1.0),
+            ("spill_pack", self.spill_pack, 0.0, 1.0),
+            ("probe_bias", self.probe_bias, 0.0, 1.0),
+            ("replica_pack", self.replica_pack, 0.0, 1.0),
+            ("shrink_aggr", self.shrink_aggr, 0.0625, 1.0),
+            ("slo_claw_band", self.slo_claw_band, 0.05, 0.95),
+            ("preempt_margin", self.preempt_margin, 0.0, 1.0),
+            ("defrag_margin", self.defrag_margin, 1.0, 2.0),
+        ]
+    }
+
+    /// Every knob inside its bounds (and finite), or the first offender
+    /// by name.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        for (field, value, lo, hi) in self.bounded() {
+            if !value.is_finite() || value < lo || value > hi {
+                return Err(ParamsError::OutOfBounds { field, value, lo, hi });
+            }
+        }
+        Ok(())
+    }
+
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("whole_drawer", Value::Num(self.whole_drawer)),
+            ("tie_tight", Value::Num(self.tie_tight)),
+            ("frag_patience", Value::Num(self.frag_patience)),
+            ("spill_pack", Value::Num(self.spill_pack)),
+            ("probe_bias", Value::Num(self.probe_bias)),
+            ("replica_pack", Value::Num(self.replica_pack)),
+            ("evict_for_slo", Value::Bool(self.evict_for_slo)),
+            ("shrink_aggr", Value::Num(self.shrink_aggr)),
+            ("slo_claw_band", Value::Num(self.slo_claw_band)),
+            ("preempt_margin", Value::Num(self.preempt_margin)),
+            ("defrag_margin", Value::Num(self.defrag_margin)),
+        ])
+    }
+
+    pub fn to_json_string(&self) -> String {
+        self.to_json().emit_pretty()
+    }
+
+    /// Parse a params object. Missing knobs keep their
+    /// [`PolicyParams::fifo_first_fit`] defaults; unknown keys are
+    /// rejected by name. Bounds are *not* checked here — [`ParamPolicy::new`]
+    /// (and [`PolicyParams::validate`]) own that, so parse errors and
+    /// bounds errors stay distinguishable.
+    pub fn from_json(v: &Value) -> Result<PolicyParams, ParamsError> {
+        let pairs = v.as_obj().map_err(|e| ParamsError::BadField {
+            field: "<root>".into(),
+            msg: e.to_string(),
+        })?;
+        let mut p = PolicyParams::fifo_first_fit();
+        for (k, v) in pairs {
+            let num = |v: &Value| {
+                v.as_f64().map_err(|e| ParamsError::BadField { field: k.clone(), msg: e.to_string() })
+            };
+            match k.as_str() {
+                "whole_drawer" => p.whole_drawer = num(v)?,
+                "tie_tight" => p.tie_tight = num(v)?,
+                "frag_patience" => p.frag_patience = num(v)?,
+                "spill_pack" => p.spill_pack = num(v)?,
+                "probe_bias" => p.probe_bias = num(v)?,
+                "replica_pack" => p.replica_pack = num(v)?,
+                "evict_for_slo" => {
+                    p.evict_for_slo = v.as_bool().map_err(|e| ParamsError::BadField {
+                        field: k.clone(),
+                        msg: e.to_string(),
+                    })?
+                }
+                "shrink_aggr" => p.shrink_aggr = num(v)?,
+                "slo_claw_band" => p.slo_claw_band = num(v)?,
+                "preempt_margin" => p.preempt_margin = num(v)?,
+                "defrag_margin" => p.defrag_margin = num(v)?,
+                other => return Err(ParamsError::UnknownField(other.to_string())),
+            }
+        }
+        Ok(p)
+    }
+
+    pub fn from_json_str(s: &str) -> Result<PolicyParams, ParamsError> {
+        let v = Value::parse(s).map_err(|e| ParamsError::BadField {
+            field: "<root>".into(),
+            msg: e.to_string(),
+        })?;
+        PolicyParams::from_json(&v)
+    }
+}
+
+/// The parametric policy: one [`place`](PlacePolicy::place) algorithm
+/// whose stages are gated and weighted by [`PolicyParams`]. At the five
+/// preset points it reproduces the hand-written policies bit-for-bit
+/// (same slots, same probe pricing side effects) — the differential
+/// tests below and the pinned goldens both hold it to that.
+pub struct ParamPolicy {
+    name: &'static str,
+    params: PolicyParams,
+}
+
+impl ParamPolicy {
+    /// A tuned (non-preset) point; rejected if any knob is out of
+    /// bounds, naming the field.
+    pub fn new(params: PolicyParams) -> Result<ParamPolicy, ParamsError> {
+        params.validate()?;
+        Ok(ParamPolicy { name: "tuned", params })
+    }
+
+    /// The preset bearing a canonical name, `None` otherwise.
+    pub fn preset(name: &str) -> Option<ParamPolicy> {
+        let stat = POLICY_NAMES.iter().copied().find(|&n| n == name)?;
+        Some(ParamPolicy { name: stat, params: PolicyParams::preset(stat).expect("canonical") })
+    }
+
+    pub fn params(&self) -> &PolicyParams {
+        &self.params
+    }
+}
+
+impl PlacePolicy for ParamPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn place(
+        &self,
+        job: &JobSpec,
+        free: &FreeView,
+        probes: &mut ProbeCache,
+    ) -> Option<Vec<RackAddr>> {
+        let p = &self.params;
+        let k = usize::from(job.gpus);
+        if free.total() < k {
+            return None;
+        }
+        if p.whole_drawer > 0.0 {
+            let per = per_drawer(free);
+            let hit = if p.tie_tight >= 0.5 {
+                tightest_fitting_drawer(&per, k)
+            } else {
+                first_fitting_drawer(&per, k)
+            };
+            if let Some(d) = hit {
+                if p.probe_bias > 0.0 {
+                    probes.price(job.benchmark, Shape::new(k as u8, 0));
+                }
+                return Some(per[d][..k].to_vec());
+            }
+            // No drawer fits whole: patient configurations wait for one
+            // rather than spill, up to a job size the patience knob sets.
+            if p.frag_patience >= 1.0 || (k as f64) <= p.frag_patience * FRAG_WAIT_SPAN {
+                return None;
+            }
+            if p.probe_bias > 0.0 {
+                return priced_spill(job, k, &per, probes);
+            }
+            if p.spill_pack >= 0.5 {
+                return Some(drain_fullest_first(&per, k));
+            }
+            return Some(free.slots()[..k].to_vec());
+        }
+        if p.probe_bias > 0.0 {
+            let per = per_drawer(free);
+            return priced_spill(job, k, &per, probes);
+        }
+        if p.spill_pack >= 0.5 {
+            let per = per_drawer(free);
+            return Some(drain_fullest_first(&per, k));
+        }
+        Some(free.slots()[..k].to_vec())
+    }
+
+    fn place_replica(&self, slice: u8, view: &SliceView) -> Option<RackAddr> {
+        if self.params.replica_pack >= 0.5 {
+            pack_replica(slice, view)
+        } else {
+            first_fit_replica(slice, view)
+        }
+    }
+
+    fn evict_for_slo(&self) -> bool {
+        self.params.evict_for_slo
+    }
+
+    fn choose_victim(&self, job: &JobSpec, running: &[RunningView]) -> Option<u64> {
+        // The default victim choice, plus a size floor: a victim must
+        // free at least `preempt_margin` of the preemptor's demand for
+        // the rollback to be worth paying. 0.0 is exactly the default.
+        let need = (f64::from(job.gpus) * self.params.preempt_margin).ceil() as usize;
+        running
+            .iter()
+            .filter(|r| r.priority < job.priority && r.slots.len() >= need)
+            .min_by_key(|r| (r.slots.len(), r.id))
+            .map(|r| r.id)
+    }
+
+    fn shrink_floor(&self, held: usize, gentle: bool) -> usize {
+        if gentle {
+            return held.saturating_sub(1);
+        }
+        let cut = ((held as f64) * self.params.shrink_aggr).round() as usize;
+        held.saturating_sub(cut.max(1))
+    }
+
+    fn slo_claw_band(&self) -> f64 {
+        self.params.slo_claw_band
+    }
+
+    fn defrag_margin(&self) -> f64 {
+        self.params.defrag_margin
     }
 }
 
@@ -702,5 +1192,154 @@ mod tests {
             ["fifo-first-fit", "best-fit", "frag-aware", "topology-aware", "slo-aware-pack"]
         );
         assert_eq!(all_policies().len(), 4, "training tables keep their four rows");
+    }
+
+    /// A seeded random multi-chassis free view: each of `chassis * 2`
+    /// drawers keeps a random subset of its 8 slots free.
+    fn random_free(rng: &mut desim::SimRng, chassis: u8) -> FreeView {
+        let mut free = Vec::new();
+        for c in 0..chassis {
+            for d in 0..2u8 {
+                for s in 0..8u8 {
+                    if rng.chance(0.45) {
+                        free.push(RackAddr::new(c, d, s));
+                    }
+                }
+            }
+        }
+        FreeView::new(free, usize::from(chassis) * 2)
+    }
+
+    fn random_slice_view(rng: &mut desim::SimRng, chassis: u8) -> SliceView {
+        let mut slots = Vec::new();
+        let mut free_gpus = vec![0usize; usize::from(chassis) * 2];
+        for c in 0..chassis {
+            for d in 0..2u8 {
+                for s in 0..8u8 {
+                    if !rng.chance(0.4) {
+                        continue;
+                    }
+                    let shared = rng.chance(0.3);
+                    let sevenths = if shared { 1 + rng.index(6) as u8 } else { 7 };
+                    if !shared && sevenths == 7 {
+                        free_gpus[usize::from(c) * 2 + usize::from(d)] += 1;
+                    }
+                    slots.push(SliceSlot {
+                        addr: RackAddr::new(c, d, s),
+                        free_sevenths: sevenths,
+                        shared,
+                    });
+                }
+            }
+        }
+        SliceView { slots, free_gpus }
+    }
+
+    /// Every preset replays its hand-written policy decision-for-decision
+    /// on seeded random views: same slots, same probe-cache side effects.
+    #[test]
+    fn presets_match_concrete_policies() {
+        let concrete: [Box<dyn PlacePolicy>; 5] = [
+            Box::new(FifoFirstFit),
+            Box::new(BestFit),
+            Box::new(FragAware),
+            Box::new(TopologyAware),
+            Box::new(SloAwarePack),
+        ];
+        for (name, old) in POLICY_NAMES.iter().zip(concrete.iter()) {
+            let new = ParamPolicy::preset(name).expect("canonical name");
+            assert_eq!(new.name(), *name);
+            let mut rng = desim::SimRng::seed_from_u64(0xA11_0_7EE);
+            for trial in 0..200 {
+                let chassis = 1 + rng.index(4) as u8;
+                let free = random_free(&mut rng, chassis);
+                let gpus = 1 + rng.index(12) as u8;
+                let bench = match rng.index(3) {
+                    0 => Benchmark::ResNet50,
+                    1 => Benchmark::BertLarge,
+                    _ => Benchmark::MobileNetV2,
+                };
+                let mut j = job(gpus);
+                j.benchmark = bench;
+                let mut probes_old = ProbeCache::new(2);
+                let mut probes_new = ProbeCache::new(2);
+                assert_eq!(
+                    old.place(&j, &free, &mut probes_old),
+                    new.place(&j, &free, &mut probes_new),
+                    "{name} trial {trial}: place diverged ({gpus} gpus, {chassis} chassis)"
+                );
+                assert_eq!(
+                    probes_old.save_json(),
+                    probes_new.save_json(),
+                    "{name} trial {trial}: probe pricing side effects diverged"
+                );
+                let view = random_slice_view(&mut rng, chassis);
+                let slice = 1 + rng.index(7) as u8;
+                assert_eq!(
+                    old.place_replica(slice, &view),
+                    new.place_replica(slice, &view),
+                    "{name} trial {trial}: place_replica diverged"
+                );
+                assert_eq!(old.evict_for_slo(), new.evict_for_slo(), "{name}");
+                let running: Vec<RunningView> = (0..rng.index(6))
+                    .map(|i| RunningView {
+                        id: i as u64,
+                        tenant: 0,
+                        priority: rng.index(3) as u8,
+                        slots: (0..1 + rng.index(8)).map(|s| ra(0, s as u8)).collect(),
+                    })
+                    .collect();
+                let mut pj = job(gpus);
+                pj.priority = 2;
+                assert_eq!(
+                    old.choose_victim(&pj, &running),
+                    new.choose_victim(&pj, &running),
+                    "{name} trial {trial}: choose_victim diverged"
+                );
+                for held in 1..=16 {
+                    assert_eq!(old.shrink_floor(held, false), new.shrink_floor(held, false));
+                    assert_eq!(old.shrink_floor(held, true), new.shrink_floor(held, true));
+                }
+                assert_eq!(old.slo_claw_band(), new.slo_claw_band());
+                assert_eq!(old.defrag_margin(), new.defrag_margin());
+            }
+        }
+    }
+
+    #[test]
+    fn params_json_round_trip() {
+        for name in POLICY_NAMES {
+            let p = PolicyParams::preset(name).unwrap();
+            let back = PolicyParams::from_json_str(&p.to_json_string()).unwrap();
+            assert_eq!(p, back, "{name} round trip");
+        }
+    }
+
+    #[test]
+    fn params_reject_out_of_bounds_naming_the_field() {
+        let mut p = PolicyParams::best_fit();
+        p.shrink_aggr = 1.5;
+        match p.validate() {
+            Err(ParamsError::OutOfBounds { field, .. }) => assert_eq!(field, "shrink_aggr"),
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+        assert!(ParamPolicy::new(p).is_err());
+    }
+
+    #[test]
+    fn params_reject_unknown_fields() {
+        let err = PolicyParams::from_json_str("{\"spill_pack\": 1, \"warp\": 9}").unwrap_err();
+        assert!(matches!(err, ParamsError::UnknownField(f) if f == "warp"));
+    }
+
+    #[test]
+    fn resolve_policy_lists_valid_names() {
+        let Err(err) = resolve_policy("does-not-exist") else {
+            panic!("bogus name resolved")
+        };
+        let msg = err.to_string();
+        for name in POLICY_NAMES {
+            assert!(msg.contains(name), "error names the valid policies: {msg}");
+        }
     }
 }

@@ -281,7 +281,7 @@ pub enum ScenarioError {
     UnsupportedTopology(Topology),
     EmptyTrace { scenario: String },
     NoPolicies { scenario: String },
-    UnknownPolicy { scenario: String, policy: String },
+    UnknownPolicy { scenario: String, source: crate::policy::UnknownPolicy },
     DuplicatePolicy { scenario: String, policy: String },
     DuplicateJobId { scenario: String, id: u64 },
     DuplicateServiceId { scenario: String, id: u64 },
@@ -315,8 +315,8 @@ impl fmt::Display for ScenarioError {
             ScenarioError::NoPolicies { scenario } => {
                 write!(f, "{scenario}: at least one policy is required")
             }
-            ScenarioError::UnknownPolicy { scenario, policy } => {
-                write!(f, "{scenario}: unknown policy \"{policy}\"")
+            ScenarioError::UnknownPolicy { scenario, source } => {
+                write!(f, "{scenario}: {source}")
             }
             ScenarioError::DuplicatePolicy { scenario, policy } => {
                 write!(f, "{scenario}: policy \"{policy}\" listed more than once")
@@ -450,8 +450,8 @@ impl Scenario {
             return Err(ScenarioError::NoPolicies { scenario: scenario() });
         }
         for (i, p) in self.policies.iter().enumerate() {
-            if policy_by_name(p).is_none() {
-                return Err(ScenarioError::UnknownPolicy { scenario: scenario(), policy: p.clone() });
+            if let Err(source) = crate::policy::resolve_policy(p) {
+                return Err(ScenarioError::UnknownPolicy { scenario: scenario(), source });
             }
             if self.policies[..i].contains(p) {
                 return Err(ScenarioError::DuplicatePolicy {
@@ -799,6 +799,35 @@ pub fn run_scenario(
         metrics: scenario.metrics,
         reports,
     })
+}
+
+/// Replay `scenario` under one externally supplied `policy` instead of
+/// the scenario's own policy list — the autotuner's evaluation path,
+/// where the candidate under test is a [`crate::policy::ParamPolicy`]
+/// that has no name the scenario file could carry. Runs serially
+/// (callers fan out across *candidates*, one parsweep job each, so the
+/// replay itself must not also claim workers) and returns the single
+/// [`ScheduleReport`].
+pub fn run_scenario_with_policy(
+    scenario: &Scenario,
+    policy: Box<dyn crate::policy::PlacePolicy>,
+    cache: &mut ProbeCache,
+) -> Result<ScheduleReport, ScenarioError> {
+    scenario.validate()?;
+    let topo = scenario.topology.rack();
+    let (mixed, plan) = scenario.materialize();
+    cache.warm(&warm_set_for_trace(&mixed.training()), 1);
+    let cfg = &scenario.config;
+    let split = cache.split();
+    let sim = if mixed.services.is_empty() {
+        ClusterSim::with_probe_cache_on(topo, mixed.training(), policy, cfg.clone(), split)?
+    } else {
+        ClusterSim::with_probe_cache_mixed_on(topo, mixed, policy, cfg.clone(), split)?
+    };
+    let sim = if plan.is_empty() { sim } else { sim.with_faults(plan)? };
+    let (report, probes) = sim.with_workers(1).run_report()?;
+    cache.absorb(probes);
+    Ok(report)
 }
 
 /// Run a whole scenario matrix: each scenario is one parsweep job (its

@@ -863,10 +863,11 @@ impl ServeState {
     }
 
     /// Is service `i` at risk of SLO violation right now? True when it has
-    /// no replicas while live, or a queued request has already burned half
-    /// its SLO waiting. Drives SLO-triggered eviction (elastic shrink of
-    /// training) under policies that opt in.
-    pub fn under_pressure(&self, i: usize, now: SimTime) -> bool {
+    /// no replicas while live, or a queued request has already burned
+    /// `band` of its SLO waiting (the policy's clawback band; 0.5 — half
+    /// the SLO — for every hand-written policy). Drives SLO-triggered
+    /// eviction (elastic shrink of training) under policies that opt in.
+    pub fn under_pressure(&self, i: usize, now: SimTime, band: f64) -> bool {
         let svc = &self.svcs[i];
         if !svc.started || svc.ended {
             return false;
@@ -874,10 +875,16 @@ impl ServeState {
         if svc.replicas.is_empty() {
             return true;
         }
-        let half_slo = Dur::from_nanos(svc.spec.slo.as_nanos() / 2);
+        // The 0.5 fast path keeps the legacy integer arithmetic so preset
+        // replays stay bit-exact; arbitrary bands go through f64.
+        let aged = if band == 0.5 {
+            Dur::from_nanos(svc.spec.slo.as_nanos() / 2)
+        } else {
+            Dur::from_nanos((svc.spec.slo.as_nanos() as f64 * band) as u64)
+        };
         svc.replicas
             .iter()
-            .any(|r| r.queue.front().is_some_and(|&h| now.since(h) > half_slo))
+            .any(|r| r.queue.front().is_some_and(|&h| now.since(h) > aged))
     }
 
     /// The fractional-capacity view for placing one replica of `tenant`:

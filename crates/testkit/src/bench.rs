@@ -46,6 +46,28 @@ pub struct BenchStats {
     pub mean_ns: f64,
 }
 
+/// A wall-clock speedup ratio as a 2-decimal JSON number — or null when
+/// the host has no parallelism to measure (`host_parallelism < 2`, where
+/// serial-vs-parallel wall-clock is pure scheduling noise). The shared
+/// convention for every `BENCH_*.json` speedup field; pair it with
+/// [`suppressed_speedup_note`] so readers learn *why* a field is null.
+pub fn speedup_or_null(host_parallelism: usize, ratio: f64) -> Value {
+    if host_parallelism >= 2 {
+        Value::Num((ratio * 100.0).round() / 100.0)
+    } else {
+        Value::Null
+    }
+}
+
+/// The standard note accompanying a null speedup field: names the field
+/// and the reason it was suppressed.
+pub fn suppressed_speedup_note(field: &str) -> String {
+    format!(
+        "{field} suppressed (null): host parallelism < 2, so serial-vs-parallel \
+         wall-clock is noise"
+    )
+}
+
 fn fmt_ns(ns: u128) -> String {
     let ns = ns as f64;
     if ns >= 1e9 {

@@ -66,6 +66,30 @@ if [ "$pai_elapsed" -gt 60 ]; then
     exit 1
 fi
 
+# The policy search exercised end to end at its frozen provenance:
+# the full-budget search over the default portfolio must reproduce the
+# checked-in tuned artifact byte-for-byte at 2 workers (worker-count
+# independence is what makes this guard meaningful), and stay well
+# inside an interactive wall-clock budget.
+echo "== policy-search smoke + frozen-artifact guard (autotune, 2 workers) =="
+at_start=$(date +%s)
+cargo run --release --offline -p bench --bin repro -- \
+    autotune scenarios/portfolio_default --budget 96 --seed 7 --jobs 2 \
+    > target/tuned_ci.json
+at_elapsed=$(( $(date +%s) - at_start ))
+echo "autotune searched in ${at_elapsed}s (budget 60s)"
+if [ "$at_elapsed" -gt 60 ]; then
+    echo "ERROR: autotune took ${at_elapsed}s > 60s budget" >&2
+    exit 1
+fi
+if ! cmp -s target/tuned_ci.json crates/bench/golden/tuned_default.json; then
+    echo "ERROR: tuned artifact drifted from crates/bench/golden/tuned_default.json;" >&2
+    echo "if the portfolio or policy engine changed intentionally, refreeze it:" >&2
+    echo "  repro autotune scenarios/portfolio_default --budget 96 --seed 7" >&2
+    diff target/tuned_ci.json crates/bench/golden/tuned_default.json >&2 || true
+    exit 1
+fi
+
 echo "== byte-determinism guard: pinned scenario goldens still match =="
 # Guards all six frozen goldens, including the pai_magnitude summary
 # report that pins the optimized replay engine's semantics and the

@@ -216,6 +216,32 @@ fn pai_magnitude_replay_identical_across_worker_counts() {
     assert!(serial.contains("\"n_services\": 60"), "all 48 mixed + 12 pinned services ran");
 }
 
+fn autotune_snapshot(jobs: usize) -> (String, String) {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/portfolio_default");
+    let pf = autotune::Portfolio::load_dir(std::path::Path::new(dir))
+        .expect("the default portfolio is checked in");
+    let spec = autotune::SearchSpec { seed: 3, budget: 24 };
+    let mut cache = ProbeCache::new(pf.probe_iters());
+    let tuned = autotune::tune(&pf, &spec, jobs, &mut cache).expect("small-budget tune runs");
+    (tuned.to_json_string(), cache.save_json())
+}
+
+/// The policy search keeps the contract: a small-budget `tune()` over the
+/// default portfolio — candidate evaluations fanned across the worker
+/// pool — yields a byte-identical `TunedPolicy` artifact and probe cache
+/// at `--jobs 1` and `--jobs 4`, and across repeated parallel runs. This
+/// is the same identity `repro autotune` advertises at full budget.
+#[test]
+fn autotune_identical_across_worker_counts() {
+    let serial = autotune_snapshot(1);
+    let parallel = autotune_snapshot(4);
+    let parallel_again = autotune_snapshot(4);
+    assert_eq!(serial.0, parallel.0, "tuned artifact must not depend on worker count");
+    assert_eq!(serial.1, parallel.1, "probe cache must not depend on worker count");
+    assert_eq!(parallel, parallel_again, "parallel tunes must not race");
+    assert!(serial.0.contains("\"portfolio_hash\""), "artifact carries provenance");
+}
+
 /// `recommend` ranks identically (same order, same scores, same attached
 /// reports) at 1 and 4 workers.
 #[test]
